@@ -1,0 +1,56 @@
+"""Ablation — changelog vs nightly scan (§2.2's design decision).
+
+Spider II rejected changelogs for overhead and pays with invisible
+intra-interval churn (§4.1.1).  This bench runs the same workload with the
+changelog attached and quantifies both sides: the churn weekly snapshot
+diffs miss, and the log's record overhead."""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.churn import hidden_churn, render_hidden_churn
+from repro.fs.changelog import attach_changelog
+from repro.fs.clock import SimClock
+from repro.fs.filesystem import FileSystem
+from repro.fs.purge import PurgePolicy
+from repro.scan.lustredu import LustreDuScanner
+from repro.scan.snapshot import SnapshotCollection
+from repro.synth.behavior import build_behaviors
+from repro.synth.population import generate_population
+
+
+def _run_instrumented(weeks=16, scale=2e-6, seed=2015):
+    population = generate_population(seed=seed)
+    fs = FileSystem(clock=SimClock(), ost_count=2016, max_stripe=1008)
+    log = attach_changelog(fs)
+    rng = np.random.default_rng(seed)
+    behaviors = build_behaviors(
+        population, n_weeks=weeks, scale=scale, rng=rng,
+        min_project_files=6, stress_depths=False,
+    )
+    for b in behaviors:
+        b.setup(fs)
+    scanner = LustreDuScanner()
+    collection = SnapshotCollection(scanner.paths)
+    purge = PurgePolicy(window_days=90)
+    for week in range(weeks):
+        for b in behaviors:
+            b.step_week(fs, week, fs.clock.now)
+        fs.clock.advance_days(7)
+        collection.append(scanner.scan(fs))
+        purge.sweep(fs)
+        for b in behaviors:
+            b.reconcile(fs)
+    return log, collection
+
+
+def test_changelog_vs_scan(benchmark, artifact_dir):
+    log, collection = benchmark.pedantic(_run_instrumented, rounds=1, iterations=1)
+    result = hidden_churn(log, collection)
+    assert result.changelog_records > 0
+    assert len(result.intervals) == len(collection) - 1
+    # the changelog sees every creation; the scan sees only survivors
+    total_created = sum(i.actual_created for i in result.intervals)
+    total_visible = sum(i.visible_new for i in result.intervals)
+    assert total_created >= total_visible
+    emit(artifact_dir, "ablation_changelog", render_hidden_churn(result))

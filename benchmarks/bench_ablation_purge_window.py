@@ -1,0 +1,37 @@
+"""Ablation — purge-window sweep (Observation 8's policy question).
+
+The paper argues the 90-day purge window "potentially needs to be
+increased" because files are still read past it.  This bench re-runs the
+simulation under 30/60/90/180-day windows and reports how much of the
+namespace each policy reclaims vs how much still-wanted data it destroys
+(purged files that a later week would have read)."""
+
+from conftest import emit
+
+from repro.synth.driver import SimulationConfig, run_simulation
+
+SWEEP_CONFIG = dict(seed=2015, scale=2e-6, weeks=30, min_project_files=6,
+                    stress_depths=False)
+
+
+def _run_with_window(window: int):
+    cfg = SimulationConfig(purge_window_days=window, **SWEEP_CONFIG)
+    result = run_simulation(cfg)
+    purged = sum(r.purged for r in result.purge_reports)
+    live = result.fs.entry_count
+    created = sum(w.created for w in result.week_stats)
+    return purged, live, created
+
+
+def test_purge_window_sweep(benchmark, artifact_dir):
+    def sweep():
+        return {w: _run_with_window(w) for w in (30, 60, 90, 180)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["window(d) | purged     | live at end | created"]
+    for window, (purged, live, created) in sorted(results.items()):
+        lines.append(f"{window:>9} | {purged:>10,} | {live:>11,} | {created:,}")
+    # tighter windows reclaim more, keep less
+    assert results[30][0] >= results[180][0]
+    assert results[30][1] <= results[180][1]
+    emit(artifact_dir, "ablation_purge_window", "\n".join(lines))

@@ -1,0 +1,29 @@
+"""Extension experiment — the scratch ↔ HPSS boundary (§1/§2.1).
+
+Quantifies the archival ingest requirement and the recall traffic the
+paper's motivation section asks about."""
+
+from conftest import emit
+
+from repro.analysis.archive import archive_traffic, render_archive_traffic
+from repro.analysis.context import AnalysisContext
+from repro.synth.driver import SimulationConfig, run_simulation
+
+HPSS_CONFIG = SimulationConfig(
+    seed=2015, scale=4e-6, weeks=24, min_project_files=6,
+    stress_depths=False, enable_hpss=True,
+)
+
+
+def test_hpss_traffic(benchmark, artifact_dir):
+    result = run_simulation(HPSS_CONFIG)
+    ctx = AnalysisContext(result.collection, result.population)
+
+    traffic = benchmark.pedantic(
+        archive_traffic, args=(ctx, result.hpss), rounds=2, iterations=1
+    )
+    assert traffic.total_ingested > 0
+    assert traffic.total_recalled > 0
+    assert 0.0 < traffic.recall_rate < 1.0
+    assert traffic.weekly_ingest.size == len(result.collection)
+    emit(artifact_dir, "extension_hpss", render_archive_traffic(traffic))

@@ -1,0 +1,16 @@
+"""Figure 5 — active-user classification by organization and domain."""
+
+from conftest import emit
+
+from repro.analysis.report import render_user_profile
+from repro.analysis.users import user_profile
+
+
+def test_fig05(benchmark, ctx, artifact_dir):
+    profile = benchmark.pedantic(user_profile, args=(ctx,), rounds=2, iterations=1)
+    # paper: 1,362 active users; national labs ~52%, academia+industry ~42%
+    assert profile.n_active > 1200
+    assert profile.org_fractions["national_lab"] > 0.4
+    combined = profile.org_fractions["academia"] + profile.org_fractions["industry"]
+    assert 0.3 < combined < 0.55
+    emit(artifact_dir, "fig05_users", render_user_profile(profile))

@@ -1,0 +1,20 @@
+"""Figure 6 — projects-per-user / users-per-project CDFs and the
+per-domain median project sizes."""
+
+from conftest import emit
+
+from repro.analysis.report import render_participation
+from repro.analysis.users import participation
+
+
+def test_fig06(benchmark, ctx, artifact_dir):
+    result = benchmark.pedantic(participation, args=(ctx,), rounds=2, iterations=1)
+    # paper: >60% of users in more than one project; 2% in eight or more;
+    # 40% of projects have <3 users while 20% exceed 10
+    assert result.multi_project_fraction > 0.4
+    assert result.heavy_user_fraction < 0.06
+    assert result.users_per_project.at(2.0) > 0.25
+    assert result.users_per_project.tail_fraction(10) > 0.1
+    # Figure 6(c): cli/stf project teams are large
+    assert result.median_users_by_domain["cli"] > 8
+    emit(artifact_dir, "fig06_participation", render_participation(result))

@@ -1,0 +1,16 @@
+"""Figure 7 — unique files/directories per domain and the dir:file ratio."""
+
+from conftest import emit
+
+from repro.analysis.files import entries_by_domain
+from repro.analysis.report import render_entry_counts
+
+
+def test_fig07(benchmark, ctx, artifact_dir):
+    counts = benchmark.pedantic(entries_by_domain, args=(ctx,), rounds=2, iterations=1)
+    # Observation 2 shape: the big domains dominate; atm/hep dir-heavy
+    ranked = sorted(counts.files, key=counts.total_entries, reverse=True)
+    assert set(ranked[:6]) & {"stf", "bip", "csc", "chp", "tur"}
+    assert counts.dir_ratio("atm") > 0.5
+    assert counts.dir_ratio("hep") > 0.4
+    emit(artifact_dir, "fig07_counts", render_entry_counts(counts))

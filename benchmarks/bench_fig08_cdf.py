@@ -1,0 +1,17 @@
+"""Figure 8(b) — file-count CDFs per user and per project (Observation 3)."""
+
+from conftest import emit
+
+from repro.analysis.files import file_count_cdfs
+from repro.analysis.report import render_file_count_cdfs
+
+
+def test_fig08(benchmark, ctx, artifact_dir):
+    result = benchmark.pedantic(file_count_cdfs, args=(ctx,), rounds=2, iterations=1)
+    # Observation 3: projects hold roughly an order of magnitude more files
+    assert result.project_to_user_ratio > 2
+    assert result.max_project_files > 10 * result.median_project_files
+    # §4.1.2: chp/bif/tur/env/bio lead mean files per project
+    codes = {c for c, _ in result.top_domains_by_project_mean}
+    assert codes & {"chp", "bif", "tur", "env", "bio"}
+    emit(artifact_dir, "fig08_file_cdfs", render_file_count_cdfs(result))

@@ -1,0 +1,17 @@
+"""Figures 8(a) and 9 — directory-depth CDF and per-domain box stats."""
+
+from conftest import emit
+
+from repro.analysis.depth import directory_depths
+from repro.analysis.report import render_depths
+
+
+def test_fig09(benchmark, ctx, artifact_dir):
+    result = benchmark.pedantic(directory_depths, args=(ctx,), rounds=2, iterations=1)
+    # paper: >30% of projects deeper than 10; stress trees at 2,030/432
+    assert result.fraction_deeper_than(10) > 0.15
+    assert result.max_depth == 2030
+    assert result.by_domain["gen"]["max"] == 432
+    # user-writable space starts at depth 5 (the Figure 8(a) knee)
+    assert result.all_dirs.at(4.0) < 0.2
+    emit(artifact_dir, "fig09_depth", render_depths(result))

@@ -1,0 +1,18 @@
+"""Figure 10 — top-20 extension shares over the observation window."""
+
+from conftest import emit
+
+from repro.analysis.extensions import extension_trend
+from repro.analysis.report import render_extension_trend
+
+
+def test_fig10(benchmark, ctx, artifact_dir):
+    trend = benchmark.pedantic(extension_trend, args=(ctx,), rounds=2, iterations=1)
+    # paper: 'other' ~35% and 'no extension' ~16% on average;
+    # campaign spikes for .bb (July 2015) and .xyz (February 2016)
+    assert trend.mean_no_extension > 0.05
+    assert trend.mean_other > 0.05
+    if "bb" in trend.extensions:
+        spike = trend.spike_week("bb")
+        assert "2015" in spike  # the nph campaign is centered on week 26
+    emit(artifact_dir, "fig10_ext_trend", render_extension_trend(trend))

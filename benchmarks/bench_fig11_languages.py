@@ -1,0 +1,17 @@
+"""Figure 11 — programming-language popularity vs the IEEE Spectrum ranks."""
+
+from conftest import emit
+
+from repro.analysis.languages import language_ranking
+from repro.analysis.report import render_language_ranking
+
+
+def test_fig11(benchmark, ctx, artifact_dir):
+    ranking = benchmark.pedantic(language_ranking, args=(ctx,), rounds=2, iterations=1)
+    # paper headline: C/C++/Python on top; Fortran far above its IEEE rank
+    assert "C" in ranking.order[:4]
+    fortran = ranking.rank_of("Fortran")
+    assert fortran is not None and fortran < ranking.ieee_rank_of("Fortran")
+    prolog = ranking.rank_of("Prolog")
+    assert prolog is not None and prolog < ranking.ieee_rank_of("Prolog")
+    emit(artifact_dir, "fig11_languages", render_language_ranking(ranking))

@@ -1,0 +1,15 @@
+"""Figure 12 — per-domain programming-language breakdown."""
+
+from conftest import emit
+
+from repro.analysis.languages import languages_by_domain
+from repro.analysis.report import render_domain_languages
+
+
+def test_fig12(benchmark, ctx, artifact_dir):
+    langs = benchmark.pedantic(languages_by_domain, args=(ctx,), rounds=2, iterations=1)
+    # Table 1 language pairs survive end-to-end for the signature domains
+    assert set(langs.top("mat", 3)) & {"Fortran", "Prolog"}
+    assert "C" in langs.top("csc", 3) or "Python" in langs.top("csc", 3)
+    assert len(langs.shares) >= 30
+    emit(artifact_dir, "fig12_lang_domain", render_domain_languages(langs))

@@ -1,0 +1,17 @@
+"""Figure 13 — weekly access-pattern breakdown
+(new / deleted / readonly / updated / untouched)."""
+
+from conftest import emit
+
+from repro.analysis.access import access_patterns
+from repro.analysis.report import render_access
+
+
+def test_fig13(benchmark, ctx, artifact_dir):
+    result = benchmark.pedantic(access_patterns, args=(ctx,), rounds=1, iterations=1)
+    f = result.mean_fractions()
+    # paper: untouched dominates (~76%); all five bands present
+    assert f["untouched"] > 0.5
+    assert all(f[k] > 0 for k in ("new", "deleted", "readonly", "updated"))
+    assert len(result.weeks) == len(ctx.collection) - 1
+    emit(artifact_dir, "fig13_access", render_access(result))

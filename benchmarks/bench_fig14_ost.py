@@ -1,0 +1,15 @@
+"""Figure 14 — OST stripe-count min/avg/max per domain (Observation 6)."""
+
+from conftest import emit
+
+from repro.analysis.ost import stripe_stats
+from repro.analysis.report import render_stripes
+
+
+def test_fig14(benchmark, ctx, artifact_dir):
+    stats = benchmark.pedantic(stripe_stats, args=(ctx,), rounds=1, iterations=1)
+    # Table 1 maxima: ast 122, tur 44, csc 33; many domains never tune
+    assert stats.by_domain["ast"][2] == 122
+    assert stats.by_domain["tur"][2] == 44
+    assert 8 <= len(stats.untouched_domains()) <= 22
+    emit(artifact_dir, "fig14_ost", render_stripes(stats))

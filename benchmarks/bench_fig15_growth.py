@@ -1,0 +1,20 @@
+"""Figure 15 — file/directory growth over the window (Observation 7),
+plus the snapshot-size trend the paper remarks on (50 GB → 240 GB)."""
+
+from conftest import emit
+
+from repro.analysis.growth import growth_series
+from repro.analysis.report import render_growth
+
+
+def test_fig15(benchmark, ctx, sim_result, artifact_dir):
+    series = benchmark.pedantic(
+        growth_series, args=(ctx, sim_result.scanner.history), rounds=2, iterations=1
+    )
+    # paper: files grow ~5x; directories stay comparatively flat
+    assert series.file_growth_factor > 2.0
+    assert series.dir_growth_factor < series.file_growth_factor
+    # snapshot text grows with the namespace (at reduced scale the fixed
+    # stress-chain paths blunt the ratio; the paper saw 50 GB → 240 GB)
+    assert series.snapshot_bytes[-1] > series.snapshot_bytes[0]
+    emit(artifact_dir, "fig15_growth", render_growth(series))

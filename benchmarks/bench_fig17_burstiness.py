@@ -1,0 +1,22 @@
+"""Figure 17 — write/read burstiness (c_v) distributions per domain."""
+
+from conftest import BURSTINESS_MIN_FILES, emit
+
+from repro.analysis.burstiness import burstiness
+from repro.analysis.report import render_burstiness
+
+
+def test_fig17(benchmark, ctx, artifact_dir):
+    result = benchmark.pedantic(
+        burstiness,
+        args=(ctx,),
+        kwargs={"min_files": BURSTINESS_MIN_FILES},
+        rounds=1,
+        iterations=1,
+    )
+    # paper: reads are far burstier than writes (~100x lower c_v)
+    assert result.read_write_gap() > 5
+    # write c_v medians live in the paper's 0.05–0.58 band
+    meds = [s["median"] for s in result.write_by_domain.values()]
+    assert meds and all(0.0 < m < 1.0 for m in meds)
+    emit(artifact_dir, "fig17_burstiness", render_burstiness(result))

@@ -1,0 +1,27 @@
+"""Figure 18 — the file generation network's degree distribution."""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.network import build_network, degree_distribution
+from repro.analysis.report import render_degree
+from repro.stats.histogram import log_binned_histogram
+
+
+def test_fig18(benchmark, ctx, artifact_dir):
+    network = build_network(ctx)
+    result = benchmark.pedantic(
+        degree_distribution, args=(network,), rounds=2, iterations=1
+    )
+    # paper: descending log-log slope, i.e. a power law
+    assert result.fit.loglog_slope < -1.0
+    assert result.follows_power_law
+    centers, dens = log_binned_histogram(
+        result.degrees[result.degrees > 0].astype(float)
+    )
+    series = "\n".join(f"{c:10.2f} {d:12.6f}" for c, d in zip(centers, dens))
+    emit(
+        artifact_dir,
+        "fig18_degree",
+        render_degree(result) + "\nlog-binned degree density:\n" + series,
+    )

@@ -1,0 +1,24 @@
+"""Figure 19 — domain composition of the largest connected component and
+per-domain inclusion probabilities."""
+
+from conftest import emit
+
+from repro.analysis.network import build_network, component_analysis
+
+
+def test_fig19(benchmark, ctx, artifact_dir):
+    network = build_network(ctx)
+    comp = benchmark.pedantic(
+        component_analysis, args=(ctx, network), rounds=1, iterations=1
+    )
+    share = comp.domain_share_of_largest
+    inc = comp.domain_inclusion_prob
+    # paper: csc contributes the most projects; chp/env/cli mostly included
+    assert max(share, key=share.get) == "csc"
+    assert inc["chp"] > 0.7 and inc["env"] > 0.7 and inc["cli"] > 0.5
+    lines = ["domain | share of largest CC | P(in largest CC)"]
+    for code in sorted(share):
+        lines.append(
+            f"{code:<6} | {share[code]:>18.1%} | {inc.get(code, 0.0):>15.1%}"
+        )
+    emit(artifact_dir, "fig19_component", "\n".join(lines))

@@ -1,0 +1,17 @@
+"""Figure 20 — percentage of project-sharing user pairs per domain."""
+
+from conftest import emit
+
+from repro.analysis.collaboration import collaboration
+from repro.analysis.report import render_collaboration
+
+
+def test_fig20(benchmark, ctx, artifact_dir):
+    result = benchmark.pedantic(collaboration, args=(ctx,), rounds=1, iterations=1)
+    # paper: only ~1% of ~0.93M pairs share a project; cli leads the ranking;
+    # one extreme pair shares six projects (5 cli + 1 csc)
+    assert result.n_possible_pairs > 900_000
+    assert result.sharing_fraction < 0.06
+    assert "cli" in result.top_domains(3)
+    assert result.extreme_pair is not None and result.extreme_pair[2] >= 6
+    emit(artifact_dir, "fig20_collab", render_collaboration(result))

@@ -1,0 +1,39 @@
+"""Extension experiment — the §7 future work: combining job logs with the
+file-metadata analysis (job/file correlation, workflow chains, compute-vs-
+storage footprints)."""
+
+from conftest import emit
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.joblog import (
+    compute_storage_footprint,
+    job_file_correlation,
+    render_joblog,
+    workflow_chains,
+)
+from repro.synth.driver import SimulationConfig, run_simulation
+
+JOB_CONFIG = SimulationConfig(
+    seed=2015, scale=4e-6, weeks=24, min_project_files=6,
+    stress_depths=False, collect_job_log=True,
+)
+
+
+def test_joblog_insights(benchmark, artifact_dir):
+    result = run_simulation(JOB_CONFIG)
+    ctx = AnalysisContext(result.collection, result.population)
+
+    def analyze():
+        return (
+            job_file_correlation(ctx, result.job_log),
+            workflow_chains(result.job_log),
+            compute_storage_footprint(ctx, result.job_log),
+        )
+
+    corr, chains, footprint = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    # write sessions emit both jobs and files: correlation must be positive
+    assert corr.pearson_r > 0.2
+    # the §3 workflow motif: analyses chained onto simulations
+    assert chains.chain_fraction > 0.3
+    assert footprint.by_domain
+    emit(artifact_dir, "extension_joblog", render_joblog(corr, chains, footprint))

@@ -1,0 +1,25 @@
+"""The reproduction scorecard: all twelve §4 Observations checked live."""
+
+from conftest import BURSTINESS_MIN_FILES, emit
+
+from repro.analysis.observations import check_observations, render_observations
+from repro.core.pipeline import ReproPipeline
+from repro.query.parallel import SnapshotExecutor
+
+
+def test_observations_scorecard(benchmark, sim_result, ctx, artifact_dir):
+    pipeline = ReproPipeline(
+        config=sim_result.config,
+        executor=SnapshotExecutor(1),
+        burstiness_min_files=BURSTINESS_MIN_FILES,
+    )
+    pipeline.simulation = sim_result
+    pipeline.context = ctx
+    report = pipeline.analyze()
+
+    checks = benchmark.pedantic(
+        check_observations, args=(report,), rounds=1, iterations=1
+    )
+    passed = sum(1 for c in checks if c.passed)
+    assert passed >= 10, render_observations(checks)
+    emit(artifact_dir, "observations_scorecard", render_observations(checks))

@@ -1,0 +1,18 @@
+"""Table 1 — the per-domain summary (regenerates every column)."""
+
+from conftest import BURSTINESS_MIN_FILES, emit
+
+from repro.analysis.report import render_table1
+from repro.analysis.table1 import build_table1
+
+
+def test_table1(benchmark, ctx, artifact_dir):
+    rows = benchmark.pedantic(
+        build_table1,
+        args=(ctx,),
+        kwargs={"burstiness_min_files": BURSTINESS_MIN_FILES},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 35
+    emit(artifact_dir, "table1", render_table1(rows))

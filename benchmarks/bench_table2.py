@@ -1,0 +1,16 @@
+"""Table 2 — top-3 file extensions per science domain."""
+
+from conftest import emit
+
+from repro.analysis.extensions import extensions_by_domain
+from repro.analysis.report import render_table2
+
+
+def test_table2(benchmark, ctx, artifact_dir):
+    exts = benchmark.pedantic(
+        extensions_by_domain, args=(ctx,), rounds=2, iterations=1
+    )
+    # the heavily-biased domains keep their signature formats
+    assert exts["bio"].top[0][0] == "pdbqt"
+    assert exts["nph"].top[0][0] == "bb"
+    emit(artifact_dir, "table2", render_table2(exts))

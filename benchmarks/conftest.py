@@ -1,0 +1,54 @@
+"""Shared simulation for the per-table/per-figure benchmarks.
+
+One seeded 72-week run (the paper's full window) at a reduced scale is
+simulated once per session; every bench then times the analysis that
+regenerates its table/figure and writes the rendered artifact to
+``benchmarks/output/``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.context import AnalysisContext
+from repro.query.parallel import SnapshotExecutor
+from repro.synth.driver import SimulationConfig, run_simulation
+
+#: The full 72-snapshot window so time-series artifacts (Figures 10/15/16)
+#: cover the paper's whole observation period, at ~1/100,000 of OLCF's
+#: file volume.  The population itself is full-scale (1,362 users / 380
+#: projects), so the §4.3 network artifacts reproduce 1:1.
+BENCH_CONFIG = SimulationConfig(seed=2015, scale=1e-5, weeks=72)
+
+#: Burstiness qualification threshold, scaled down with the file counts
+#: (paper used 100 files/week at full scale).
+BURSTINESS_MIN_FILES = 8
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def sim_result():
+    return run_simulation(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def ctx(sim_result):
+    return AnalysisContext(
+        collection=sim_result.collection,
+        population=sim_result.population,
+        executor=SnapshotExecutor(processes=1),
+    )
+
+
+@pytest.fixture(scope="session")
+def artifact_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def emit(artifact_dir: Path, name: str, text: str) -> None:
+    """Persist a regenerated artifact and echo it to the bench log."""
+    (artifact_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n--- {name} ---")
+    print(text)

@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Paper-vs-measured comparison — the EXPERIMENTS.md generator.
+
+Runs the default-scale reproduction and prints, for every table and figure
+in the paper's evaluation, the published value next to the measured one.
+Absolute entry counts are scaled (our substrate is a simulator at
+``scale`` of OLCF's volume); distributional and network quantities are
+directly comparable.
+
+Usage::
+
+    python examples/paper_comparison.py > comparison.txt
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core.pipeline import run_paper_report
+from repro.synth.driver import SimulationConfig
+
+
+def main() -> None:
+    config = SimulationConfig()  # the default bench configuration
+    print(f"# configuration: scale={config.scale}, weeks={config.weeks}, "
+          f"seed={config.seed}", file=sys.stderr)
+    pipeline, report = run_paper_report(config, burstiness_min_files=10)
+    sim = pipeline.simulation
+
+    def row(artifact, metric, paper, measured):
+        print(f"{artifact:<10} | {metric:<52} | {paper:>18} | {measured}")
+
+    print(f"{'artifact':<10} | {'metric':<52} | {'paper':>18} | measured")
+    print("-" * 110)
+
+    # population & headline
+    row("§4.1.1", "active users", "1,362", f"{report.fig5.n_active:,}")
+    row("§4.1.1", "projects", "380", f"{sim.population.n_projects}")
+    row("§4.1.1", "science domains", "35", f"{len(report.table1)}")
+    org = report.fig5.org_fractions
+    row("Fig 5a", "national-lab user share", "~52%", f"{org.get('national_lab', 0):.0%}")
+    row("Fig 5a", "academia+industry share", "~42%",
+        f"{org.get('academia', 0) + org.get('industry', 0):.0%}")
+    row("Fig 5b", "domain scientists (non-csc)", ">70%",
+        f"{report.fig5.domain_scientist_fraction:.0%}")
+
+    # participation
+    fig6 = report.fig6
+    row("Fig 6a", "users in >1 project", ">60%", f"{fig6.multi_project_fraction:.0%}")
+    row("Fig 6a", "users in >2 projects", "~20%",
+        f"{fig6.projects_per_user.tail_fraction(2):.0%}")
+    row("Fig 6a", "users in >=8 projects", "~2%", f"{fig6.heavy_user_fraction:.1%}")
+    row("Fig 6b", "projects with <3 users", "~40%",
+        f"{fig6.users_per_project.at(2.0):.0%}")
+    row("Fig 6b", "projects with >10 users", "~20%",
+        f"{fig6.users_per_project.tail_fraction(10):.0%}")
+    heavy = [c for c, m in fig6.median_users_by_domain.items() if m > 10]
+    row("Fig 6c", "domains with median >10 users/project",
+        "env,nfi,chp,cli,stf", ",".join(sorted(heavy)))
+
+    # files & dirs
+    fig7 = report.fig7
+    total = fig7.grand_total_files + fig7.grand_total_directories
+    row("Fig 7", "cumulative unique entries (scaled)",
+        f"{4_344_021_347 * config.scale:,.0f}", f"{total:,}")
+    row("Fig 7", "file share of entries", "93.7%",
+        f"{fig7.grand_total_files / total:.1%}")
+    row("Fig 7b", "mean per-domain dir share", "~15%", f"{fig7.mean_dir_ratio:.0%}")
+    row("Fig 7b", "atm dir share", "90%", f"{fig7.dir_ratio('atm'):.0%}")
+    row("Fig 7b", "hep dir share", "67%", f"{fig7.dir_ratio('hep'):.0%}")
+    over = fig7.domains_over(100_000_000 * config.scale)
+    row("Obs 2", "domains over (scaled) 100M entries", "11", f"{len(over)}")
+
+    fig8 = report.fig8
+    row("Fig 8b", "median project/user file ratio", "~10x",
+        f"{fig8.project_to_user_ratio:.1f}x")
+    top5 = [c for c, _ in fig8.top_domains_by_project_mean]
+    row("§4.1.2", "top-5 domains by files/project (ex stf)",
+        "chp,bif,tur,env,bio", ",".join(top5))
+
+    depth = report.fig8_depth
+    row("Fig 8a", "projects deeper than 10", ">30%",
+        f"{depth.fraction_deeper_than(10):.0%}")
+    row("§4.1.2", "max depth (stf stress)", "2,030", f"{depth.max_depth:,}")
+    row("§4.1.2", "gen stress depth", "432", f"{depth.by_domain['gen']['max']:.0f}")
+
+    # extensions & languages
+    t2 = report.table2
+    row("Tab 2", "bio top ext", "pdbqt (97.6%)",
+        f"{t2['bio'].top[0][0]} ({t2['bio'].top[0][1]:.1f}%)")
+    row("Tab 2", "cli top ext", "nc (40.3%)",
+        f"{t2['cli'].top[0][0]} ({t2['cli'].top[0][1]:.1f}%)")
+    row("Tab 2", "nph top ext", "bb (79.1%)",
+        f"{t2['nph'].top[0][0]} ({t2['nph'].top[0][1]:.1f}%)")
+    fig10 = report.fig10
+    row("Fig 10", "mean 'other' share", "~35%", f"{fig10.mean_other:.0%}")
+    row("Fig 10", "mean 'no extension' share", "~16%",
+        f"{fig10.mean_no_extension:.0%}")
+    if "bb" in fig10.extensions:
+        row("Fig 10", ".bb spike week", "~2015-07", fig10.spike_week("bb"))
+    if "xyz" in fig10.extensions:
+        row("Fig 10", ".xyz spike week", "~2016-02", fig10.spike_week("xyz"))
+
+    fig11 = report.fig11
+    row("Fig 11", "top language", "C", fig11.order[0])
+    row("Fig 11", "Fortran rank (IEEE 28)", "6",
+        str(fig11.rank_of("Fortran")))
+    row("Fig 11", "Prolog rank (IEEE 37)", "8", str(fig11.rank_of("Prolog")))
+    row("Fig 11", "Shell rank", "5", str(fig11.rank_of("Shell")))
+    fig12 = report.fig12
+    row("Fig 12", "mat dominant languages", "Fortran,Prolog",
+        ",".join(fig12.top("mat", 2)))
+
+    # stripes
+    fig14 = report.fig14
+    row("Fig 14", "ast max OST", "122", str(fig14.by_domain["ast"][2]))
+    row("Fig 14", "tur max OST", "44", str(fig14.by_domain["tur"][2]))
+    row("Fig 14", "default-only domains", "11",
+        str(len(fig14.untouched_domains())))
+    row("Obs 6", "domains tuning stripes", "20",
+        str(len(fig14.tuned_domains())))
+
+    # growth & access
+    fig15 = report.fig15
+    row("Fig 15", "file growth over window", "~5x",
+        f"{fig15.file_growth_factor:.1f}x")
+    row("Fig 15", "final dir share of namespace", "<10%",
+        f"{fig15.final_dir_share:.0%}")
+    fig13 = report.fig13.mean_fractions()
+    row("Fig 13", "untouched share", "76%", f"{fig13['untouched']:.0%}")
+    row("Fig 13", "readonly share", "3%", f"{fig13['readonly']:.0%}")
+    row("Fig 13", "updated share", "10%", f"{fig13['updated']:.0%}")
+    row("Fig 13", "new share", "22%", f"{fig13['new']:.0%}")
+    row("Fig 13", "deleted share", "13%", f"{fig13['deleted']:.0%}")
+
+    fig16 = report.fig16
+    row("Fig 16", "snapshots with mean age > 90d", "86%",
+        f"{fig16.fraction_over_window:.0%}")
+    row("Fig 16", "median of mean ages", "138d", f"{fig16.median_of_means:.0f}d")
+    row("Fig 16", "max of mean ages", "214d", f"{fig16.max_of_means:.0f}d")
+
+    # burstiness
+    fig17 = report.fig17
+    writes = np.concatenate(list(fig17.write_samples.values()))
+    reads = np.concatenate(list(fig17.read_samples.values()))
+    row("Fig 17", "write c_v interquartile band", "0.1-1.0",
+        f"{np.percentile(writes, 25):.2f}-{np.percentile(writes, 75):.2f}")
+    row("Fig 17", "read c_v interquartile band", "0.001-0.01",
+        f"{np.percentile(reads, 25):.4f}-{np.percentile(reads, 75):.4f}")
+    row("Fig 17", "write/read c_v gap", "~100x", f"{fig17.read_write_gap():.0f}x")
+    bio_cv = fig17.write_median("bio")
+    env_cv = fig17.write_median("env")
+    if bio_cv is not None and env_cv is not None:
+        row("Tab 1", "bio write c_v < env write c_v", "0.104 < 0.511",
+            f"{bio_cv:.3f} < {env_cv:.3f}")
+
+    # network
+    fig18 = report.fig18
+    row("Fig 18b", "degree distribution", "power law",
+        f"alpha={fig18.fit.alpha:.2f}, KS={fig18.fit.ks_distance:.3f}")
+    t3 = report.table3
+    row("Tab 3", "connected components", "160", str(t3.components.count))
+    row("Tab 3", "largest component size", "1,259 (72%)",
+        f"{t3.components.largest_size:,} ({t3.coverage:.0%})")
+    row("Tab 3", "largest: users/projects", "1,051 / 208",
+        f"{t3.largest_users:,} / {t3.largest_projects}")
+    row("Tab 3", "size-2 components", "94",
+        str(t3.size_distribution.get(2, 0)))
+    row("§4.3.2", "diameter of largest component", "18", str(t3.diameter))
+    row("§4.3.2", "central radius vs diameter", "10 vs 18",
+        f"{t3.central_radius} vs {t3.diameter}")
+    inc = t3.domain_inclusion_prob
+    row("Fig 19b", "chp/env inclusion", "100%/100%",
+        f"{inc['chp']:.0%}/{inc['env']:.0%}")
+    row("Fig 19b", "cli inclusion", "76%", f"{inc['cli']:.0%}")
+    row("Fig 19a", "largest contributor domain", "csc",
+        max(t3.domain_share_of_largest, key=t3.domain_share_of_largest.get))
+
+    # collaboration
+    fig20 = report.fig20
+    row("Fig 20", "user pairs sharing a project", "~1%",
+        f"{fig20.sharing_fraction:.1%}")
+    row("Fig 20", "top collaborating domain", "cli", fig20.top_domains(1)[0])
+    if fig20.extreme_pair:
+        doms = fig20.extreme_pair_domains
+        row("§4.3.3", "extreme pair shared projects", "6 (5 cli + 1 csc)",
+            f"{fig20.extreme_pair[2]} ({doms.get('cli', 0)} cli + "
+            f"{doms.get('csc', 0)} csc)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Trace capture & replay — decoupling workloads from analysis.
+
+Captures a synthetic workload as a portable JSON-Lines trace, replays it
+onto a fresh file system, and verifies the two namespaces are identical.
+The same trace format is the adoption path for *real* data: translate a
+Lustre changelog or Robinhood dump into these events and the entire
+snapshot + analysis pipeline runs on production activity instead of the
+synthetic models.
+
+Usage::
+
+    python examples/trace_replay.py [--weeks 6] [--out trace.jsonl]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.fs.clock import SimClock
+from repro.fs.filesystem import FileSystem
+from repro.fs.purge import PurgePolicy
+from repro.scan.lustredu import LustreDuScanner
+from repro.scan.snapshot import SnapshotCollection
+from repro.synth.behavior import build_behaviors
+from repro.synth.population import generate_population
+from repro.synth.trace import TraceRecorder, load_trace, replay_trace
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--weeks", type=int, default=6)
+    parser.add_argument("--scale", type=float, default=1.5e-6)
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--out", default="/tmp/repro_trace.jsonl")
+    args = parser.parse_args()
+
+    # -- capture ------------------------------------------------------------
+    print(f"running + recording a {args.weeks}-week workload ...")
+    population = generate_population(seed=args.seed)
+    fs = FileSystem(clock=SimClock(), ost_count=2016, max_stripe=1008)
+    recorder = TraceRecorder(fs)
+    rng = np.random.default_rng(args.seed)
+    behaviors = build_behaviors(
+        population, n_weeks=args.weeks, scale=args.scale, rng=rng,
+        min_project_files=5, stress_depths=False,
+    )
+    for b in behaviors:
+        b.setup(fs)
+    purge = PurgePolicy(window_days=90)
+    scanner = LustreDuScanner()
+    collection = SnapshotCollection(scanner.paths)
+    for week in range(args.weeks):
+        for b in behaviors:
+            b.step_week(fs, week, fs.clock.now)
+        fs.clock.advance_days(7)
+        collection.append(scanner.scan(fs))
+        purge.sweep(fs)
+        for b in behaviors:
+            b.reconcile(fs)
+
+    n = recorder.save(args.out)
+    print(f"captured {n:,} events → {args.out} "
+          f"(namespace: {fs.entry_count:,} live entries)")
+
+    # -- replay -------------------------------------------------------------
+    print("replaying onto a fresh file system ...")
+    events = load_trace(args.out)
+    replayed = FileSystem(clock=SimClock(), ost_count=2016, max_stripe=1008)
+    applied = replay_trace(events, replayed)
+    print(f"applied {applied:,} events")
+
+    # -- verify -------------------------------------------------------------
+    def view(f):
+        snap = LustreDuScanner().scan(f, label="check")
+        return sorted(
+            zip(snap.path_strings(), snap.uid.tolist(), snap.mtime.tolist(),
+                snap.atime.tolist(), snap.stripe_count.tolist())
+        )
+
+    original, restored = view(fs), view(replayed)
+    assert original == restored, "replay diverged from the original!"
+    print(f"verified: {len(original):,} entries identical "
+          "(paths, owners, timestamps, stripe layouts)")
+    print("\nany center can drive this pipeline with real activity data by "
+          "translating it into this trace format.")
+
+
+if __name__ == "__main__":
+    main()

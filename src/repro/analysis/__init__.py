@@ -1,0 +1,28 @@
+"""The paper's analysis suite: one module per evaluation artifact.
+
+Every module consumes an :class:`~repro.analysis.context.AnalysisContext`
+(snapshot collection + population + executor) and returns plain result
+dataclasses; :mod:`repro.analysis.report` renders them as the paper's
+tables/series.
+
+Module → paper artifact map:
+
+================  ====================================================
+``users``         Figure 5 (user classification), Figure 6 (participation)
+``files``         Figure 7 (entries per domain), Figure 8(b) (count CDFs)
+``depth``         Figure 8(a), Figure 9 (directory depth)
+``extensions``    Table 2, Figure 10 (extension popularity & trend)
+``languages``     Figures 11 and 12 (programming languages)
+``ost``           Figure 14, Observation 6 (stripe tuning)
+``growth``        Figure 15, Observation 7 (namespace growth)
+``access``        Figure 13 (weekly access patterns), Figure 16 (file age)
+``burstiness``    Figure 17, Table 1's c_v columns (§4.2.4)
+``network``       Figure 18, Table 3, Figure 19, §4.3.2 centrality
+``collaboration`` Figure 20, Table 1's Collab. column (§4.3.3)
+``table1``        Table 1 (the per-domain summary assembling all above)
+================  ====================================================
+"""
+
+from repro.analysis.context import AnalysisContext
+
+__all__ = ["AnalysisContext"]

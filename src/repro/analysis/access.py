@@ -1,0 +1,156 @@
+"""Weekly access patterns and file age (Figures 13 and 16, §4.2.3).
+
+The paper's classification, applied to each adjacent snapshot pair over the
+*regular files* present in both:
+
+* **untouched** — all three timestamps identical;
+* **readonly**  — only atime changed;
+* **updated**   — mtime and/or ctime changed;
+* **new** / **deleted** — set differences of the two snapshots' path sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext
+from repro.fs.clock import SECONDS_PER_DAY
+from repro.scan.snapshot import Snapshot
+
+
+@dataclass
+class WeeklyAccess:
+    """One bar of Figure 13."""
+
+    label: str
+    new: int
+    deleted: int
+    readonly: int
+    updated: int
+    untouched: int
+
+    @property
+    def intersection(self) -> int:
+        return self.readonly + self.updated + self.untouched
+
+    def fractions(self) -> dict[str, float]:
+        """Shares over the union of both weeks' files, like the paper's bars."""
+        total = self.intersection + self.new + self.deleted
+        if total == 0:
+            return {k: 0.0 for k in ("new", "deleted", "readonly", "updated", "untouched")}
+        return {
+            "new": self.new / total,
+            "deleted": self.deleted / total,
+            "readonly": self.readonly / total,
+            "updated": self.updated / total,
+            "untouched": self.untouched / total,
+        }
+
+
+def _classify_pair(prev: Snapshot, cur: Snapshot) -> WeeklyAccess:
+    prev_files = prev.select(prev.is_file)
+    cur_files = cur.select(cur.is_file)
+    both = prev_files.intersect_ids(cur_files)
+    new = int(cur_files.only_ids(prev_files).size)
+    deleted = int(prev_files.only_ids(cur_files).size)
+    if both.size:
+        pr = prev_files.rows_for(both)
+        cr = cur_files.rows_for(both)
+        atime_changed = prev_files.atime[pr] != cur_files.atime[cr]
+        write_changed = (prev_files.mtime[pr] != cur_files.mtime[cr]) | (
+            prev_files.ctime[pr] != cur_files.ctime[cr]
+        )
+        readonly = int((atime_changed & ~write_changed).sum())
+        updated = int(write_changed.sum())
+        untouched = int((~atime_changed & ~write_changed).sum())
+    else:
+        readonly = updated = untouched = 0
+    return WeeklyAccess(
+        label=cur.label,
+        new=new,
+        deleted=deleted,
+        readonly=readonly,
+        updated=updated,
+        untouched=untouched,
+    )
+
+
+@dataclass
+class AccessPatternResult:
+    """Figure 13: the full weekly series plus window averages."""
+
+    weeks: list[WeeklyAccess]
+
+    def mean_fractions(self) -> dict[str, float]:
+        keys = ("new", "deleted", "readonly", "updated", "untouched")
+        if not self.weeks:
+            return {k: 0.0 for k in keys}
+        acc = {k: 0.0 for k in keys}
+        for week in self.weeks:
+            f = week.fractions()
+            for k in keys:
+                acc[k] += f[k]
+        return {k: v / len(self.weeks) for k, v in acc.items()}
+
+    def new_to_readonly_ratio(self) -> float:
+        """Paper: new files ≈4× the readonly files on most snapshots."""
+        new = sum(w.new for w in self.weeks)
+        readonly = sum(w.readonly for w in self.weeks)
+        return new / readonly if readonly else float("inf")
+
+
+def access_patterns(ctx: AnalysisContext) -> AccessPatternResult:
+    """Figure 13 over every adjacent snapshot pair."""
+    results = ctx.executor.map_pairs(ctx.collection, _classify_pair)
+    return AccessPatternResult(weeks=results)
+
+
+@dataclass
+class FileAgeResult:
+    """Figure 16: per-snapshot average file age (atime − mtime, clamped ≥0)."""
+
+    labels: list[str]
+    mean_age_days: np.ndarray
+    median_age_days: np.ndarray
+    purge_window_days: int = 90
+
+    @property
+    def fraction_over_window(self) -> float:
+        """Share of snapshots whose average age exceeds the purge window
+        (paper: 86%)."""
+        if self.mean_age_days.size == 0:
+            return 0.0
+        return float((self.mean_age_days > self.purge_window_days).mean())
+
+    @property
+    def median_of_means(self) -> float:
+        """Paper: 138 days."""
+        return float(np.median(self.mean_age_days)) if self.mean_age_days.size else 0.0
+
+    @property
+    def max_of_means(self) -> float:
+        """Paper: 214 days."""
+        return float(self.mean_age_days.max()) if self.mean_age_days.size else 0.0
+
+
+def _age_of(snapshot: Snapshot) -> tuple[str, float, float]:
+    mask = snapshot.is_file
+    ages = np.maximum(
+        snapshot.atime[mask] - snapshot.mtime[mask], 0
+    ) / SECONDS_PER_DAY
+    if ages.size == 0:
+        return snapshot.label, 0.0, 0.0
+    return snapshot.label, float(ages.mean()), float(np.median(ages))
+
+
+def file_ages(ctx: AnalysisContext, purge_window_days: int = 90) -> FileAgeResult:
+    """Figure 16: the file-age series."""
+    rows = ctx.executor.map(ctx.collection, _age_of)
+    return FileAgeResult(
+        labels=[r[0] for r in rows],
+        mean_age_days=np.array([r[1] for r in rows]),
+        median_age_days=np.array([r[2] for r in rows]),
+        purge_window_days=purge_window_days,
+    )

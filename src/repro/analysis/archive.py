@@ -1,0 +1,88 @@
+"""Archive-tier analysis: ingest requirements and recall traffic (§1/§2.1).
+
+The paper motivates its file-age study with operational questions about the
+scratch↔archive boundary: "alleviate unnecessary data movement between the
+scratch PFS and the archive ... or even drive archival storage ingest
+requirements".  With the HPSS model enabled
+(``SimulationConfig(enable_hpss=True)``) those quantities are measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext
+from repro.fs.clock import SECONDS_PER_DAY
+from repro.fs.hpss import HpssArchive
+
+
+@dataclass
+class ArchiveTrafficResult:
+    """Ingest/recall accounting for capacity planning."""
+
+    weekly_ingest: np.ndarray
+    total_ingested: int
+    total_recalled: int
+    final_holdings: int
+    #: domain → recalled files (data wanted back after leaving scratch)
+    recalls_by_domain: dict[str, int]
+
+    @property
+    def peak_weekly_ingest(self) -> int:
+        return int(self.weekly_ingest.max()) if self.weekly_ingest.size else 0
+
+    @property
+    def mean_weekly_ingest(self) -> float:
+        return float(self.weekly_ingest.mean()) if self.weekly_ingest.size else 0.0
+
+    @property
+    def recall_rate(self) -> float:
+        """Share of archived files later recalled — the §1 'unnecessary
+        data movement' when high, sensible insurance when low."""
+        if self.total_ingested == 0:
+            return 0.0
+        return self.total_recalled / self.total_ingested
+
+
+def archive_traffic(ctx: AnalysisContext, hpss: HpssArchive) -> ArchiveTrafficResult:
+    """Aggregate the archive tier's transfer log per week and per domain."""
+    if len(ctx.collection):
+        origin = ctx.collection[0].timestamp - 7 * SECONDS_PER_DAY
+        n_weeks = len(ctx.collection)
+    else:
+        origin, n_weeks = 0, 0
+    weekly = hpss.weekly_ingest_series(origin, n_weeks)
+
+    code_of = {i: c for c, i in ctx.domain_index.items()}
+    recalls: dict[str, int] = {}
+    for gid, count in hpss.recall_by_project().items():
+        dom = ctx.gid_to_domain_id.get(gid)
+        if dom is not None:
+            code = code_of[dom]
+            recalls[code] = recalls.get(code, 0) + count
+    return ArchiveTrafficResult(
+        weekly_ingest=weekly,
+        total_ingested=hpss.traffic("ingest"),
+        total_recalled=hpss.traffic("recall"),
+        final_holdings=hpss.total_archived,
+        recalls_by_domain=dict(sorted(recalls.items())),
+    )
+
+
+def render_archive_traffic(result: ArchiveTrafficResult) -> str:
+    top_recalls = sorted(
+        result.recalls_by_domain.items(), key=lambda kv: kv[1], reverse=True
+    )[:6]
+    lines = [
+        f"ingest: {result.total_ingested:,} files total "
+        f"(peak {result.peak_weekly_ingest:,}/week, "
+        f"mean {result.mean_weekly_ingest:,.0f}/week)",
+        f"holdings at end of window: {result.final_holdings:,} files",
+        f"recalls: {result.total_recalled:,} files "
+        f"({result.recall_rate:.0%} of ingested data wanted back on scratch)",
+        "top recalling domains: "
+        + (", ".join(f"{c} ({n:,})" for c, n in top_recalls) or "(none)"),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Burstiness of file operations (Figure 17, Table 1's c_v columns, §4.2.4).
+
+Metric definition (the paper leaves the time base ambiguous; ours is fixed
+and documented): for each (project, week) pair,
+
+* **write c_v** — coefficient of variation of the *within-week offsets* of
+  the mtimes of that week's new files;
+* **read c_v** — the same over the atimes of that week's readonly files.
+
+Pairs with fewer than ``min_files`` events are excluded, mirroring the
+paper's exclusion of projects accessing fewer than 100 files in a week.
+Per-domain distributions over the qualifying (project, week) samples give
+Figure 17's box statistics; the per-domain median is Table 1's value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext
+from repro.scan.snapshot import Snapshot
+from repro.stats.dispersion import coefficient_of_variation, five_number_summary
+
+
+@dataclass
+class BurstinessResult:
+    """Figure 17: per-domain c_v distributions."""
+
+    write_by_domain: dict[str, dict[str, float]]  # five-number summaries
+    read_by_domain: dict[str, dict[str, float]]
+    write_samples: dict[str, np.ndarray]
+    read_samples: dict[str, np.ndarray]
+
+    def write_median(self, code: str) -> float | None:
+        s = self.write_by_domain.get(code)
+        return s["median"] if s else None
+
+    def read_median(self, code: str) -> float | None:
+        s = self.read_by_domain.get(code)
+        return s["median"] if s else None
+
+    def read_write_gap(self) -> float:
+        """Overall median write c_v / median read c_v (paper: ≈100×)."""
+        writes = np.concatenate(
+            [v for v in self.write_samples.values()]
+        ) if self.write_samples else np.empty(0)
+        reads = np.concatenate(
+            [v for v in self.read_samples.values()]
+        ) if self.read_samples else np.empty(0)
+        if writes.size == 0 or reads.size == 0:
+            return float("nan")
+        read_med = float(np.median(reads))
+        if read_med == 0.0:
+            return float("inf")
+        return float(np.median(writes)) / read_med
+
+
+def _pair_events(
+    prev: Snapshot, cur: Snapshot
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(gid, mtime-offset) of new files and (gid, atime-offset) of readonly
+    files for one week, offsets relative to the previous snapshot time."""
+    prev_files = prev.select(prev.is_file)
+    cur_files = cur.select(cur.is_file)
+    week_start = prev.timestamp
+
+    new_ids = cur_files.only_ids(prev_files)
+    rows = cur_files.rows_for(new_ids)
+    new_gid = cur_files.gid[rows].astype(np.int64)
+    new_off = (cur_files.mtime[rows] - week_start).astype(np.float64)
+
+    both = prev_files.intersect_ids(cur_files)
+    if both.size:
+        pr = prev_files.rows_for(both)
+        cr = cur_files.rows_for(both)
+        atime_changed = prev_files.atime[pr] != cur_files.atime[cr]
+        write_changed = (prev_files.mtime[pr] != cur_files.mtime[cr]) | (
+            prev_files.ctime[pr] != cur_files.ctime[cr]
+        )
+        readonly = atime_changed & ~write_changed
+        ro_gid = cur_files.gid[cr[readonly]].astype(np.int64)
+        ro_off = (cur_files.atime[cr[readonly]] - week_start).astype(np.float64)
+    else:
+        ro_gid = np.empty(0, dtype=np.int64)
+        ro_off = np.empty(0, dtype=np.float64)
+    return new_gid, new_off, ro_gid, ro_off
+
+
+def _per_project_cv(
+    gids: np.ndarray, offsets: np.ndarray, min_files: int
+) -> dict[int, float]:
+    out: dict[int, float] = {}
+    if gids.size == 0:
+        return out
+    order = np.argsort(gids, kind="stable")
+    gids, offsets = gids[order], offsets[order]
+    bounds = np.flatnonzero(np.diff(gids)) + 1
+    for chunk_g, chunk_off in zip(
+        np.split(gids, bounds), np.split(offsets, bounds)
+    ):
+        if chunk_off.size >= min_files:
+            out[int(chunk_g[0])] = coefficient_of_variation(chunk_off)
+    return out
+
+
+def burstiness(ctx: AnalysisContext, min_files: int = 100) -> BurstinessResult:
+    """Figure 17 / Table 1 c_v columns.
+
+    ``min_files`` is the qualification threshold per (project, week); use a
+    smaller value for reduced-scale simulations (the paper used 100 at full
+    scale).
+    """
+    pair_results = ctx.executor.map_pairs(ctx.collection, _pair_events)
+    write_samples: dict[str, list[float]] = {}
+    read_samples: dict[str, list[float]] = {}
+    code_of = {i: c for c, i in ctx.domain_index.items()}
+    for new_gid, new_off, ro_gid, ro_off in pair_results:
+        for gid, cv in _per_project_cv(new_gid, new_off, min_files).items():
+            dom = ctx.gid_to_domain_id.get(gid)
+            if dom is not None and np.isfinite(cv):
+                write_samples.setdefault(code_of[dom], []).append(cv)
+        for gid, cv in _per_project_cv(ro_gid, ro_off, min_files).items():
+            dom = ctx.gid_to_domain_id.get(gid)
+            if dom is not None and np.isfinite(cv):
+                read_samples.setdefault(code_of[dom], []).append(cv)
+
+    write_stats = {
+        code: five_number_summary(np.array(vals))
+        for code, vals in write_samples.items()
+    }
+    read_stats = {
+        code: five_number_summary(np.array(vals))
+        for code, vals in read_samples.items()
+    }
+    return BurstinessResult(
+        write_by_domain=write_stats,
+        read_by_domain=read_stats,
+        write_samples={c: np.array(v) for c, v in write_samples.items()},
+        read_samples={c: np.array(v) for c, v in read_samples.items()},
+    )

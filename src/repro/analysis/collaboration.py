@@ -1,0 +1,158 @@
+"""User-pair collaboration (Figure 20, Table 1's Collab. column, §4.3.3).
+
+A collaboration is a connected user–project–user triple: two users
+affiliated with the same project.  The paper counts such subgraphs, reports
+that only ≈1% of the ~0.93 M possible user pairs share any project, and
+breaks the sharing pairs down by the domain of the shared project (Climate
+Science leads, then Computer Science and Nuclear Fission).  The system
+group (stf) is excluded from the network analysis per §4.3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext
+
+
+@dataclass
+class CollaborationResult:
+    n_users: int
+    n_possible_pairs: int
+    n_sharing_pairs: int
+    #: Figure 20 / Table 1 Collab.: per domain, the share (%) of sharing
+    #: pairs whose common ground includes a project of that domain.
+    domain_pair_share: dict[str, float]
+    #: the most collaborative pair: (uid, uid, n shared projects)
+    extreme_pair: tuple[int, int, int] | None
+    #: domains of the extreme pair's shared projects
+    extreme_pair_domains: dict[str, int]
+
+    @property
+    def sharing_fraction(self) -> float:
+        """Paper: ≈1% of all user pairs."""
+        if self.n_possible_pairs == 0:
+            return 0.0
+        return self.n_sharing_pairs / self.n_possible_pairs
+
+    def top_domains(self, k: int = 3) -> list[str]:
+        ranked = sorted(
+            self.domain_pair_share.items(), key=lambda kv: kv[1], reverse=True
+        )
+        return [code for code, _ in ranked[:k]]
+
+
+@dataclass
+class CollaborationGraphResult:
+    """One-mode (user–user) view of the collaboration structure.
+
+    The user projection of the file generation network: an edge per
+    project-sharing user pair (its edge count independently cross-checks
+    :func:`collaboration`'s pair enumeration), plus clustering — *do my
+    collaborators collaborate with each other?* — overall and for the
+    domains the paper singles out.
+    """
+
+    n_users: int
+    n_edges: int
+    mean_clustering: float
+    clustering_by_domain: dict[str, float]
+    #: strongest ties: (uid, uid, shared project count)
+    top_ties: list[tuple[int, int, int]]
+
+
+def collaboration_graph(
+    ctx: AnalysisContext,
+    exclude_domains: frozenset[str] = frozenset({"stf"}),
+    max_domain_sample: int = 60,
+) -> CollaborationGraphResult:
+    """Project the bipartite network onto users and measure cohesion."""
+    from repro.analysis.network import build_network
+    from repro.graph.projection import mean_clustering, project_bipartite
+
+    network = build_network(ctx, exclude_domains=exclude_domains)
+    proj, weights = project_bipartite(network.graph, network.n_users)
+
+    rng = np.random.default_rng(0)
+    overall_sample = rng.choice(
+        proj.n, size=min(proj.n, 300), replace=False
+    )
+    by_domain: dict[str, float] = {}
+    uid_domain = {
+        uid: u.primary_domain for uid, u in ctx.population.users.items()
+    }
+    for code in ("cli", "csc", "nfi", "bip", "mat"):
+        members = np.array(
+            [
+                i
+                for i, uid in enumerate(network.uids)
+                if uid_domain.get(int(uid)) == code
+            ]
+        )
+        if members.size >= 3:
+            if members.size > max_domain_sample:
+                members = rng.choice(members, size=max_domain_sample, replace=False)
+            by_domain[code] = mean_clustering(proj, members)
+
+    ranked = sorted(weights.items(), key=lambda kv: kv[1], reverse=True)[:5]
+    top_ties = [
+        (int(network.uids[a]), int(network.uids[b]), int(w))
+        for (a, b), w in ranked
+    ]
+    return CollaborationGraphResult(
+        n_users=proj.n,
+        n_edges=proj.n_edges,
+        mean_clustering=mean_clustering(proj, overall_sample),
+        clustering_by_domain=by_domain,
+        top_ties=top_ties,
+    )
+
+
+def collaboration(
+    ctx: AnalysisContext, exclude_domains: frozenset[str] = frozenset({"stf"})
+) -> CollaborationResult:
+    """Count user-project-user triples over the affiliation data."""
+    population = ctx.population
+    pair_projects: dict[tuple[int, int], list[int]] = {}
+    for project in population.projects.values():
+        if project.domain in exclude_domains:
+            continue
+        members = sorted(set(project.members))
+        for a, b in combinations(members, 2):
+            pair_projects.setdefault((a, b), []).append(project.gid)
+
+    n_users = len(population.users)
+    n_possible = n_users * (n_users - 1) // 2
+
+    domain_of = population.domain_of_gid()
+    pair_hits: dict[str, int] = {code: 0 for code in ctx.domain_codes}
+    extreme: tuple[int, int, int] | None = None
+    extreme_domains: dict[str, int] = {}
+    for (a, b), gids in pair_projects.items():
+        seen = {domain_of[g] for g in gids}
+        for code in seen:
+            pair_hits[code] += 1
+        if extreme is None or len(gids) > extreme[2]:
+            extreme = (a, b, len(gids))
+            extreme_domains = {}
+            for g in gids:
+                code = domain_of[g]
+                extreme_domains[code] = extreme_domains.get(code, 0) + 1
+
+    n_sharing = len(pair_projects)
+    share = {
+        code: (100.0 * hits / n_sharing if n_sharing else 0.0)
+        for code, hits in pair_hits.items()
+        if code not in exclude_domains
+    }
+    return CollaborationResult(
+        n_users=n_users,
+        n_possible_pairs=n_possible,
+        n_sharing_pairs=n_sharing,
+        domain_pair_share=share,
+        extreme_pair=extreme,
+        extreme_pair_domains=extreme_domains,
+    )

@@ -1,0 +1,133 @@
+"""Shared analysis context.
+
+Bundles what every analysis needs — the snapshot collection, the population
+(standing in for OLCF's user-accounts database), a parallelism policy, and
+memoized lookup tables (gid → domain id, uid → org/domain) in both dict and
+columnar form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.query.parallel import SnapshotExecutor
+from repro.query.table import ColumnTable
+from repro.scan.snapshot import Snapshot, SnapshotCollection
+from repro.synth.domains import DOMAINS
+from repro.synth.population import Population
+
+
+@dataclass
+class AnalysisContext:
+    collection: SnapshotCollection
+    population: Population
+    executor: SnapshotExecutor = field(default_factory=lambda: SnapshotExecutor(1))
+
+    # -- domain indexing -----------------------------------------------------
+
+    @cached_property
+    def domain_codes(self) -> list[str]:
+        """Stable domain order (Table 1 alphabetical)."""
+        return sorted(DOMAINS)
+
+    @cached_property
+    def domain_index(self) -> dict[str, int]:
+        return {code: i for i, code in enumerate(self.domain_codes)}
+
+    @cached_property
+    def gid_to_domain_id(self) -> dict[int, int]:
+        idx = self.domain_index
+        return {
+            gid: idx[p.domain] for gid, p in self.population.projects.items()
+        }
+
+    @cached_property
+    def _gid_lookup(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted gid array + parallel domain-id array for vectorized maps."""
+        gids = np.array(sorted(self.gid_to_domain_id), dtype=np.int64)
+        dom = np.array(
+            [self.gid_to_domain_id[int(g)] for g in gids], dtype=np.int64
+        )
+        return gids, dom
+
+    def domain_ids_of_gids(self, gids: np.ndarray) -> np.ndarray:
+        """Vectorized gid → domain-id map; unknown gids get -1."""
+        table, dom = self._gid_lookup
+        pos = np.searchsorted(table, gids)
+        pos_clipped = np.clip(pos, 0, table.size - 1)
+        out = dom[pos_clipped].copy()
+        out[table[pos_clipped] != gids] = -1
+        return out
+
+    # -- dimension tables -----------------------------------------------------
+
+    @cached_property
+    def projects_table(self) -> ColumnTable:
+        """gid / domain_id / n_users / core — the project dimension table."""
+        gids = sorted(self.population.projects)
+        rows = [self.population.projects[g] for g in gids]
+        return ColumnTable(
+            {
+                "gid": np.array(gids, dtype=np.int64),
+                "domain_id": np.array(
+                    [self.domain_index[p.domain] for p in rows], dtype=np.int64
+                ),
+                "n_users": np.array([p.n_users for p in rows], dtype=np.int64),
+                "core": np.array([p.core for p in rows], dtype=bool),
+            }
+        )
+
+    @cached_property
+    def accounts_table(self) -> ColumnTable:
+        """uid / org type id / primary domain id — the accounts database."""
+        uids = sorted(self.population.users)
+        users = [self.population.users[u] for u in uids]
+        orgs = sorted({u.org_type for u in users})
+        self._org_names = orgs
+        org_idx = {o: i for i, o in enumerate(orgs)}
+        return ColumnTable(
+            {
+                "uid": np.array(uids, dtype=np.int64),
+                "org_id": np.array(
+                    [org_idx[u.org_type] for u in users], dtype=np.int64
+                ),
+                "domain_id": np.array(
+                    [self.domain_index[u.primary_domain] for u in users],
+                    dtype=np.int64,
+                ),
+            }
+        )
+
+    @property
+    def org_names(self) -> list[str]:
+        self.accounts_table  # ensure populated
+        return self._org_names
+
+    # -- snapshot-derived activity -------------------------------------------
+
+    @cached_property
+    def active_uids(self) -> np.ndarray:
+        """UIDs observed owning at least one entry in any snapshot (§4.1.1)."""
+        if len(self.collection) == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(
+            np.concatenate([np.unique(s.uid) for s in self.collection])
+        ).astype(np.int64)
+
+    @cached_property
+    def active_gids(self) -> np.ndarray:
+        if len(self.collection) == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(
+            np.concatenate([np.unique(s.gid) for s in self.collection])
+        ).astype(np.int64)
+
+    def files_only(self, snapshot: Snapshot) -> Snapshot:
+        return snapshot.select(snapshot.is_file)
+
+    @property
+    def n_snapshots(self) -> int:
+        return len(self.collection)

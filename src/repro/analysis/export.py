@@ -1,0 +1,162 @@
+"""CSV exporters — plotting-ready data for every figure series.
+
+The report renderers print paper-style text; these exporters write the
+underlying series as CSV so the figures can be re-plotted with any tool
+(``repro-pipeline --export-dir out/`` drives them all).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+
+from repro.core.pipeline import PaperReport
+from repro.stats.histogram import log_binned_histogram
+
+
+def _write_rows(path: Path, header: list[str], rows) -> None:
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_table1(report: PaperReport, path: Path) -> None:
+    rows = [
+        (
+            r.domain, r.name, r.n_projects, f"{r.entries_k:.3f}",
+            f"{r.depth_median:.0f}", f"{r.depth_max:.0f}",
+            r.top_ext, f"{r.top_ext_pct:.2f}", "/".join(r.languages),
+            r.max_ost,
+            "" if r.write_cv is None else f"{r.write_cv:.4f}",
+            "" if r.read_cv is None else f"{r.read_cv:.5f}",
+            f"{r.network_pct:.2f}", f"{r.collab_pct:.2f}",
+        )
+        for r in report.table1
+    ]
+    _write_rows(
+        path,
+        ["domain", "name", "projects", "entries_k", "depth_median",
+         "depth_max", "top_ext", "top_ext_pct", "languages", "max_ost",
+         "write_cv", "read_cv", "network_pct", "collab_pct"],
+        rows,
+    )
+
+
+def export_extension_trend(report: PaperReport, path: Path) -> None:
+    trend = report.fig10
+    header = ["week"] + trend.extensions + ["no_extension", "other"]
+    rows = []
+    for i, label in enumerate(trend.labels):
+        rows.append(
+            [label]
+            + [f"{trend.shares[i, j]:.5f}" for j in range(len(trend.extensions))]
+            + [f"{trend.no_extension[i]:.5f}", f"{trend.other[i]:.5f}"]
+        )
+    _write_rows(path, header, rows)
+
+
+def export_growth(report: PaperReport, path: Path) -> None:
+    series = report.fig15
+    rows = []
+    for i, label in enumerate(series.labels):
+        row = [label, int(series.files[i]), int(series.directories[i])]
+        if series.snapshot_bytes is not None:
+            row.append(int(series.snapshot_bytes[i]))
+        rows.append(row)
+    header = ["week", "files", "directories"]
+    if series.snapshot_bytes is not None:
+        header.append("snapshot_bytes")
+    _write_rows(path, header, rows)
+
+
+def export_ages(report: PaperReport, path: Path) -> None:
+    ages = report.fig16
+    rows = [
+        (label, f"{ages.mean_age_days[i]:.2f}", f"{ages.median_age_days[i]:.2f}")
+        for i, label in enumerate(ages.labels)
+    ]
+    _write_rows(path, ["week", "mean_age_days", "median_age_days"], rows)
+
+
+def export_access(report: PaperReport, path: Path) -> None:
+    rows = []
+    for week in report.fig13.weeks:
+        f = week.fractions()
+        rows.append(
+            (week.label, week.new, week.deleted, week.readonly, week.updated,
+             week.untouched, f"{f['new']:.5f}", f"{f['untouched']:.5f}")
+        )
+    _write_rows(
+        path,
+        ["week", "new", "deleted", "readonly", "updated", "untouched",
+         "new_frac", "untouched_frac"],
+        rows,
+    )
+
+
+def export_degree_distribution(report: PaperReport, path: Path) -> None:
+    degrees = report.fig18.degrees
+    positive = degrees[degrees > 0].astype(float)
+    centers, dens = log_binned_histogram(positive)
+    _write_rows(
+        path,
+        ["degree_bin_center", "density"],
+        [(f"{c:.4f}", f"{d:.8f}") for c, d in zip(centers, dens)],
+    )
+
+
+def export_participation(report: PaperReport, path: Path) -> None:
+    ppu = report.fig6.projects_per_user
+    upp = report.fig6.users_per_project
+    rows = [("projects_per_user", v, p) for v, p in ppu.as_series()]
+    rows += [("users_per_project", v, p) for v, p in upp.as_series()]
+    _write_rows(path, ["distribution", "value", "cdf"], rows)
+
+
+def export_depth_cdf(report: PaperReport, path: Path) -> None:
+    cdf = report.fig8_depth.all_dirs
+    _write_rows(
+        path, ["depth", "cdf"], [(int(v), f"{p:.6f}") for v, p in cdf.as_series()]
+    )
+
+
+def export_burstiness(report: PaperReport, path: Path) -> None:
+    rows = []
+    for kind, stats in (
+        ("write", report.fig17.write_by_domain),
+        ("read", report.fig17.read_by_domain),
+    ):
+        for code, s in sorted(stats.items()):
+            rows.append(
+                (kind, code, f"{s['min']:.6f}", f"{s['q1']:.6f}",
+                 f"{s['median']:.6f}", f"{s['q3']:.6f}", f"{s['max']:.6f}")
+            )
+    _write_rows(path, ["kind", "domain", "min", "q1", "median", "q3", "max"], rows)
+
+
+#: exporter registry: file name → function
+EXPORTERS = {
+    "table1.csv": export_table1,
+    "fig10_extension_trend.csv": export_extension_trend,
+    "fig15_growth.csv": export_growth,
+    "fig16_ages.csv": export_ages,
+    "fig13_access.csv": export_access,
+    "fig18_degree.csv": export_degree_distribution,
+    "fig06_participation.csv": export_participation,
+    "fig08_depth_cdf.csv": export_depth_cdf,
+    "fig17_burstiness.csv": export_burstiness,
+}
+
+
+def export_all(report: PaperReport, directory: str | Path) -> list[Path]:
+    """Write every registered CSV; returns the written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, exporter in EXPORTERS.items():
+        path = directory / name
+        exporter(report, path)
+        written.append(path)
+    return written

@@ -1,0 +1,147 @@
+"""Files-and-directories census (Figure 7, Figure 8(b), Observations 2–3).
+
+All counts are over *unique paths accumulated across every snapshot*, the
+paper's definition ("due to deleted files, the aggregated count of unique
+files can be larger than the peak file count").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext
+from repro.stats.cdf import Cdf, ecdf
+
+
+@dataclass
+class DomainEntryCounts:
+    """Figure 7: unique files/directories per science domain."""
+
+    files: dict[str, int]
+    directories: dict[str, int]
+
+    def total_entries(self, code: str) -> int:
+        return self.files.get(code, 0) + self.directories.get(code, 0)
+
+    def dir_ratio(self, code: str) -> float:
+        """Directory share of a domain's entries (Figure 7(b))."""
+        total = self.total_entries(code)
+        return self.directories.get(code, 0) / total if total else 0.0
+
+    @property
+    def grand_total_files(self) -> int:
+        return sum(self.files.values())
+
+    @property
+    def grand_total_directories(self) -> int:
+        return sum(self.directories.values())
+
+    @property
+    def mean_dir_ratio(self) -> float:
+        """Average directory share across domains (paper: ≈15%)."""
+        ratios = [self.dir_ratio(c) for c in self.files]
+        return float(np.mean(ratios)) if ratios else 0.0
+
+    def domains_over(self, threshold: int) -> list[str]:
+        """Domains exceeding ``threshold`` total entries (Observation 2)."""
+        return sorted(
+            c for c in self.files if self.total_entries(c) > threshold
+        )
+
+
+def _unique_rows(ctx: AnalysisContext) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Deduplicated (path_id, domain_id, uid, is_dir) across all snapshots.
+
+    A path is attributed to the gid/uid of its first appearance; ownership
+    churn is negligible in scratch file systems and the paper makes the
+    same single-owner assumption.
+    """
+    pids, doms, uids, dirs = [], [], [], []
+    for snap in ctx.collection:
+        pids.append(snap.path_id)
+        doms.append(ctx.domain_ids_of_gids(snap.gid.astype(np.int64)))
+        uids.append(snap.uid.astype(np.int64))
+        dirs.append(snap.is_dir)
+    pid = np.concatenate(pids)
+    _, first = np.unique(pid, return_index=True)
+    return (
+        pid[first],
+        np.concatenate(doms)[first],
+        np.concatenate(uids)[first],
+        np.concatenate(dirs)[first],
+    )
+
+
+def entries_by_domain(ctx: AnalysisContext) -> DomainEntryCounts:
+    """Figure 7: unique file/dir counts per domain over the full window."""
+    _, dom, _, is_dir = _unique_rows(ctx)
+    files: dict[str, int] = {}
+    directories: dict[str, int] = {}
+    for code in ctx.domain_codes:
+        d = ctx.domain_index[code]
+        mask = dom == d
+        if mask.any():
+            files[code] = int((mask & ~is_dir).sum())
+            directories[code] = int((mask & is_dir).sum())
+    return DomainEntryCounts(files=files, directories=directories)
+
+
+@dataclass
+class FileCountCdfs:
+    """Figure 8(b): unique-file-count CDFs per user and per project."""
+
+    per_user: Cdf
+    per_project: Cdf
+    median_user_files: float
+    median_project_files: float
+    max_user_files: int
+    max_project_files: int
+    top_domains_by_project_mean: list[tuple[str, float]]
+
+    @property
+    def project_to_user_ratio(self) -> float:
+        """Median project files / median user files (paper: ≈10×)."""
+        if self.median_user_files == 0:
+            return float("inf")
+        return self.median_project_files / self.median_user_files
+
+
+def file_count_cdfs(ctx: AnalysisContext, exclude_stf_for_top: bool = True) -> FileCountCdfs:
+    """Figure 8(b) plus the Observation 3 medians and §4.1.2 top-five list."""
+    _, _, uid, is_dir = _unique_rows(ctx)
+    uid_f = uid[~is_dir]
+    _, user_counts = np.unique(uid_f, return_counts=True)
+
+    # attribute each unique file to its first-seen gid
+    pids, gids = [], []
+    for snap in ctx.collection:
+        mask = snap.is_file
+        pids.append(snap.path_id[mask])
+        gids.append(snap.gid[mask].astype(np.int64))
+    pid_all = np.concatenate(pids)
+    _, first = np.unique(pid_all, return_index=True)
+    gid_first = np.concatenate(gids)[first]
+    proj_ids, proj_counts = np.unique(gid_first, return_counts=True)
+
+    # top-five domains by mean files per project (§4.1.2)
+    dom_of_proj = ctx.domain_ids_of_gids(proj_ids)
+    means: list[tuple[str, float]] = []
+    for code in ctx.domain_codes:
+        if exclude_stf_for_top and code == "stf":
+            continue
+        mask = dom_of_proj == ctx.domain_index[code]
+        if mask.any():
+            means.append((code, float(proj_counts[mask].mean())))
+    means.sort(key=lambda kv: kv[1], reverse=True)
+
+    return FileCountCdfs(
+        per_user=ecdf(user_counts),
+        per_project=ecdf(proj_counts),
+        median_user_files=float(np.median(user_counts)),
+        median_project_files=float(np.median(proj_counts)),
+        max_user_files=int(user_counts.max()) if user_counts.size else 0,
+        max_project_files=int(proj_counts.max()) if proj_counts.size else 0,
+        top_domains_by_project_mean=means[:5],
+    )

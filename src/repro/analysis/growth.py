@@ -1,0 +1,72 @@
+"""Namespace growth over the observation window (Figure 15, Observation 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext
+from repro.scan.lustredu import ScanStats
+
+
+@dataclass
+class GrowthSeries:
+    """Figure 15: file and directory counts per snapshot."""
+
+    labels: list[str]
+    files: np.ndarray
+    directories: np.ndarray
+    #: estimated PSV snapshot sizes (the paper's 50 GB → 240 GB remark)
+    snapshot_bytes: np.ndarray | None = None
+
+    @property
+    def file_growth_factor(self) -> float:
+        """Last/first file count (paper: ≈5× over the window)."""
+        if self.files.size == 0 or self.files[0] == 0:
+            return float("nan")
+        return float(self.files[-1] / self.files[0])
+
+    @property
+    def dir_growth_factor(self) -> float:
+        if self.directories.size == 0 or self.directories[0] == 0:
+            return float("nan")
+        return float(self.directories[-1] / self.directories[0])
+
+    def dir_share(self) -> np.ndarray:
+        """Directory share of entries per snapshot (paper: <10% late on)."""
+        total = self.files + self.directories
+        return np.divide(
+            self.directories,
+            total,
+            out=np.zeros_like(self.directories, dtype=np.float64),
+            where=total > 0,
+        )
+
+    @property
+    def final_dir_share(self) -> float:
+        share = self.dir_share()
+        return float(share[-1]) if share.size else 0.0
+
+
+def growth_series(
+    ctx: AnalysisContext, scan_history: list[ScanStats] | None = None
+) -> GrowthSeries:
+    """Figure 15 from the snapshot series (optionally with scan sizes)."""
+    labels, files, dirs = [], [], []
+    for snap in ctx.collection:
+        labels.append(snap.label)
+        files.append(snap.n_files)
+        dirs.append(snap.n_dirs)
+    snapshot_bytes = None
+    if scan_history is not None:
+        by_label = {s.label: s.psv_bytes for s in scan_history}
+        snapshot_bytes = np.array(
+            [by_label.get(label, 0) for label in labels], dtype=np.int64
+        )
+    return GrowthSeries(
+        labels=labels,
+        files=np.array(files, dtype=np.int64),
+        directories=np.array(dirs, dtype=np.int64),
+        snapshot_bytes=snapshot_bytes,
+    )

@@ -1,0 +1,106 @@
+"""Programming-language popularity (Figures 11 and 12, §4.1.4).
+
+Methodology follows the paper exactly: count files whose extension belongs
+to a known language (``.c``/``.h`` → C, etc.) over all unique files, rank,
+and compare with the IEEE Spectrum ranks.  The paper's quirks are inherited
+deliberately — ``.pl`` counts as Prolog (inflating it, as the paper's rank-8
+Prolog suggests), ``.d`` as the D language, ``.m`` as Matlab.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext
+from repro.synth.languages import LANGUAGES, language_of_extension
+
+
+@dataclass
+class LanguageRanking:
+    """Figure 11: language → (our rank, file count, IEEE rank)."""
+
+    counts: dict[str, int]  # language → unique source files
+    order: list[str]  # languages by our popularity, descending
+
+    def rank_of(self, language: str) -> int | None:
+        """1-based popularity rank in our counting, or None if unseen."""
+        try:
+            return self.order.index(language) + 1
+        except ValueError:
+            return None
+
+    def ieee_rank_of(self, language: str) -> int | None:
+        for spec in LANGUAGES:
+            if spec.name == language:
+                return spec.ieee_rank
+        return None
+
+    def rows(self, top_k: int = 30) -> list[tuple[str, int, int | None]]:
+        """(language, file count, IEEE rank) rows, our order."""
+        return [
+            (lang, self.counts[lang], self.ieee_rank_of(lang))
+            for lang in self.order[:top_k]
+        ]
+
+
+def _unique_file_extension_ids(ctx: AnalysisContext) -> tuple[np.ndarray, np.ndarray]:
+    """(ext_id, domain_id) of every unique file across snapshots."""
+    pids, gids = [], []
+    for snap in ctx.collection:
+        mask = snap.is_file
+        pids.append(snap.path_id[mask])
+        gids.append(snap.gid[mask].astype(np.int64))
+    pid = np.concatenate(pids)
+    uniq, first = np.unique(pid, return_index=True)
+    gid = np.concatenate(gids)[first]
+    return ctx.collection.paths.ext_ids_of(uniq), ctx.domain_ids_of_gids(gid)
+
+
+def language_ranking(ctx: AnalysisContext) -> LanguageRanking:
+    """Figure 11: global language popularity by source-file count."""
+    ext_ids, _ = _unique_file_extension_ids(ctx)
+    names = ctx.collection.paths.extensions.names
+    ids, counts = np.unique(ext_ids, return_counts=True)
+    lang_counts: dict[str, int] = {}
+    for eid, cnt in zip(ids, counts):
+        lang = language_of_extension(names[int(eid)])
+        if lang is not None:
+            lang_counts[lang] = lang_counts.get(lang, 0) + int(cnt)
+    order = sorted(lang_counts, key=lambda k: lang_counts[k], reverse=True)
+    return LanguageRanking(counts=lang_counts, order=order)
+
+
+@dataclass
+class DomainLanguages:
+    """Figure 12: per-domain language share of source files."""
+
+    shares: dict[str, dict[str, float]]  # domain → language → share
+
+    def top(self, code: str, k: int = 2) -> list[str]:
+        ranked = sorted(
+            self.shares.get(code, {}).items(), key=lambda kv: kv[1], reverse=True
+        )
+        return [lang for lang, _ in ranked[:k]]
+
+
+def languages_by_domain(ctx: AnalysisContext) -> DomainLanguages:
+    """Figure 12: language breakdown per science domain."""
+    ext_ids, dom = _unique_file_extension_ids(ctx)
+    names = ctx.collection.paths.extensions.names
+    shares: dict[str, dict[str, float]] = {}
+    for code in ctx.domain_codes:
+        mask = dom == ctx.domain_index[code]
+        if not mask.any():
+            continue
+        ids, counts = np.unique(ext_ids[mask], return_counts=True)
+        lang_counts: dict[str, int] = {}
+        for eid, cnt in zip(ids, counts):
+            lang = language_of_extension(names[int(eid)])
+            if lang is not None:
+                lang_counts[lang] = lang_counts.get(lang, 0) + int(cnt)
+        total = sum(lang_counts.values())
+        if total:
+            shares[code] = {k: v / total for k, v in lang_counts.items()}
+    return DomainLanguages(shares=shares)

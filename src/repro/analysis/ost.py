@@ -1,0 +1,62 @@
+"""OST stripe-count analysis (Figure 14, Observation 6, §4.2.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext
+
+
+@dataclass
+class StripeStats:
+    """Per-domain min / mean / max stripe counts over all file rows."""
+
+    by_domain: dict[str, tuple[int, float, int]]
+    default_stripe: int = 4
+
+    def tuned_domains(self) -> list[str]:
+        """Domains whose stripe counts deviate from the default anywhere."""
+        return sorted(
+            code
+            for code, (lo, _, hi) in self.by_domain.items()
+            if lo != self.default_stripe or hi != self.default_stripe
+        )
+
+    def untouched_domains(self) -> list[str]:
+        """Domains that never left the default (paper: 11 of 35)."""
+        return sorted(
+            code
+            for code, (lo, _, hi) in self.by_domain.items()
+            if lo == self.default_stripe and hi == self.default_stripe
+        )
+
+    @property
+    def max_observed(self) -> int:
+        return max((hi for _, _, hi in self.by_domain.values()), default=0)
+
+
+def stripe_stats(ctx: AnalysisContext) -> StripeStats:
+    """Figure 14: min/avg/max OST counts per domain, over all snapshots.
+
+    Pools every file row from every snapshot (a file present across many
+    weeks counts each week, like the paper's "OST counts of files from all
+    snapshots").
+    """
+    by_domain: dict[str, list[np.ndarray]] = {c: [] for c in ctx.domain_codes}
+    for snap in ctx.collection:
+        mask = snap.is_file
+        dom = ctx.domain_ids_of_gids(snap.gid[mask].astype(np.int64))
+        stripes = snap.stripe_count[mask]
+        for code in ctx.domain_codes:
+            sel = dom == ctx.domain_index[code]
+            if sel.any():
+                by_domain[code].append(stripes[sel])
+    out: dict[str, tuple[int, float, int]] = {}
+    for code, chunks in by_domain.items():
+        if not chunks:
+            continue
+        allv = np.concatenate(chunks)
+        out[code] = (int(allv.min()), float(allv.mean()), int(allv.max()))
+    return StripeStats(by_domain=out)

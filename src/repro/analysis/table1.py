@@ -1,0 +1,86 @@
+"""Table 1 — the per-domain summary that heads the paper.
+
+One row per science domain: project count, cumulative entries, directory
+depth [median, max], top extension (%), top-two programming languages,
+maximum OST count, write/read c_v medians, largest-component inclusion
+probability (%), and collaboration share (%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import (
+    burstiness as burst_mod,
+)
+from repro.analysis.collaboration import collaboration
+from repro.analysis.context import AnalysisContext
+from repro.analysis.depth import directory_depths
+from repro.analysis.extensions import extensions_by_domain
+from repro.analysis.files import entries_by_domain
+from repro.analysis.languages import languages_by_domain
+from repro.analysis.network import build_network, component_analysis
+from repro.analysis.ost import stripe_stats
+
+
+@dataclass
+class Table1Row:
+    domain: str
+    name: str
+    n_projects: int
+    entries_k: float
+    depth_median: float
+    depth_max: float
+    top_ext: str
+    top_ext_pct: float
+    languages: tuple[str, ...]
+    max_ost: int
+    write_cv: float | None
+    read_cv: float | None
+    network_pct: float
+    collab_pct: float
+
+
+def build_table1(
+    ctx: AnalysisContext, burstiness_min_files: int = 10
+) -> list[Table1Row]:
+    """Assemble the full Table 1 from the individual analyses."""
+    from repro.synth.domains import DOMAINS
+
+    entries = entries_by_domain(ctx)
+    depths = directory_depths(ctx)
+    exts = extensions_by_domain(ctx)
+    langs = languages_by_domain(ctx)
+    stripes = stripe_stats(ctx)
+    cv = burst_mod.burstiness(ctx, min_files=burstiness_min_files)
+    network = build_network(ctx)
+    comp = component_analysis(ctx, network)
+    collab = collaboration(ctx)
+
+    rows: list[Table1Row] = []
+    for code in ctx.domain_codes:
+        spec = DOMAINS[code]
+        depth_summary = depths.by_domain.get(code)
+        ext = exts.get(code)
+        top_ext, top_pct = (ext.top[0] if ext and ext.top else ("-", 0.0))
+        lang_pair = tuple(langs.top(code, 2))
+        stripe = stripes.by_domain.get(code)
+        rows.append(
+            Table1Row(
+                domain=code,
+                name=spec.name,
+                n_projects=spec.n_projects,
+                entries_k=entries.total_entries(code) / 1000.0,
+                depth_median=depth_summary["median"] if depth_summary else 0.0,
+                depth_max=depth_summary["max"] if depth_summary else 0.0,
+                top_ext=top_ext,
+                top_ext_pct=top_pct,
+                languages=lang_pair,
+                max_ost=stripe[2] if stripe else 0,
+                write_cv=cv.write_median(code),
+                read_cv=cv.read_median(code),
+                network_pct=100.0 * comp.domain_inclusion_prob.get(code, 0.0),
+                collab_pct=collab.domain_pair_share.get(code, 0.0),
+            )
+        )
+    return rows

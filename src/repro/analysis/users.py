@@ -1,0 +1,94 @@
+"""User and project participation analysis (Figures 5 and 6, §4.1.1).
+
+The paper identifies active users by gathering every UID present in any
+snapshot, then joins against the user-accounts database for organization
+type and science domain.  We do the same join against the synthetic
+accounts table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext
+from repro.stats.cdf import Cdf, ecdf
+from repro.stats.histogram import ratio_breakdown
+
+
+@dataclass
+class UserProfile:
+    """Figure 5: the active-user census."""
+
+    n_active: int
+    n_registered_hint: int
+    org_fractions: dict[str, float]  # Figure 5(a)
+    domain_counts: dict[str, int]  # Figure 5(b)
+
+    @property
+    def domain_scientist_fraction(self) -> float:
+        """Share of active users outside Computer Science (paper: >70%)."""
+        total = sum(self.domain_counts.values())
+        if total == 0:
+            return 0.0
+        return 1.0 - self.domain_counts.get("csc", 0) / total
+
+
+def user_profile(ctx: AnalysisContext) -> UserProfile:
+    """Join active snapshot UIDs against the accounts database (Figure 5)."""
+    accounts = ctx.population.accounts_table()
+    active = [int(u) for u in ctx.active_uids if int(u) in accounts]
+    org_counts: dict[str, int] = {}
+    domain_counts: dict[str, int] = {}
+    for uid in active:
+        org, domain = accounts[uid]
+        org_counts[org] = org_counts.get(org, 0) + 1
+        domain_counts[domain] = domain_counts.get(domain, 0) + 1
+    from repro.synth.domains import TOTAL_REGISTERED_USERS
+
+    return UserProfile(
+        n_active=len(active),
+        n_registered_hint=TOTAL_REGISTERED_USERS,
+        org_fractions=ratio_breakdown(org_counts),
+        domain_counts=dict(sorted(domain_counts.items())),
+    )
+
+
+@dataclass
+class ParticipationResult:
+    """Figure 6: user ↔ project participation distributions."""
+
+    projects_per_user: Cdf  # Figure 6(a)
+    users_per_project: Cdf  # Figure 6(b)
+    median_users_by_domain: dict[str, float]  # Figure 6(c)
+    mean_users_per_project: float
+
+    @property
+    def multi_project_fraction(self) -> float:
+        """Users in more than one project (paper: >60%... our shape check)."""
+        return self.projects_per_user.tail_fraction(1.0)
+
+    @property
+    def heavy_user_fraction(self) -> float:
+        """Users in eight or more projects (paper: ~2%)."""
+        return self.projects_per_user.tail_fraction(7.0)
+
+
+def participation(ctx: AnalysisContext) -> ParticipationResult:
+    """Membership distributions from the affiliation data (Figure 6)."""
+    users = ctx.population.users
+    projects = ctx.population.projects
+    ppu = np.array([u.n_projects for u in users.values() if u.n_projects > 0])
+    upp = np.array([p.n_users for p in projects.values()])
+    medians: dict[str, float] = {}
+    for code in ctx.domain_codes:
+        sizes = [p.n_users for p in projects.values() if p.domain == code]
+        if sizes:
+            medians[code] = float(np.median(sizes))
+    return ParticipationResult(
+        projects_per_user=ecdf(ppu),
+        users_per_project=ecdf(upp),
+        median_users_by_domain=medians,
+        mean_users_per_project=float(upp.mean()),
+    )

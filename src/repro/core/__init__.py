@@ -1,0 +1,10 @@
+"""End-to-end pipeline: simulate → scan → convert → analyze → report.
+
+This is the reproduction's "primary contribution" layer — the equivalent of
+the paper's Figure 4 data path plus the full §4 analysis pass, as one
+programmable object and one CLI (``repro-pipeline``).
+"""
+
+from repro.core.pipeline import PaperReport, ReproPipeline, run_paper_report
+
+__all__ = ["PaperReport", "ReproPipeline", "run_paper_report"]

@@ -1,0 +1,137 @@
+"""``repro-pipeline`` command-line entry point.
+
+Runs the full reproduction at a chosen scale and prints the paper-style
+report; optionally archives PSV/columnar snapshot files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.pipeline import ReproPipeline
+from repro.query.parallel import SnapshotExecutor
+from repro.synth.driver import SimulationConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pipeline",
+        description=(
+            "Reproduce 'Scientific User Behavior and Data-Sharing Trends in "
+            "a Petascale File System' (SC'17) on a synthetic OLCF."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=2.5e-5,
+        help="fraction of the paper's per-domain entry counts to simulate",
+    )
+    parser.add_argument("--weeks", type=int, default=72)
+    parser.add_argument(
+        "--purge-window", type=int, default=90, help="purge window in days"
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="use a process pool for per-snapshot analyses",
+    )
+    parser.add_argument(
+        "--archive-dir",
+        default=None,
+        help="also write PSV + columnar snapshot files here",
+    )
+    parser.add_argument(
+        "--from-archive",
+        default=None,
+        help="skip simulation: analyze archived .rpq snapshots out-of-core "
+        "(seed must match the archive's producing run)",
+    )
+    parser.add_argument(
+        "--export-dir",
+        default=None,
+        help="write plotting-ready CSVs for every figure series here",
+    )
+    parser.add_argument(
+        "--burstiness-min-files",
+        type=int,
+        default=10,
+        help="per-(project,week) qualification threshold (paper: 100 at full scale)",
+    )
+    parser.add_argument(
+        "--scorecard",
+        action="store_true",
+        help="append the 12-observation reproduction scorecard to the report",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = SimulationConfig(
+        seed=args.seed,
+        scale=args.scale,
+        weeks=args.weeks,
+        purge_window_days=args.purge_window,
+    )
+    executor = SnapshotExecutor(processes=None if args.parallel else 1)
+    t0 = time.time()
+    if args.from_archive:
+        from repro.core.pipeline import analyze_archive
+
+        pipeline, report = analyze_archive(
+            args.from_archive,
+            config=config,
+            executor=executor,
+            burstiness_min_files=args.burstiness_min_files,
+        )
+        print(
+            f"# analyzed {pipeline.simulation.n_snapshots} archived "
+            f"snapshots out-of-core ({time.time() - t0:.1f}s)",
+            file=sys.stderr,
+        )
+    else:
+        pipeline = ReproPipeline(
+            config=config,
+            executor=executor,
+            burstiness_min_files=args.burstiness_min_files,
+        )
+        sim = pipeline.simulate(verbose=args.verbose)
+        print(
+            f"# simulated {sim.n_snapshots} snapshots, "
+            f"{len(sim.collection.paths):,} unique paths "
+            f"({time.time() - t0:.1f}s)",
+            file=sys.stderr,
+        )
+        if args.archive_dir:
+            stats = pipeline.archive(args.archive_dir)
+            print(
+                f"# archive: PSV {stats.psv_bytes:,} B → columnar "
+                f"{stats.columnar_bytes:,} B ({stats.reduction:.1f}x reduction)",
+                file=sys.stderr,
+            )
+        report = pipeline.analyze()
+    if args.export_dir:
+        from repro.analysis.export import export_all
+
+        written = export_all(report, args.export_dir)
+        print(f"# exported {len(written)} CSV series to {args.export_dir}",
+              file=sys.stderr)
+    print(report.text)
+    if args.scorecard:
+        from repro.analysis.observations import (
+            check_observations,
+            render_observations,
+        )
+
+        print("\n== OBSERVATIONS SCORECARD ==")
+        print(render_observations(check_observations(report)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,252 @@
+"""The reproduction pipeline.
+
+``ReproPipeline`` mirrors the paper's Figure 4 flow:
+
+1. **simulate** — generate the synthetic center and run the 500-day window
+   (stands in for operating Spider II and collecting LustreDU snapshots);
+2. **archive** (optional) — write PSV snapshots and convert them to the
+   columnar format, measuring the footprint reduction the paper attributes
+   to Parquet;
+3. **analyze** — run every §4 analysis over the snapshot collection;
+4. **report** — render the paper's tables and figure series as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis import report as rpt
+from repro.analysis.access import access_patterns, file_ages
+from repro.analysis.burstiness import burstiness
+from repro.analysis.collaboration import collaboration
+from repro.analysis.context import AnalysisContext
+from repro.analysis.depth import directory_depths
+from repro.analysis.extensions import extension_trend, extensions_by_domain
+from repro.analysis.files import entries_by_domain, file_count_cdfs
+from repro.analysis.growth import growth_series
+from repro.analysis.languages import language_ranking, languages_by_domain
+from repro.analysis.network import (
+    build_network,
+    component_analysis,
+    degree_distribution,
+)
+from repro.analysis.ost import stripe_stats
+from repro.analysis.table1 import build_table1
+from repro.analysis.users import participation, user_profile
+from repro.query.parallel import SnapshotExecutor
+from repro.scan.columnar import write_columnar
+from repro.scan.psv import write_psv
+from repro.synth.driver import SimulationConfig, SimulationResult, run_simulation
+
+
+@dataclass
+class ArchiveStats:
+    """PSV vs columnar footprint (the paper's 119 GB → 28 GB stage)."""
+
+    psv_bytes: int
+    columnar_bytes: int
+
+    @property
+    def reduction(self) -> float:
+        return self.psv_bytes / self.columnar_bytes if self.columnar_bytes else 0.0
+
+
+@dataclass
+class PaperReport:
+    """Every §4 result object, plus the rendered text report."""
+
+    table1: list = field(repr=False)
+    table2: dict = field(repr=False)
+    table3: object = field(repr=False)
+    fig5: object = field(repr=False)
+    fig6: object = field(repr=False)
+    fig7: object = field(repr=False)
+    fig8: object = field(repr=False)
+    fig8_depth: object = field(repr=False)
+    fig10: object = field(repr=False)
+    fig11: object = field(repr=False)
+    fig12: object = field(repr=False)
+    fig13: object = field(repr=False)
+    fig14: object = field(repr=False)
+    fig15: object = field(repr=False)
+    fig16: object = field(repr=False)
+    fig17: object = field(repr=False)
+    fig18: object = field(repr=False)
+    fig20: object = field(repr=False)
+    text: str = ""
+
+
+class ReproPipeline:
+    """One-object driver for the whole reproduction."""
+
+    def __init__(
+        self,
+        config: SimulationConfig | None = None,
+        executor: SnapshotExecutor | None = None,
+        burstiness_min_files: int = 10,
+    ) -> None:
+        self.config = config if config is not None else SimulationConfig()
+        self.executor = executor if executor is not None else SnapshotExecutor(1)
+        self.burstiness_min_files = burstiness_min_files
+        self.simulation: SimulationResult | None = None
+        self.context: AnalysisContext | None = None
+
+    # -- stages -----------------------------------------------------------
+
+    def simulate(self, verbose: bool = False) -> SimulationResult:
+        self.simulation = run_simulation(self.config, verbose=verbose)
+        self.context = AnalysisContext(
+            collection=self.simulation.collection,
+            population=self.simulation.population,
+            executor=self.executor,
+        )
+        return self.simulation
+
+    def archive(self, directory: str | Path, max_snapshots: int | None = None) -> ArchiveStats:
+        """Write PSV + columnar snapshot files; returns footprint stats."""
+        if self.simulation is None:
+            raise RuntimeError("simulate() first")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        psv_total = 0
+        col_total = 0
+        snaps = list(self.simulation.collection)
+        if max_snapshots is not None:
+            snaps = snaps[:max_snapshots]
+        for snap in snaps:
+            psv_path = directory / f"{snap.label}.psv"
+            psv_total += write_psv(snap, psv_path, ost_count=self.config.ost_count)
+            col_path = directory / f"{snap.label}.rpq"
+            write_columnar(snap, col_path)
+            col_total += col_path.stat().st_size
+        return ArchiveStats(psv_bytes=psv_total, columnar_bytes=col_total)
+
+    def analyze(self) -> PaperReport:
+        """Run every analysis and assemble the rendered report."""
+        if self.context is None or self.simulation is None:
+            raise RuntimeError("simulate() first")
+        ctx = self.context
+        table1 = build_table1(ctx, burstiness_min_files=self.burstiness_min_files)
+        table2 = extensions_by_domain(ctx)
+        network = build_network(ctx)
+        table3 = component_analysis(ctx, network)
+        fig5 = user_profile(ctx)
+        fig6 = participation(ctx)
+        fig7 = entries_by_domain(ctx)
+        fig8 = file_count_cdfs(ctx)
+        fig8_depth = directory_depths(ctx)
+        fig10 = extension_trend(ctx)
+        fig11 = language_ranking(ctx)
+        fig12 = languages_by_domain(ctx)
+        fig13 = access_patterns(ctx)
+        fig14 = stripe_stats(ctx)
+        fig15 = growth_series(ctx, self.simulation.scanner.history)
+        fig16 = file_ages(ctx, purge_window_days=self.config.purge_window_days)
+        fig17 = burstiness(ctx, min_files=self.burstiness_min_files)
+        fig18 = degree_distribution(network)
+        fig20 = collaboration(ctx)
+
+        sections = [
+            ("TABLE 1 — per-domain summary", rpt.render_table1(table1)),
+            ("TABLE 2 — extension popularity", rpt.render_table2(table2)),
+            ("TABLE 3 — connected components", rpt.render_table3(table3)),
+            ("FIGURE 5 — user classification", rpt.render_user_profile(fig5)),
+            ("FIGURE 6 — participation", rpt.render_participation(fig6)),
+            ("FIGURE 7 — files/dirs per domain", rpt.render_entry_counts(fig7)),
+            ("FIGURE 8a/9 — directory depth", rpt.render_depths(fig8_depth)),
+            ("FIGURE 8b — file-count CDFs", rpt.render_file_count_cdfs(fig8)),
+            ("FIGURE 10 — extension trend", rpt.render_extension_trend(fig10)),
+            ("FIGURE 11 — language ranking", rpt.render_language_ranking(fig11)),
+            ("FIGURE 12 — languages per domain", rpt.render_domain_languages(fig12)),
+            ("FIGURE 13 — weekly access patterns", rpt.render_access(fig13)),
+            ("FIGURE 14 — OST stripe counts", rpt.render_stripes(fig14)),
+            ("FIGURE 15 — namespace growth", rpt.render_growth(fig15)),
+            ("FIGURE 16 — file age", rpt.render_ages(fig16)),
+            ("FIGURE 17 — burstiness", rpt.render_burstiness(fig17)),
+            ("FIGURE 18 — degree distribution", rpt.render_degree(fig18)),
+            ("FIGURE 20 — collaboration", rpt.render_collaboration(fig20)),
+        ]
+        text = "\n\n".join(f"== {title} ==\n{body}" for title, body in sections)
+        return PaperReport(
+            table1=table1,
+            table2=table2,
+            table3=table3,
+            fig5=fig5,
+            fig6=fig6,
+            fig7=fig7,
+            fig8=fig8,
+            fig8_depth=fig8_depth,
+            fig10=fig10,
+            fig11=fig11,
+            fig12=fig12,
+            fig13=fig13,
+            fig14=fig14,
+            fig15=fig15,
+            fig16=fig16,
+            fig17=fig17,
+            fig18=fig18,
+            fig20=fig20,
+            text=text,
+        )
+
+
+def analyze_archive(
+    directory: str | Path,
+    config: SimulationConfig | None = None,
+    executor: SnapshotExecutor | None = None,
+    burstiness_min_files: int = 10,
+) -> tuple[ReproPipeline, PaperReport]:
+    """Out-of-core analysis: run every §4 analysis from archived snapshots.
+
+    Loads ``.rpq`` files lazily (two resident snapshots at a time), which is
+    how a multi-terabyte window — the paper's situation — stays analyzable
+    on one node.  The population is regenerated deterministically from the
+    config's seed (it must match the seed the archive was produced with; at
+    a real center this is where the accounts database plugs in instead).
+    """
+    from repro.analysis.context import AnalysisContext
+    from repro.scan.store import DiskSnapshotCollection
+    from repro.synth.population import generate_population
+
+    config = config if config is not None else SimulationConfig()
+    pipeline = ReproPipeline(
+        config=config, executor=executor,
+        burstiness_min_files=burstiness_min_files,
+    )
+    collection = DiskSnapshotCollection(directory)
+    population = generate_population(seed=config.seed, n_users=config.n_users)
+    pipeline.context = AnalysisContext(
+        collection=collection,  # type: ignore[arg-type]
+        population=population,
+        executor=pipeline.executor,
+    )
+
+    # a minimal stand-in simulation record (no scanner history: Figure 15's
+    # optional snapshot-size series is simply absent in archive mode)
+    from repro.scan.lustredu import LustreDuScanner
+
+    pipeline.simulation = SimulationResult(
+        config=config,
+        population=population,
+        fs=None,  # type: ignore[arg-type]
+        scanner=LustreDuScanner(collection.paths),
+        collection=collection,  # type: ignore[arg-type]
+        purge_reports=[],
+        week_stats=[],
+    )
+    return pipeline, pipeline.analyze()
+
+
+def run_paper_report(
+    config: SimulationConfig | None = None,
+    executor: SnapshotExecutor | None = None,
+    burstiness_min_files: int = 10,
+    verbose: bool = False,
+) -> tuple[ReproPipeline, PaperReport]:
+    """Convenience: simulate + analyze in one call."""
+    pipeline = ReproPipeline(
+        config=config, executor=executor, burstiness_min_files=burstiness_min_files
+    )
+    pipeline.simulate(verbose=verbose)
+    return pipeline, pipeline.analyze()

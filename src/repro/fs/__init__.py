@@ -1,0 +1,46 @@
+"""Lustre-like parallel file system simulator substrate.
+
+This package models the pieces of OLCF's Spider II storage system that the
+SC'17 metadata study observes: a POSIX namespace with full timestamp
+semantics (atime/mtime/ctime), per-file OST striping layouts, a 90-day purge
+policy that deletes files (but never directories), and project quotas.
+
+The implementation is array-backed (structure-of-arrays inode table) so that
+simulations with millions of entries remain tractable; bulk operations
+(`FileSystem.create_many`) are vectorized with NumPy following standard
+scientific-Python optimization practice.
+"""
+
+from repro.fs.clock import SECONDS_PER_DAY, SimClock
+from repro.fs.errors import (
+    FsError,
+    FileExistsError_,
+    IsADirectory,
+    NotADirectory,
+    NotFound,
+    QuotaExceeded,
+)
+from repro.fs.filesystem import FileSystem
+from repro.fs.inode import S_IFDIR, S_IFREG, InodeTable
+from repro.fs.ost import OstAllocator
+from repro.fs.purge import PurgePolicy, PurgeReport
+from repro.fs.quota import QuotaManager
+
+__all__ = [
+    "SECONDS_PER_DAY",
+    "SimClock",
+    "FsError",
+    "FileExistsError_",
+    "IsADirectory",
+    "NotADirectory",
+    "NotFound",
+    "QuotaExceeded",
+    "FileSystem",
+    "InodeTable",
+    "S_IFDIR",
+    "S_IFREG",
+    "OstAllocator",
+    "PurgePolicy",
+    "PurgeReport",
+    "QuotaManager",
+]

@@ -1,0 +1,223 @@
+"""Optional metadata changelog — the road OLCF did not take.
+
+Spider II deliberately runs *without* a changelog "due to the overhead it
+imposes on regular file system operations" (§2.2), paying instead with a
+nightly full-namespace scan whose weekly samples miss intra-interval churn
+(files created and deleted between snapshots are invisible — §4.1.1's
+stated limitation).
+
+This module implements the changelog so the trade-off can be measured: the
+``bench_ablation_changelog`` target compares snapshot-diff analysis against
+changelog ground truth and reports both the hidden churn and the logging
+overhead (records per operation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+
+class ChangeKind(Enum):
+    CREATE = "create"
+    MKDIR = "mkdir"
+    UNLINK = "unlink"
+    RMDIR = "rmdir"
+    WRITE = "write"  # data modification (mtime/ctime)
+    READ = "read"  # access (atime)
+    SETATTR = "setattr"  # chown/chmod
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    index: int  # monotonically increasing record number
+    kind: ChangeKind
+    ino: int
+    timestamp: int
+
+
+class Changelog:
+    """Append-only event log, column-oriented for cheap aggregation."""
+
+    def __init__(self) -> None:
+        self._kinds: list[ChangeKind] = []
+        self._inos: list[int] = []
+        self._times: list[int] = []
+
+    # -- producer side ------------------------------------------------------
+
+    def record(self, kind: ChangeKind, ino: int, timestamp: int) -> None:
+        self._kinds.append(kind)
+        self._inos.append(int(ino))
+        self._times.append(int(timestamp))
+
+    def record_many(self, kind: ChangeKind, inos: np.ndarray,
+                    timestamps: np.ndarray | int) -> None:
+        inos = np.asarray(inos, dtype=np.int64)
+        if inos.size == 0:
+            return
+        stamps = np.broadcast_to(
+            np.asarray(timestamps, dtype=np.int64), inos.shape
+        )
+        self._kinds.extend([kind] * inos.size)
+        self._inos.extend(int(i) for i in inos)
+        self._times.extend(int(t) for t in stamps)
+
+    # -- consumer side ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+    def __getitem__(self, index: int) -> ChangeRecord:
+        return ChangeRecord(
+            index=index,
+            kind=self._kinds[index],
+            ino=self._inos[index],
+            timestamp=self._times[index],
+        )
+
+    def counts_by_kind(self) -> dict[ChangeKind, int]:
+        out: dict[ChangeKind, int] = {}
+        for kind in self._kinds:
+            out[kind] = out.get(kind, 0) + 1
+        return out
+
+    def events_between(
+        self, start: int, end: int, kinds: set[ChangeKind] | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(ino, timestamp) arrays of events in ``[start, end)``."""
+        times = np.asarray(self._times, dtype=np.int64)
+        inos = np.asarray(self._inos, dtype=np.int64)
+        mask = (times >= start) & (times < end)
+        if kinds is not None:
+            kind_mask = np.fromiter(
+                (k in kinds for k in self._kinds), dtype=bool, count=len(self)
+            )
+            mask &= kind_mask
+        return inos[mask], times[mask]
+
+    def churned_inos(self, start: int, end: int) -> np.ndarray:
+        """Inodes created and then unlinked inside the interval.
+
+        Exactly the population weekly snapshot diffs can never see — the
+        measurement gap §4.1.1 concedes.  Event *order* is checked per
+        inode (a create strictly before an unlink), so recycled inode
+        numbers — an unlink followed by an unrelated create — do not count.
+        """
+        times = np.asarray(self._times, dtype=np.int64)
+        window = (times >= start) & (times < end)
+        # record order is the file system's causal order (timestamps can be
+        # backdated by workload models; the log sequence cannot lie)
+        first_create: dict[int, int] = {}
+        churned: set[int] = set()
+        for idx in np.flatnonzero(window):
+            kind = self._kinds[idx]
+            ino = self._inos[idx]
+            if kind is ChangeKind.CREATE:
+                first_create.setdefault(ino, idx)
+            elif kind is ChangeKind.UNLINK and ino in first_create:
+                churned.add(ino)
+        return np.array(sorted(churned), dtype=np.int64)
+
+    def estimated_bytes(self) -> int:
+        """On-disk footprint estimate (Lustre changelog records ≈ 64 B)."""
+        return 64 * len(self)
+
+
+def attach_changelog(fs) -> Changelog:
+    """Instrument a :class:`~repro.fs.filesystem.FileSystem` in place.
+
+    Wraps the mutating entry points so every namespace/data/access event
+    lands in the returned :class:`Changelog`.  Monkey-patching (rather than
+    a subclass) keeps the default file system changelog-free, like the real
+    Spider II — the overhead exists only when someone asks for it.
+    """
+    log = Changelog()
+
+    orig_create_many = fs.create_many
+    orig_create = fs.create
+    orig_mkdir = fs.mkdir
+    orig_unlink = fs.unlink
+    orig_unlink_many = fs.unlink_many
+    orig_rmdir = fs.rmdir
+    orig_read_many = fs.read_many
+    orig_read = fs.read
+    orig_write_many = fs.write_many
+    orig_write = fs.write
+    orig_chown = fs.chown
+
+    def create(parent, name, uid, gid, timestamp=None, stripe_count=None,
+               perm=0o664):
+        ino = orig_create(parent, name, uid, gid, timestamp, stripe_count, perm)
+        log.record(ChangeKind.CREATE, ino, int(fs.inodes.ctime[ino]))
+        return ino
+
+    def create_many(parent, names, uid, gid, timestamps, stripe_count=None,
+                    perm=0o664):
+        inos = orig_create_many(parent, names, uid, gid, timestamps,
+                                stripe_count, perm)
+        log.record_many(ChangeKind.CREATE, inos, fs.inodes.ctime[inos])
+        return inos
+
+    def mkdir(parent, name, uid, gid, timestamp=None, perm=0o775):
+        ino = orig_mkdir(parent, name, uid, gid, timestamp, perm)
+        log.record(ChangeKind.MKDIR, ino, int(fs.inodes.ctime[ino]))
+        return ino
+
+    def unlink(parent, name, timestamp=None):
+        ino = fs.namespace.child(parent, name)
+        orig_unlink(parent, name, timestamp)
+        ts = fs.clock.now if timestamp is None else int(timestamp)
+        log.record(ChangeKind.UNLINK, ino, ts)
+
+    def unlink_many(parent, names, timestamp=None):
+        inos = [fs.namespace.child(parent, n) for n in names]
+        orig_unlink_many(parent, names, timestamp)
+        ts = fs.clock.now if timestamp is None else int(timestamp)
+        log.record_many(ChangeKind.UNLINK, np.asarray(inos, dtype=np.int64), ts)
+
+    def rmdir(parent, name, timestamp=None):
+        ino = fs.namespace.child(parent, name)
+        orig_rmdir(parent, name, timestamp)
+        ts = fs.clock.now if timestamp is None else int(timestamp)
+        log.record(ChangeKind.RMDIR, ino, ts)
+
+    def read(ino, timestamp=None):
+        orig_read(ino, timestamp)
+        ts = fs.clock.now if timestamp is None else int(timestamp)
+        log.record(ChangeKind.READ, ino, ts)
+
+    def read_many(inos, timestamps):
+        orig_read_many(inos, timestamps)
+        log.record_many(ChangeKind.READ, np.asarray(inos, dtype=np.int64),
+                        timestamps)
+
+    def write(ino, timestamp=None):
+        orig_write(ino, timestamp)
+        ts = fs.clock.now if timestamp is None else int(timestamp)
+        log.record(ChangeKind.WRITE, ino, ts)
+
+    def write_many(inos, timestamps):
+        orig_write_many(inos, timestamps)
+        log.record_many(ChangeKind.WRITE, np.asarray(inos, dtype=np.int64),
+                        timestamps)
+
+    def chown(ino, uid, gid, timestamp=None):
+        orig_chown(ino, uid, gid, timestamp)
+        ts = fs.clock.now if timestamp is None else int(timestamp)
+        log.record(ChangeKind.SETATTR, ino, ts)
+
+    fs.create = create
+    fs.create_many = create_many
+    fs.mkdir = mkdir
+    fs.unlink = unlink
+    fs.unlink_many = unlink_many
+    fs.rmdir = rmdir
+    fs.read = read
+    fs.read_many = read_many
+    fs.write = write
+    fs.write_many = write_many
+    fs.chown = chown
+    return log

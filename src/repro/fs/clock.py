@@ -1,0 +1,81 @@
+"""Simulated wall clock for the file system and the workload driver.
+
+The paper's observation window runs from January 2015 to August 2016 with one
+snapshot sampled per week.  The clock counts integer epoch seconds so that
+the snapshot records carry the same Unix-timestamp fields as the LustreDU
+records in the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+SECONDS_PER_DAY = 86_400
+
+#: Monday, January 5th 2015 — the first full week of the paper's window.
+DEFAULT_EPOCH = int(
+    _dt.datetime(2015, 1, 5, tzinfo=_dt.timezone.utc).timestamp()
+)
+
+
+class SimClock:
+    """Integer-second simulation clock.
+
+    The clock only moves forward.  The workload driver advances it one day at
+    a time; behavior models place events *within* the current day by passing
+    an ``offset`` (seconds since midnight) to :meth:`at`.
+    """
+
+    __slots__ = ("epoch", "_now")
+
+    def __init__(self, epoch: int = DEFAULT_EPOCH) -> None:
+        self.epoch = int(epoch)
+        self._now = int(epoch)
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in epoch seconds."""
+        return self._now
+
+    @property
+    def day(self) -> int:
+        """Whole days elapsed since the simulation epoch."""
+        return (self._now - self.epoch) // SECONDS_PER_DAY
+
+    def at(self, offset: int) -> int:
+        """Return an absolute timestamp ``offset`` seconds into the current day."""
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        return self.day_start + int(offset)
+
+    @property
+    def day_start(self) -> int:
+        """Midnight (epoch seconds) of the current simulation day."""
+        return self.epoch + self.day * SECONDS_PER_DAY
+
+    def advance_days(self, days: int = 1) -> int:
+        """Move the clock forward by ``days`` whole days and return ``now``."""
+        if days < 0:
+            raise ValueError(f"cannot move the clock backwards ({days} days)")
+        self._now += days * SECONDS_PER_DAY
+        return self._now
+
+    def advance_to(self, timestamp: int) -> int:
+        """Move the clock forward to an absolute timestamp."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move the clock backwards: {timestamp} < {self._now}"
+            )
+        self._now = int(timestamp)
+        return self._now
+
+    def date(self) -> _dt.date:
+        """Current simulation date (UTC), used to label snapshots."""
+        return _dt.datetime.fromtimestamp(self._now, _dt.timezone.utc).date()
+
+    def datestamp(self) -> str:
+        """``YYYYMMDD`` label in the style of the paper's snapshot names."""
+        return self.date().strftime("%Y%m%d")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SimClock(day={self.day}, now={self._now})"

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the file system simulator.
+
+Mirrors the POSIX errno families the analyses may trip over.  A dedicated
+hierarchy (instead of the built-in ``OSError`` subclasses) keeps simulator
+failures clearly separated from real I/O errors raised by the host Python
+process while writing snapshot files.
+"""
+
+
+class FsError(Exception):
+    """Base class for all simulated file system errors."""
+
+
+class NotFound(FsError):
+    """Raised when a path or inode does not exist (ENOENT)."""
+
+
+class FileExistsError_(FsError):
+    """Raised when creating an entry whose name already exists (EEXIST).
+
+    The trailing underscore avoids shadowing the ``FileExistsError`` builtin
+    while keeping the name recognizable at call sites.
+    """
+
+
+class NotADirectory(FsError):
+    """Raised when a path component is a regular file (ENOTDIR)."""
+
+
+class IsADirectory(FsError):
+    """Raised when a file operation targets a directory (EISDIR)."""
+
+
+class DirectoryNotEmpty(FsError):
+    """Raised when removing a directory that still has entries (ENOTEMPTY)."""
+
+
+class QuotaExceeded(FsError):
+    """Raised when a project exceeds its inode quota (EDQUOT)."""
+
+
+class InvalidArgument(FsError):
+    """Raised for malformed arguments, e.g. an illegal stripe count (EINVAL)."""

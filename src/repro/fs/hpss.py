@@ -1,0 +1,150 @@
+"""HPSS — the archival tier behind the scratch file system.
+
+§2.1: Spider II "is primarily intended to be used as a scratch storage
+system ... after which users are required to move the data to HPSS (an
+archival storage system) for long-term needs", and the paper motivates its
+file-age study with "alleviate unnecessary data movement between the
+scratch PFS and the archive" and "drive archival storage ingest
+requirements" (§1).
+
+The model tracks what those studies need: per-project archived holdings,
+ingest traffic over time (the "archival ingest requirements"), and recall
+traffic — files a project pulls back to scratch after the purge removed
+them, i.e. the cost of a too-aggressive purge window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fs.clock import SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class ArchivedFile:
+    """One object in the archive namespace."""
+
+    name: str
+    gid: int
+    uid: int
+    archived_at: int
+    scratch_mtime: int  # when the data was last produced on scratch
+
+
+@dataclass
+class TransferRecord:
+    timestamp: int
+    gid: int
+    count: int
+    direction: str  # "ingest" | "recall"
+
+
+class HpssArchive:
+    """Archival tier with per-project holdings and transfer accounting."""
+
+    def __init__(self) -> None:
+        # project gid → archive name → ArchivedFile
+        self._holdings: dict[int, dict[str, ArchivedFile]] = {}
+        self.transfers: list[TransferRecord] = []
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(
+        self,
+        gid: int,
+        uid: int,
+        names: list[str],
+        scratch_mtimes: np.ndarray | list[int],
+        timestamp: int,
+    ) -> int:
+        """Archive a batch of files from scratch; returns files stored.
+
+        Re-archiving an existing name overwrites it (HPSS versioning is out
+        of scope; the newest copy wins, like `hsi put`).
+        """
+        if not names:
+            return 0
+        if len(names) != len(scratch_mtimes):
+            raise ValueError("names and scratch_mtimes length mismatch")
+        bucket = self._holdings.setdefault(gid, {})
+        for name, mtime in zip(names, scratch_mtimes):
+            bucket[name] = ArchivedFile(
+                name=name,
+                gid=gid,
+                uid=uid,
+                archived_at=int(timestamp),
+                scratch_mtime=int(mtime),
+            )
+        self.transfers.append(
+            TransferRecord(int(timestamp), gid, len(names), "ingest")
+        )
+        return len(names)
+
+    # -- recall ------------------------------------------------------------
+
+    def recall(self, gid: int, names: list[str], timestamp: int) -> list[ArchivedFile]:
+        """Fetch archived copies back toward scratch; missing names are
+        silently skipped (the caller learns from the returned list)."""
+        bucket = self._holdings.get(gid, {})
+        found = [bucket[name] for name in names if name in bucket]
+        if found:
+            self.transfers.append(
+                TransferRecord(int(timestamp), gid, len(found), "recall")
+            )
+        return found
+
+    def has(self, gid: int, name: str) -> bool:
+        return name in self._holdings.get(gid, {})
+
+    # -- accounting ----------------------------------------------------------
+
+    def holdings(self, gid: int) -> int:
+        return len(self._holdings.get(gid, {}))
+
+    @property
+    def total_archived(self) -> int:
+        return sum(len(b) for b in self._holdings.values())
+
+    def traffic(self, direction: str) -> int:
+        return sum(t.count for t in self.transfers if t.direction == direction)
+
+    def weekly_ingest_series(self, origin: int, n_weeks: int) -> np.ndarray:
+        """Files ingested per week — the §1 'archival ingest requirements'."""
+        series = np.zeros(n_weeks, dtype=np.int64)
+        week_len = 7 * SECONDS_PER_DAY
+        for t in self.transfers:
+            if t.direction != "ingest":
+                continue
+            week = (t.timestamp - origin) // week_len
+            if 0 <= week < n_weeks:
+                series[week] += t.count
+        return series
+
+    def recall_by_project(self) -> dict[int, int]:
+        out: dict[int, int] = {}
+        for t in self.transfers:
+            if t.direction == "recall":
+                out[t.gid] = out.get(t.gid, 0) + t.count
+        return out
+
+
+@dataclass
+class ArchivePolicy:
+    """When a project archives its scratch output.
+
+    ``archive_before_purge``: fraction of purge-endangered files the
+    project copies to HPSS before the sweep would take them — the
+    data-management discipline §3 says scientists need.
+    """
+
+    archive_before_purge: float = 0.5
+    #: files older than this (days since mtime) are archive candidates
+    min_age_days: int = 30
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.archive_before_purge <= 1.0:
+            raise ValueError("archive_before_purge must be in [0, 1]")
+        if self.min_age_days < 0:
+            raise ValueError("min_age_days must be non-negative")

@@ -1,0 +1,115 @@
+"""Object Storage Target (OST) striping allocator.
+
+Spider II exposes 2,016 OSTs behind 288 OSSes; every file is striped across
+``stripe_count`` OSTs (default 4, maximum 1,008 after OLCF raised the limit
+— Section 5 of the paper).  The simulator allocates stripes round-robin,
+which is what Lustre's default QOS-less allocator approximates, and stores
+only ``(start, count)`` per file; the explicit OST list for a LustreDU
+record is derived on demand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fs.errors import InvalidArgument
+
+SPIDER_OST_COUNT = 2016
+SPIDER_OSS_COUNT = 288
+DEFAULT_STRIPE_COUNT = 4
+MAX_STRIPE_COUNT = 1008
+
+
+class OstAllocator:
+    """Round-robin stripe allocator over a fixed pool of OSTs."""
+
+    def __init__(
+        self,
+        ost_count: int = SPIDER_OST_COUNT,
+        default_stripe: int = DEFAULT_STRIPE_COUNT,
+        max_stripe: int = MAX_STRIPE_COUNT,
+    ) -> None:
+        if ost_count <= 0:
+            raise InvalidArgument(f"ost_count must be positive, got {ost_count}")
+        if not (1 <= default_stripe <= min(max_stripe, ost_count)):
+            raise InvalidArgument(
+                f"default stripe {default_stripe} outside [1, {min(max_stripe, ost_count)}]"
+            )
+        self.ost_count = int(ost_count)
+        self.default_stripe = int(default_stripe)
+        self.max_stripe = int(min(max_stripe, ost_count))
+        self._cursor = 0
+        # Per-OST object counts, for load statistics.
+        self.objects = np.zeros(self.ost_count, dtype=np.int64)
+
+    def validate(self, stripe_count: int) -> int:
+        """Clamp-free validation of a user-requested stripe count.
+
+        Lustre accepts ``-1`` to mean "stripe over all OSTs"; we honor that.
+        """
+        if stripe_count == -1:
+            return self.max_stripe
+        if not (1 <= stripe_count <= self.max_stripe):
+            raise InvalidArgument(
+                f"stripe count {stripe_count} outside [1, {self.max_stripe}]"
+            )
+        return int(stripe_count)
+
+    def assign(self, stripe_count: int) -> int:
+        """Allocate stripes for one file; returns the starting OST index."""
+        stripe_count = self.validate(stripe_count)
+        start = self._cursor
+        self._cursor = (self._cursor + stripe_count) % self.ost_count
+        idx = (start + np.arange(stripe_count)) % self.ost_count
+        self.objects[idx] += 1
+        return start
+
+    def assign_many(self, stripe_counts: np.ndarray) -> np.ndarray:
+        """Vectorized allocation: one starting index per requested file."""
+        stripe_counts = np.asarray(stripe_counts, dtype=np.int64)
+        if stripe_counts.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if (stripe_counts < 1).any() or (stripe_counts > self.max_stripe).any():
+            raise InvalidArgument("stripe counts outside the allowed range")
+        offsets = np.concatenate(([0], np.cumsum(stripe_counts)[:-1]))
+        starts = (self._cursor + offsets) % self.ost_count
+        total = int(stripe_counts.sum())
+        self._cursor = (self._cursor + total) % self.ost_count
+        # Per-OST load update: histogram of all allocated stripe indices.
+        flat = (
+            np.repeat(starts, stripe_counts)
+            + _ramp(stripe_counts)
+        ) % self.ost_count
+        self.objects += np.bincount(flat, minlength=self.ost_count)
+        return starts.astype(np.int64)
+
+    def release(self, starts: np.ndarray, counts: np.ndarray) -> None:
+        """Return stripes to the pool when files are deleted."""
+        starts = np.asarray(starts, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if starts.size == 0:
+            return
+        flat = (np.repeat(starts, counts) + _ramp(counts)) % self.ost_count
+        self.objects -= np.bincount(flat, minlength=self.ost_count)
+
+    def stripe_indices(self, start: int, count: int) -> np.ndarray:
+        """The explicit OST index list of one file (for LustreDU export)."""
+        return (int(start) + np.arange(int(count))) % self.ost_count
+
+    def load_imbalance(self) -> float:
+        """Coefficient of variation of per-OST object counts (0 = balanced)."""
+        mean = float(self.objects.mean())
+        if mean == 0.0:
+            return 0.0
+        return float(self.objects.std() / mean)
+
+
+def _ramp(counts: np.ndarray) -> np.ndarray:
+    """``[0,1,..c0-1, 0,1,..c1-1, ...]`` for a vector of counts."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    ramp = np.arange(total, dtype=np.int64)
+    ramp -= np.repeat(ends - counts, counts)
+    return ramp

@@ -1,0 +1,82 @@
+"""Project (group) inode quotas.
+
+OLCF manages scratch space per project allocation; the study motivates "more
+flexible project quota management" (§1).  The simulator tracks inode counts
+per GID, supports optional hard limits, and records high-water marks so the
+capacity-planning example can report peak demand per science domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fs.errors import QuotaExceeded
+
+
+@dataclass
+class QuotaEntry:
+    limit: int | None = None  # None = unlimited
+    used: int = 0
+    peak: int = 0
+    denials: int = 0
+
+
+@dataclass
+class QuotaManager:
+    """Inode-count accounting per GID (project)."""
+
+    entries: dict[int, QuotaEntry] = field(default_factory=dict)
+    enforcing: bool = True
+
+    def set_limit(self, gid: int, limit: int | None) -> None:
+        self._entry(gid).limit = limit
+
+    def _entry(self, gid: int) -> QuotaEntry:
+        entry = self.entries.get(gid)
+        if entry is None:
+            entry = QuotaEntry()
+            self.entries[gid] = entry
+        return entry
+
+    def charge(self, gid: int, count: int) -> None:
+        """Account ``count`` new inodes to ``gid``; raises when over limit."""
+        entry = self._entry(gid)
+        if (
+            self.enforcing
+            and entry.limit is not None
+            and entry.used + count > entry.limit
+        ):
+            entry.denials += 1
+            raise QuotaExceeded(
+                f"gid {gid}: {entry.used} + {count} exceeds limit {entry.limit}"
+            )
+        entry.used += count
+        if entry.used > entry.peak:
+            entry.peak = entry.used
+
+    def refund(self, gid: int, count: int) -> None:
+        entry = self._entry(gid)
+        entry.used = max(0, entry.used - count)
+
+    def usage(self, gid: int) -> int:
+        entry = self.entries.get(gid)
+        return 0 if entry is None else entry.used
+
+    def peak(self, gid: int) -> int:
+        entry = self.entries.get(gid)
+        return 0 if entry is None else entry.peak
+
+    def headroom(self, gid: int) -> int | None:
+        """Remaining inodes before the limit, or ``None`` if unlimited."""
+        entry = self.entries.get(gid)
+        if entry is None or entry.limit is None:
+            return None
+        return max(0, entry.limit - entry.used)
+
+    def report(self) -> list[tuple[int, int, int, int | None]]:
+        """``(gid, used, peak, limit)`` rows sorted by usage, descending."""
+        rows = [
+            (gid, e.used, e.peak, e.limit) for gid, e in self.entries.items()
+        ]
+        rows.sort(key=lambda r: r[1], reverse=True)
+        return rows

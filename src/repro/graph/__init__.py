@@ -1,0 +1,30 @@
+"""Graph substrate for the data-sharing analysis (§4.3).
+
+A small self-contained graph library — the paper ran its network analysis on
+Spark; we provide the same primitives over a CSR adjacency structure:
+connected components (union-find), BFS distances, exact and double-sweep
+diameter, degree statistics, and closeness/betweenness centrality (Brandes).
+
+``networkx`` is intentionally *not* used here — it serves only as a test
+oracle in the test suite.
+"""
+
+from repro.graph.core import Graph
+from repro.graph.components import ConnectedComponents, connected_components
+from repro.graph.traversal import bfs_distances, double_sweep_diameter, exact_diameter, eccentricity
+from repro.graph.centrality import betweenness_centrality, closeness_centrality, degree_centrality
+from repro.graph.unionfind import UnionFind
+
+__all__ = [
+    "Graph",
+    "ConnectedComponents",
+    "connected_components",
+    "bfs_distances",
+    "double_sweep_diameter",
+    "exact_diameter",
+    "eccentricity",
+    "betweenness_centrality",
+    "closeness_centrality",
+    "degree_centrality",
+    "UnionFind",
+]

@@ -1,0 +1,47 @@
+"""Disjoint-set forest (union-find) with path halving and union by size."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class UnionFind:
+    """Array-backed disjoint sets over ``0..n-1``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+        self.n_sets = n
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]  # path halving
+            x = int(parent[x])
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; returns True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.n_sets -= 1
+        return True
+
+    def union_edges(self, edges: np.ndarray) -> None:
+        """Union along every edge of an ``(m, 2)`` array."""
+        for a, b in np.asarray(edges, dtype=np.int64).reshape(-1, 2):
+            self.union(int(a), int(b))
+
+    def groups(self) -> np.ndarray:
+        """Canonical root label per element (all elements, vectorized finish)."""
+        roots = np.empty(self.parent.size, dtype=np.int64)
+        for i in range(self.parent.size):
+            roots[i] = self.find(i)
+        return roots

@@ -1,0 +1,15 @@
+"""Vectorized columnar query engine — the SparkSQL substitute.
+
+The paper runs its analyses as SparkSQL jobs over Parquet snapshots on a
+32-node cluster (§3).  The analyses themselves are column scans, filters,
+group-by aggregations, and joins; :class:`~repro.query.table.ColumnTable`
+provides exactly those, vectorized over NumPy arrays, and
+:mod:`repro.query.parallel` fans independent per-snapshot queries out over a
+process pool (fork-based, zero-copy via copy-on-write), mirroring Spark's
+per-partition parallelism at laptop scale.
+"""
+
+from repro.query.table import ColumnTable, GroupBy
+from repro.query.parallel import SnapshotExecutor, snapshot_map
+
+__all__ = ["ColumnTable", "GroupBy", "SnapshotExecutor", "snapshot_map"]

@@ -1,0 +1,232 @@
+"""Columnar table with vectorized relational operations.
+
+A deliberately small engine: enough to express every query in the paper's
+analysis suite (filter → group-by → aggregate → join), while staying pure
+NumPy.  Group-by uses a lexsort + ``reduceat`` plan, the textbook vectorized
+aggregation strategy for columnar data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+
+class ColumnTable:
+    """Immutable-ish dict of equally-long NumPy columns."""
+
+    def __init__(self, columns: dict[str, np.ndarray]) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        lengths = {name: np.asarray(col).shape[0] for name, col in columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise ValueError(f"ragged columns: {lengths}")
+        self._cols = {name: np.asarray(col) for name, col in columns.items()}
+        self.n_rows = next(iter(lengths.values()))
+
+    # -- basic access ------------------------------------------------------
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._cols)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._cols[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cols
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def select(self, names: Sequence[str]) -> "ColumnTable":
+        return ColumnTable({n: self._cols[n] for n in names})
+
+    def with_column(self, name: str, values: np.ndarray) -> "ColumnTable":
+        values = np.asarray(values)
+        if values.shape[0] != self.n_rows:
+            raise ValueError(
+                f"column {name}: {values.shape[0]} rows, table has {self.n_rows}"
+            )
+        cols = dict(self._cols)
+        cols[name] = values
+        return ColumnTable(cols)
+
+    def filter(self, mask: np.ndarray) -> "ColumnTable":
+        mask = np.asarray(mask)
+        if mask.dtype != bool or mask.shape[0] != self.n_rows:
+            raise ValueError("filter needs a boolean mask of table length")
+        return ColumnTable({n: c[mask] for n, c in self._cols.items()})
+
+    def take(self, indices: np.ndarray) -> "ColumnTable":
+        return ColumnTable({n: c[indices] for n, c in self._cols.items()})
+
+    def sort_by(self, name: str, descending: bool = False) -> "ColumnTable":
+        order = np.argsort(self._cols[name], kind="stable")
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def head(self, n: int = 5) -> "ColumnTable":
+        return self.take(np.arange(min(n, self.n_rows)))
+
+    def to_dicts(self) -> list[dict]:
+        """Row-wise materialization (tests and report rendering only)."""
+        names = self.column_names
+        return [
+            {name: self._cols[name][i].item() for name in names}
+            for i in range(self.n_rows)
+        ]
+
+    # -- relational ops ------------------------------------------------------
+
+    def groupby(self, keys: str | Sequence[str]) -> "GroupBy":
+        key_names = [keys] if isinstance(keys, str) else list(keys)
+        for k in key_names:
+            if k not in self._cols:
+                raise KeyError(k)
+        return GroupBy(self, key_names)
+
+    def join(self, other: "ColumnTable", on: str, how: str = "inner") -> "ColumnTable":
+        """Equi-join on one integer key column.
+
+        ``inner`` keeps matching rows; ``left`` keeps all left rows, filling
+        unmatched right numeric columns with -1.  Right key must be unique
+        (it is a dimension table in every use here: accounts, projects).
+        """
+        if how not in ("inner", "left"):
+            raise ValueError(f"unsupported join type {how!r}")
+        left_key = self._cols[on]
+        right_key = other._cols[on]
+        uniq, first = np.unique(right_key, return_index=True)
+        if uniq.size != right_key.size:
+            raise ValueError(f"join key {on!r} is not unique on the right side")
+        pos = np.searchsorted(uniq, left_key)
+        pos_clipped = np.clip(pos, 0, uniq.size - 1)
+        matched = uniq[pos_clipped] == left_key
+        right_rows = first[pos_clipped]
+        if how == "inner":
+            keep = np.flatnonzero(matched)
+            cols = {n: c[keep] for n, c in self._cols.items()}
+            for n, c in other._cols.items():
+                if n != on:
+                    cols[n] = c[right_rows[keep]]
+            return ColumnTable(cols)
+        # left join
+        cols = dict(self._cols)
+        for n, c in other._cols.items():
+            if n == on:
+                continue
+            out = c[right_rows].copy()
+            if np.issubdtype(out.dtype, np.number):
+                out[~matched] = -1
+            else:
+                out = out.astype(object)
+                out[~matched] = None
+            cols[n] = out
+        return ColumnTable(cols)
+
+    def unique(self, name: str) -> np.ndarray:
+        return np.unique(self._cols[name])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ColumnTable({self.n_rows} rows, cols={self.column_names})"
+
+
+class GroupBy:
+    """Lazily-planned group-by over one or more key columns."""
+
+    def __init__(self, table: ColumnTable, keys: list[str]) -> None:
+        self.table = table
+        self.keys = keys
+        key_cols = [table[k] for k in keys]
+        # lexsort: last key is primary, so reverse for intuitive ordering
+        self._order = np.lexsort(key_cols[::-1])
+        sorted_keys = [c[self._order] for c in key_cols]
+        if table.n_rows == 0:
+            self._starts = np.empty(0, dtype=np.int64)
+        else:
+            change = np.zeros(table.n_rows, dtype=bool)
+            change[0] = True
+            for c in sorted_keys:
+                change[1:] |= c[1:] != c[:-1]
+            self._starts = np.flatnonzero(change)
+        self._sorted_keys = sorted_keys
+
+    @property
+    def n_groups(self) -> int:
+        return int(self._starts.size)
+
+    def _key_columns(self) -> dict[str, np.ndarray]:
+        return {
+            name: col[self._starts]
+            for name, col in zip(self.keys, self._sorted_keys)
+        }
+
+    def _sorted(self, name: str) -> np.ndarray:
+        return self.table[name][self._order]
+
+    def count(self, as_name: str = "count") -> ColumnTable:
+        cols = self._key_columns()
+        n = self.table.n_rows
+        sizes = np.diff(np.append(self._starts, n))
+        cols[as_name] = sizes.astype(np.int64)
+        return ColumnTable(cols)
+
+    def _reduceat(self, name: str, ufunc: np.ufunc, as_name: str) -> ColumnTable:
+        cols = self._key_columns()
+        if self.n_groups == 0:
+            cols[as_name] = np.empty(0, dtype=self.table[name].dtype)
+            return ColumnTable(cols)
+        cols[as_name] = ufunc.reduceat(self._sorted(name), self._starts)
+        return ColumnTable(cols)
+
+    def sum(self, name: str, as_name: str | None = None) -> ColumnTable:
+        return self._reduceat(name, np.add, as_name or f"{name}_sum")
+
+    def min(self, name: str, as_name: str | None = None) -> ColumnTable:
+        return self._reduceat(name, np.minimum, as_name or f"{name}_min")
+
+    def max(self, name: str, as_name: str | None = None) -> ColumnTable:
+        return self._reduceat(name, np.maximum, as_name or f"{name}_max")
+
+    def mean(self, name: str, as_name: str | None = None) -> ColumnTable:
+        cols = self._key_columns()
+        n = self.table.n_rows
+        sizes = np.diff(np.append(self._starts, n))
+        if self.n_groups == 0:
+            cols[as_name or f"{name}_mean"] = np.empty(0, dtype=np.float64)
+            return ColumnTable(cols)
+        sums = np.add.reduceat(self._sorted(name).astype(np.float64), self._starts)
+        cols[as_name or f"{name}_mean"] = sums / sizes
+        return ColumnTable(cols)
+
+    def nunique(self, name: str, as_name: str | None = None) -> ColumnTable:
+        cols = self._key_columns()
+        out = np.empty(self.n_groups, dtype=np.int64)
+        data = self._sorted(name)
+        bounds = np.append(self._starts, self.table.n_rows)
+        for i in range(self.n_groups):
+            out[i] = np.unique(data[bounds[i] : bounds[i + 1]]).size
+        cols[as_name or f"{name}_nunique"] = out
+        return ColumnTable(cols)
+
+    def apply(self, name: str, fn: Callable[[np.ndarray], float],
+              as_name: str | None = None) -> ColumnTable:
+        """Arbitrary per-group reduction (e.g. the burstiness ``c_v``)."""
+        cols = self._key_columns()
+        data = self._sorted(name)
+        bounds = np.append(self._starts, self.table.n_rows)
+        out = np.empty(self.n_groups, dtype=np.float64)
+        for i in range(self.n_groups):
+            out[i] = fn(data[bounds[i] : bounds[i + 1]])
+        cols[as_name or f"{name}_apply"] = out
+        return ColumnTable(cols)
+
+    def groups(self):
+        """Iterate ``(key_tuple, row_indices)`` pairs (original row ids)."""
+        bounds = np.append(self._starts, self.table.n_rows)
+        for i in range(self.n_groups):
+            key = tuple(c[self._starts[i]].item() for c in self._sorted_keys)
+            yield key, self._order[bounds[i] : bounds[i + 1]]

@@ -1,0 +1,108 @@
+"""Collection-wide path interning.
+
+The same file appears in dozens of weekly snapshots; interning each distinct
+path string once and letting snapshots carry integer path ids turns the
+paper's week-over-week set algebra ("intersection pathnames", §4.2.3) into
+sorted-integer operations and cuts memory by the snapshot count.
+
+Per-path *derived* attributes that never change for a given path string —
+component depth and file extension — are computed exactly once at intern
+time and stored in parallel NumPy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scan.extensions import ExtensionTable, split_extension
+
+_INITIAL = 1024
+
+
+class PathTable:
+    """Interning dictionary for absolute paths with derived columns."""
+
+    def __init__(self, extensions: ExtensionTable | None = None) -> None:
+        self._ids: dict[str, int] = {}
+        self.paths: list[str] = []
+        self.extensions = extensions if extensions is not None else ExtensionTable()
+        self.depth = np.zeros(_INITIAL, dtype=np.int16)
+        self.ext_id = np.zeros(_INITIAL, dtype=np.int32)
+
+    def _grow_to(self, needed: int) -> None:
+        cap = self.depth.shape[0]
+        if needed <= cap:
+            return
+        new_cap = cap
+        while new_cap < needed:
+            new_cap *= 2
+        for name in ("depth", "ext_id"):
+            old = getattr(self, name)
+            grown = np.zeros(new_cap, dtype=old.dtype)
+            grown[: cap] = old
+            setattr(self, name, grown)
+
+    def intern(self, path: str) -> int:
+        """Intern one absolute path; returns its dense id."""
+        pid = self._ids.get(path)
+        if pid is not None:
+            return pid
+        pid = len(self.paths)
+        self._ids[path] = pid
+        self.paths.append(path)
+        self._grow_to(pid + 1)
+        depth = path.count("/") - (1 if path.endswith("/") else 0)
+        self.depth[pid] = min(depth, np.iinfo(np.int16).max)
+        leaf = path.rsplit("/", 1)[-1]
+        self.ext_id[pid] = self.extensions.intern(split_extension(leaf))
+        return pid
+
+    def intern_with_depth(self, path: str, depth: int) -> int:
+        """Intern when the caller already knows the component depth.
+
+        The LustreDU scanner tracks depth during the tree walk, so this
+        avoids re-counting separators on the hot path.
+        """
+        pid = self._ids.get(path)
+        if pid is not None:
+            return pid
+        pid = len(self.paths)
+        self._ids[path] = pid
+        self.paths.append(path)
+        self._grow_to(pid + 1)
+        self.depth[pid] = min(depth, np.iinfo(np.int16).max)
+        leaf = path.rsplit("/", 1)[-1]
+        self.ext_id[pid] = self.extensions.intern(split_extension(leaf))
+        return pid
+
+    def intern_many(self, paths: list[str]) -> np.ndarray:
+        """Intern a batch; returns the id array."""
+        out = np.empty(len(paths), dtype=np.int64)
+        for i, p in enumerate(paths):
+            out[i] = self.intern(p)
+        return out
+
+    def id_of(self, path: str) -> int | None:
+        return self._ids.get(path)
+
+    def path_of(self, pid: int) -> str:
+        return self.paths[pid]
+
+    def depths_of(self, pids: np.ndarray) -> np.ndarray:
+        return self.depth[pids].astype(np.int64)
+
+    def ext_ids_of(self, pids: np.ndarray) -> np.ndarray:
+        return self.ext_id[pids].astype(np.int64)
+
+    def component(self, pid: int, index: int) -> str | None:
+        """The ``index``-th path component (0-based below the root), or None."""
+        parts = self.paths[pid].strip("/").split("/")
+        if 0 <= index < len(parts):
+            return parts[index]
+        return None
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._ids

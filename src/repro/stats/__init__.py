@@ -1,0 +1,29 @@
+"""Statistics utilities shared by the analysis modules.
+
+Everything here is pure NumPy: empirical CDFs (Figures 6 and 8), five-number
+summaries (Figures 9, 14, 17), the coefficient of variation that defines the
+paper's burstiness metric (§4.2.4), and the discrete power-law MLE used to
+characterize the file generation network's degree distribution (Figure 18).
+"""
+
+from repro.stats.cdf import Cdf, ecdf, quantiles
+from repro.stats.dispersion import (
+    coefficient_of_variation,
+    five_number_summary,
+    gini,
+)
+from repro.stats.histogram import log_binned_histogram, ratio_breakdown
+from repro.stats.powerlaw import PowerLawFit, fit_power_law
+
+__all__ = [
+    "Cdf",
+    "ecdf",
+    "quantiles",
+    "coefficient_of_variation",
+    "five_number_summary",
+    "gini",
+    "log_binned_histogram",
+    "ratio_breakdown",
+    "PowerLawFit",
+    "fit_power_law",
+]

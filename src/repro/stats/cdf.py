@@ -1,0 +1,72 @@
+"""Empirical cumulative distribution functions.
+
+The paper plots CDFs of projects-per-user, users-per-project (Figure 6),
+directory depth, and per-user/per-project file counts (Figure 8).  ``Cdf``
+is a lightweight container holding the sorted support and cumulative
+probabilities, with the evaluation/inverse helpers the report renderers use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """Empirical CDF: ``P(X <= values[i]) == probs[i]``."""
+
+    values: np.ndarray
+    probs: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.shape != self.probs.shape:
+            raise ValueError("values and probs must be the same shape")
+        if self.values.size == 0:
+            raise ValueError("cannot build a CDF from an empty sample")
+
+    def at(self, x: float) -> float:
+        """``P(X <= x)``."""
+        idx = np.searchsorted(self.values, x, side="right") - 1
+        if idx < 0:
+            return 0.0
+        return float(self.probs[idx])
+
+    def quantile(self, q: float) -> float:
+        """Smallest x with ``P(X <= x) >= q`` (inverse CDF)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        idx = int(np.searchsorted(self.probs, q, side="left"))
+        idx = min(idx, self.values.size - 1)
+        return float(self.values[idx])
+
+    def tail_fraction(self, x: float) -> float:
+        """``P(X > x)`` — e.g. 'fraction of projects with depth > 10'."""
+        return 1.0 - self.at(x)
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def as_series(self) -> list[tuple[float, float]]:
+        """(value, cumulative probability) pairs for plotting/printing."""
+        return list(zip(self.values.tolist(), self.probs.tolist()))
+
+
+def ecdf(sample: np.ndarray) -> Cdf:
+    """Build the empirical CDF of a 1-D sample (duplicates collapsed)."""
+    sample = np.asarray(sample)
+    if sample.size == 0:
+        raise ValueError("cannot build a CDF from an empty sample")
+    values, counts = np.unique(sample, return_counts=True)
+    probs = np.cumsum(counts) / sample.size
+    return Cdf(values=values.astype(np.float64), probs=probs)
+
+
+def quantiles(sample: np.ndarray, qs: tuple[float, ...] = (0.25, 0.5, 0.75)) -> np.ndarray:
+    """Convenience wrapper: empirical quantiles of a sample."""
+    sample = np.asarray(sample, dtype=np.float64)
+    if sample.size == 0:
+        raise ValueError("cannot take quantiles of an empty sample")
+    return np.quantile(sample, qs)

@@ -1,0 +1,43 @@
+"""Histogram helpers for heavy-tailed count data."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def log_binned_histogram(
+    sample: np.ndarray, bins_per_decade: int = 4
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram a positive heavy-tailed sample into logarithmic bins.
+
+    Returns ``(bin_centers, densities)`` suitable for the log-log degree
+    plot of Figure 18(b).  Densities are normalized by bin width so a
+    power law appears as a straight line.
+    """
+    sample = np.asarray(sample, dtype=np.float64)
+    sample = sample[sample > 0]
+    if sample.size == 0:
+        raise ValueError("log binning requires positive values")
+    lo = np.floor(np.log10(sample.min()))
+    hi = np.ceil(np.log10(sample.max())) + 1e-9
+    n_bins = max(1, int(np.ceil((hi - lo) * bins_per_decade)))
+    edges = np.logspace(lo, hi, n_bins + 1)
+    counts, _ = np.histogram(sample, bins=edges)
+    widths = np.diff(edges)
+    centers = np.sqrt(edges[:-1] * edges[1:])
+    densities = counts / (widths * sample.size)
+    keep = counts > 0
+    return centers[keep], densities[keep]
+
+
+def ratio_breakdown(counts: dict[str, int]) -> dict[str, float]:
+    """Normalize a category→count map into fractions summing to 1.
+
+    Used for the access-pattern breakdown (Figure 13) and the user
+    classification pies (Figure 5).  An all-zero map yields all-zero
+    fractions rather than NaNs.
+    """
+    total = sum(counts.values())
+    if total == 0:
+        return {k: 0.0 for k in counts}
+    return {k: v / total for k, v in counts.items()}

@@ -1,0 +1,41 @@
+"""Synthetic OLCF population and workload generator.
+
+The study's raw input — 500 days of Spider II metadata snapshots — is
+proprietary.  This package generates a synthetic center whose *published*
+per-domain marginals match the paper:
+
+* :mod:`repro.synth.domains` — the 35-science-domain catalog, transcribed
+  from Tables 1 and 2 (project counts, cumulative entry counts, directory
+  depth bands, extension mixes, language pairs, stripe maxima, burstiness
+  bands, network membership probabilities);
+* :mod:`repro.synth.languages` — the programming-language catalog with IEEE
+  Spectrum ranks (Figure 11);
+* :mod:`repro.synth.population` — 1,362 users across 380 projects with the
+  paper's organization mix (Figure 5) and membership structure (Figure 6,
+  §4.3);
+* :mod:`repro.synth.behavior` — per-project weekly workload models (bursty
+  write sessions, read campaigns, keep-alive touches, deletions, directory
+  tree growth, stripe tuning);
+* :mod:`repro.synth.driver` — steps the file system week by week over the
+  500-day window, purging and scanning on the paper's schedule.
+"""
+
+from repro.synth.domains import DOMAINS, DomainSpec, domain_codes
+from repro.synth.languages import LANGUAGES, LanguageSpec
+from repro.synth.population import Population, UserRecord, ProjectRecord, generate_population
+from repro.synth.driver import SimulationConfig, SimulationDriver, SimulationResult
+
+__all__ = [
+    "DOMAINS",
+    "DomainSpec",
+    "domain_codes",
+    "LANGUAGES",
+    "LanguageSpec",
+    "Population",
+    "UserRecord",
+    "ProjectRecord",
+    "generate_population",
+    "SimulationConfig",
+    "SimulationDriver",
+    "SimulationResult",
+]

@@ -1,0 +1,230 @@
+"""Science-domain catalog, transcribed from the paper's Tables 1 and 2.
+
+Each :class:`DomainSpec` carries the published per-domain marginals the
+synthesizer is calibrated against:
+
+* ``n_projects`` and ``entries_k`` — Table 1 (project count, cumulative
+  unique entries in thousands over the 500-day window);
+* ``depth_median`` / ``depth_max`` — Table 1's "Dir. Depth [median, max]";
+* ``ext_top`` — Table 2's top-three extensions with their popularity (%);
+* ``languages`` — Table 1's top-two programming languages;
+* ``min_ost`` / ``max_ost`` — Figure 14 / Table 1's "# OST" column (the
+  per-domain maximum stripe count; domains that tune downwards get
+  ``min_ost < 4``);
+* ``write_cv`` / ``read_cv`` — Table 1's burstiness bands (``None`` where
+  the paper excluded the domain for accessing fewer than 100 files/week);
+* ``network_pct`` — probability (%) of a domain project appearing in the
+  largest connected component (Table 1 / Figure 19(b));
+* ``collab_pct`` — Table 1's "Collab." column (share of project-sharing
+  user pairs whose shared project is in this domain, Figure 20);
+* ``users_median`` — median users per project (Figure 6(c): env, nfi, chp,
+  cli, stf exceed 10);
+* ``dir_fraction`` — directory share of the domain's entries (§4.1.2:
+  ≈15% on average, but Atmospheric Science is 90% and HEP 67%);
+* ``campaign_week`` — center of a domain-scale production campaign, for
+  the extension spikes of Figure 10 (``.bb`` ≈ July 2015 → week 26,
+  ``.xyz`` ≈ February 2016 → week 56);
+* ``stress_depth`` — the pathological directory chains the paper calls
+  out (a Staff metadata stress test at depth 2,030, a General project at
+  432).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    code: str
+    name: str
+    n_projects: int
+    entries_k: float
+    depth_median: int
+    depth_max: int
+    ext_top: tuple[tuple[str, float], ...]
+    languages: tuple[str, str]
+    max_ost: int
+    write_cv: float | None
+    read_cv: float | None
+    network_pct: float
+    collab_pct: float
+    min_ost: int = 4
+    users_median: int = 3
+    dir_fraction: float = 0.15
+    campaign_week: int | None = None
+    stress_depth: int | None = None
+
+    @property
+    def entries(self) -> float:
+        """Cumulative unique entries at paper scale."""
+        return self.entries_k * 1000.0
+
+    @property
+    def tunes_stripes(self) -> bool:
+        """Does this domain configure OST counts away from the default 4?"""
+        return self.max_ost != 4 or self.min_ost != 4
+
+
+_D = DomainSpec
+
+DOMAINS: dict[str, DomainSpec] = {
+    spec.code: spec
+    for spec in (
+        _D("aph", "Accelerator Physics", 4, 3_367, 10, 22,
+           (("h5", 1.3), ("png", 1.1), ("py", 0.7)),
+           ("Python", "C"), 4, 0.052, 0.001, 0.00, 0.02),
+        _D("ard", "Aerodynamics", 16, 39_443, 10, 24,
+           (("png", 11.0), ("gz", 8.3), ("dat", 4.2)),
+           ("Python", "C"), 4, 0.209, 0.002, 43.75, 0.60),
+        _D("ast", "Astrophysics", 15, 75_365, 9, 24,
+           (("bin", 3.5), ("txt", 2.0), ("ascii", 1.8)),
+           ("Python", "C"), 122, 0.247, 0.002, 20.00, 1.95),
+        _D("atm", "Atmospheric Science", 4, 4_959, 15, 18,
+           (("png", 8.4), ("o", 8.3), ("svn-base", 6.4)),
+           ("Fortran", "C"), 4, None, None, 50.00, 0.24,
+           dir_fraction=0.90),
+        _D("bif", "Bioinformatics", 5, 243_339, 9, 23,
+           (("fasta", 41.3), ("fa", 23.1), ("sif", 9.2)),
+           ("Prolog", "Matlab"), 4, 0.295, 0.002, 40.00, 0.56,
+           min_ost=2),
+        _D("bio", "Biology", 3, 62_009, 10, 18,
+           (("pdbqt", 97.6), ("coor", 0.2), ("xsc", 0.2)),
+           ("C++", "C"), 4, 0.104, 0.001, 66.67, 0.10,
+           min_ost=2),
+        _D("bip", "Biophysics", 37, 595_564, 11, 67,
+           (("bz2", 54.8), ("xyz", 23.3), ("domtab", 5.4)),
+           ("Python", "C"), 4, 0.415, 0.003, 40.54, 2.24,
+           min_ost=1),
+        _D("chm", "Chemistry", 14, 37_272, 8, 17,
+           (("xvg", 21.8), ("txt", 5.7), ("label", 5.5)),
+           ("C", "Fortran"), 4, 0.262, 0.001, 50.00, 0.25),
+        _D("chp", "Physical Chemistry", 2, 379_867, 8, 21,
+           (("xyz", 63.4), ("GraphGeod", 16.6), ("Graph", 16.5)),
+           ("C", "Python"), 4, 0.397, 0.003, 100.00, 2.09,
+           min_ost=1, users_median=11, campaign_week=56),
+        _D("cli", "Climate Science", 21, 211_876, 11, 50,
+           (("nc", 40.3), ("mat", 19.3), ("txt", 3.6)),
+           ("Matlab", "C"), 4, 0.421, 0.003, 76.19, 45.80,
+           min_ost=2, users_median=12),
+        _D("cmb", "Combustion", 24, 254_813, 11, 27,
+           (("png", 4.0), ("h5", 2.0), ("gz", 1.6)),
+           ("C", "C++"), 5, 0.304, 0.003, 66.67, 7.91),
+        _D("cph", "Condensed Matter Physics", 13, 26_488, 10, 30,
+           (("dat", 10.2), ("h5", 4.9), ("gz", 4.0)),
+           ("C", "C++"), 4, 0.366, 0.002, 46.15, 2.22,
+           min_ost=1),
+        _D("csc", "Computer Science", 62, 445_189, 15, 40,
+           (("h", 10.3), ("py", 7.8), ("txt", 4.9)),
+           ("C", "Python"), 33, 0.267, 0.003, 61.29, 38.54),
+        _D("env", "Plasma Physics", 1, 26_389, 11, 24,
+           (("gz", 2.1), ("bp", 0.8), ("def", 0.8)),
+           ("Fortran", "C"), 2, 0.511, 0.003, 100.00, 1.96,
+           min_ost=1, users_median=12),
+        _D("fus", "Fusion Energy", 16, 92_844, 8, 25,
+           (("psc", 13.8), ("gda", 1.0), ("hpp", 0.5)),
+           ("C++", "C"), 13, 0.346, 0.003, 62.50, 3.70),
+        _D("gen", "General", 4, 833, 10, 432,
+           (("data", 40.4), ("index", 40.2), ("F", 9.5)),
+           ("Fortran", "C"), 4, 0.262, 0.004, 25.00, 0.06,
+           stress_depth=432),
+        _D("geo", "Geosciences", 12, 308_767, 9, 21,
+           (("sac", 43.0), ("mseed", 14.3), ("xml", 11.9)),
+           ("C", "Fortran"), 29, 0.342, 0.002, 50.00, 2.44),
+        _D("hep", "High Energy Physics", 3, 2_181, 14, 22,
+           (("0", 3.1), ("svn-base", 1.9), ("py", 1.0)),
+           ("Python", "C"), 4, 0.343, 0.003, 33.33, 0.45,
+           dir_fraction=0.67),
+        _D("lgt", "Lattice Gauge Theory", 3, 16_710, 10, 20,
+           (("dat", 24.8), ("vml", 11.1), ("actual", 9.4)),
+           ("C", "C++"), 4, 0.495, 0.003, 33.33, 0.31,
+           min_ost=2),
+        _D("lsc", "Life Sciences", 4, 30_351, 8, 24,
+           (("map", 43.7), ("gpf", 14.8), ("dpf", 8.5)),
+           ("C", "C++"), 4, 0.196, 0.001, 25.00, 0.30),
+        _D("mat", "Materials Science", 34, 202_809, 16, 29,
+           (("dat", 44.2), ("d", 15.9), ("txt", 14.9)),
+           ("Fortran", "Prolog"), 4, 0.339, 0.003, 58.82, 5.45,
+           min_ost=1),
+        _D("med", "Medical Science", 3, 538, 7, 18,
+           (("txt", 69.4), ("py", 3.2), ("dat", 2.9)),
+           ("Python", "C"), 4, 0.004, 0.000, 0.00, 0.00),
+        _D("mph", "Molecular Physics", 4, 2_267, 5, 15,
+           (("out", 17.6), ("vtr", 17.4), ("gen", 13.6)),
+           ("Fortran", "C++"), 4, 0.404, 0.002, 50.00, 0.22,
+           min_ost=2),
+        _D("nel", "Nanoelectronics", 4, 808, 11, 17,
+           (("dat", 1.9), ("bin", 1.8), ("o", 1.5)),
+           ("Fortran", "C++"), 4, 0.462, 0.003, 50.00, 0.18),
+        _D("nfi", "Nuclear Fission", 9, 22_158, 11, 26,
+           (("hpp", 8.0), ("cpp", 8.0), ("h", 6.3)),
+           ("C++", "C"), 4, 0.338, 0.002, 77.78, 14.95,
+           users_median=11),
+        _D("nfu", "Nuclear Fusion", 2, 301, 11, 14,
+           (("m", 3.9), ("1", 0.7), ("inp", 0.6)),
+           ("Matlab", "C"), 4, 0.221, 0.001, 100.00, 0.02),
+        _D("nph", "Nuclear Physics", 14, 286_523, 7, 23,
+           (("bb", 79.1), ("xml", 1.8), ("vml", 1.6)),
+           ("C", "C++"), 13, 0.385, 0.003, 92.86, 2.65,
+           campaign_week=26),
+        _D("nro", "Neuroscience", 1, 10_935, 9, 19,
+           (("txt", 53.7), ("swc", 19.6), ("log", 15.4)),
+           ("Matlab", "C"), 4, 0.361, 0.003, 100.00, 0.11,
+           min_ost=1),
+        _D("nti", "Nanoscience", 6, 3_359, 11, 18,
+           (("cif", 3.5), ("POSCAR", 2.3), ("svn-base", 1.9)),
+           ("Fortran", "C"), 4, 0.335, 0.002, 16.67, 1.09),
+        _D("phy", "Physics", 9, 8_155, 8, 20,
+           (("rst", 32.6), ("jld", 18.2), ("txt", 13.5)),
+           ("C++", "Fortran"), 5, 0.333, 0.002, 55.56, 0.53),
+        _D("pss", "Solar/Space Physics", 1, 0.09, 3, 4,
+           (("nc", 45.3), ("m", 44.1), ("tar", 6.5)),
+           ("Matlab", "Prolog"), 4, None, 0.000, 0.00, 0.00),
+        _D("stf", "Staff", 9, 631_468, 12, 2030,
+           (("log", 10.3), ("inp", 4.3), ("pn", 3.9)),
+           ("Matlab", "C++"), 7, 0.249, 0.002, 77.78, 22.61,
+           users_median=15, stress_depth=2030),
+        _D("syb", "Systems Biology", 2, 451, 8, 17,
+           (("txt", 24.0), ("npy", 10.4), ("c", 5.7)),
+           ("C", "Python"), 4, None, None, 50.00, 0.07),
+        _D("tur", "Turbulence", 9, 320_295, 8, 16,
+           (("water", 0.9), ("h5", 0.6), ("vtr", 0.4)),
+           ("Python", "C++"), 44, 0.340, 0.002, 33.33, 0.30),
+        _D("ven", "Vendor", 10, 1_271, 12, 26,
+           (("hpp", 6.0), ("html", 5.3), ("o", 5.1)),
+           ("C++", "C"), 4, 0.082, 0.003, 30.00, 1.23),
+    )
+}
+
+#: Non-science tenant groups the paper sometimes excludes (e.g. from the
+#: collaboration analysis, §4.3.3).
+SYSTEM_DOMAINS: frozenset[str] = frozenset({"stf", "gen", "ven"})
+
+TOTAL_PROJECTS = sum(spec.n_projects for spec in DOMAINS.values())
+TOTAL_ACTIVE_USERS = 1362  # paper abstract / §4.1.1
+TOTAL_REGISTERED_USERS = 13_695  # §4.1.1
+
+
+def domain_codes() -> list[str]:
+    """Domain codes in Table 1 (alphabetical) order."""
+    return sorted(DOMAINS)
+
+
+def validate_catalog() -> None:
+    """Internal consistency checks against the paper's headline numbers."""
+    if TOTAL_PROJECTS != 380:
+        raise AssertionError(f"catalog has {TOTAL_PROJECTS} projects, paper has 380")
+    if len(DOMAINS) != 35:
+        raise AssertionError(f"catalog has {len(DOMAINS)} domains, paper has 35")
+    for spec in DOMAINS.values():
+        if spec.depth_median > spec.depth_max:
+            raise AssertionError(f"{spec.code}: median depth > max depth")
+        if not 0.0 <= spec.network_pct <= 100.0:
+            raise AssertionError(f"{spec.code}: network_pct out of range")
+        if spec.min_ost > spec.max_ost:
+            raise AssertionError(f"{spec.code}: min_ost > max_ost")
+        if not spec.ext_top:
+            raise AssertionError(f"{spec.code}: missing extension mix")
+
+
+validate_catalog()

@@ -1,0 +1,218 @@
+"""Simulation driver: the 500-day observation window.
+
+Steps the whole synthetic center week by week over the paper's measurement
+window (January 2015 → August 2016, 72 weekly snapshots):
+
+1. every project behavior runs one week of activity;
+2. the clock advances to the end of the week;
+3. LustreDU scans the full namespace (unless the week is one of the
+   configured "missing weeks" — the paper lost a few snapshots to system
+   maintenance);
+4. the purge engine sweeps files unaccessed for 90 days (OLCF purges
+   nightly off the LustreDU list; weekly granularity here, which is exactly
+   the snapshot resolution the analyses see);
+5. behaviors reconcile their live-file tracking against the purge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fs.clock import SimClock
+from repro.fs.filesystem import FileSystem
+from repro.fs.purge import PurgePolicy, PurgeReport
+from repro.query.parallel import SnapshotExecutor
+from repro.scan.lustredu import LustreDuScanner
+from repro.scan.snapshot import SnapshotCollection
+from repro.synth.behavior import build_behaviors
+from repro.fs.hpss import HpssArchive
+from repro.synth.joblog import JobLog
+from repro.synth.population import Population, generate_population
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of one simulated center.
+
+    ``scale`` multiplies the paper-scale per-domain entry counts (Table 1);
+    the default of 2.5e-5 yields ≈100 K cumulative entries — large enough
+    for every distribution to have shape, small enough for a laptop.  The
+    population (users, projects, domains) is always generated at full scale,
+    so the §4.3 network results reproduce 1:1.
+    """
+
+    seed: int = 2015
+    scale: float = 2.5e-5
+    weeks: int = 72
+    n_users: int = 1362
+    purge_window_days: int = 90
+    ost_count: int = 2016
+    default_stripe: int = 4
+    max_stripe: int = 1008
+    growth: float = 8.0
+    backlog_fraction: float = 0.08
+    backlog_age_days: int = 500
+    keepalive_fraction: float = 0.85
+    missing_weeks: tuple[int, ...] = ()
+    stress_depths: bool = True
+    min_project_files: int = 30
+    #: also collect a batch-scheduler job log (the §7 future-work input)
+    collect_job_log: bool = False
+    #: also model the HPSS archival tier (§2.1): archive-before-purge
+    #: sweeps, recalls back to scratch, ingest/recall accounting
+    enable_hpss: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.weeks < 2:
+            raise ValueError("need at least 2 weeks for any diff analysis")
+        if not 0.0 <= self.backlog_fraction < 1.0:
+            raise ValueError("backlog_fraction must be in [0, 1)")
+
+
+@dataclass
+class WeekStats:
+    week: int
+    label: str
+    created: int
+    updated: int
+    read: int
+    deleted: int
+    kept_alive: int
+    purged: int
+    live_entries: int
+
+
+@dataclass
+class SimulationResult:
+    """Everything the analyses and benches need from one run."""
+
+    config: SimulationConfig
+    population: Population
+    fs: FileSystem = field(repr=False)
+    scanner: LustreDuScanner = field(repr=False)
+    collection: SnapshotCollection = field(repr=False)
+    purge_reports: list[PurgeReport] = field(repr=False)
+    week_stats: list[WeekStats] = field(repr=False)
+    job_log: JobLog | None = field(repr=False, default=None)
+    hpss: HpssArchive | None = field(repr=False, default=None)
+
+    @property
+    def n_snapshots(self) -> int:
+        return len(self.collection)
+
+
+class SimulationDriver:
+    """Builds the population, seeds the backlog, and runs the window."""
+
+    def __init__(self, config: SimulationConfig | None = None) -> None:
+        self.config = config if config is not None else SimulationConfig()
+
+    def run(self, verbose: bool = False) -> SimulationResult:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        population = generate_population(seed=cfg.seed, n_users=cfg.n_users)
+
+        clock = SimClock()
+        fs = FileSystem(
+            clock=clock,
+            ost_count=cfg.ost_count,
+            default_stripe=cfg.default_stripe,
+            max_stripe=cfg.max_stripe,
+        )
+        behaviors = build_behaviors(
+            population,
+            n_weeks=cfg.weeks,
+            scale=cfg.scale,
+            rng=rng,
+            growth=cfg.growth,
+            keepalive_fraction=cfg.keepalive_fraction,
+            min_project_files=cfg.min_project_files,
+            stress_depths=cfg.stress_depths,
+        )
+        job_log = JobLog() if cfg.collect_job_log else None
+        hpss = HpssArchive() if cfg.enable_hpss else None
+        for behavior in behaviors:
+            behavior.job_log = job_log
+            behavior.archive = hpss
+            behavior.setup(fs)
+
+        # -- backlog: the file system was not empty in January 2015 --------
+        if cfg.backlog_fraction > 0:
+            for behavior in behaviors:
+                backlog = int(
+                    behavior.total_files
+                    * cfg.backlog_fraction
+                    / (1.0 - cfg.backlog_fraction)
+                )
+                behavior.seed_backlog(
+                    fs, clock.now, backlog, cfg.backlog_age_days
+                )
+
+        scanner = LustreDuScanner()
+        collection = SnapshotCollection(scanner.paths)
+        purge = PurgePolicy(window_days=cfg.purge_window_days)
+        purge_reports: list[PurgeReport] = []
+        week_stats: list[WeekStats] = []
+
+        for week in range(cfg.weeks):
+            week_start = clock.now
+            totals = {"created": 0, "updated": 0, "read": 0, "deleted": 0,
+                      "kept_alive": 0}
+            for behavior in behaviors:
+                stats = behavior.step_week(fs, week, week_start)
+                for key in totals:
+                    totals[key] += stats[key]
+            clock.advance_days(7)
+
+            label = clock.datestamp()
+            if week not in cfg.missing_weeks:
+                collection.append(scanner.scan(fs, label=label))
+
+            report = purge.sweep(fs)
+            purge_reports.append(report)
+            if report.purged:
+                for behavior in behaviors:
+                    behavior.reconcile(fs)
+
+            week_stats.append(
+                WeekStats(
+                    week=week,
+                    label=label,
+                    purged=report.purged,
+                    live_entries=fs.entry_count,
+                    **totals,
+                )
+            )
+            if verbose:  # pragma: no cover - progress printing
+                print(
+                    f"week {week:3d} {label}: live={fs.entry_count:>9,d} "
+                    f"new={totals['created']:>7,d} purged={report.purged:>7,d}"
+                )
+
+        return SimulationResult(
+            config=cfg,
+            population=population,
+            fs=fs,
+            scanner=scanner,
+            collection=collection,
+            purge_reports=purge_reports,
+            week_stats=week_stats,
+            job_log=job_log,
+            hpss=hpss,
+        )
+
+
+def run_simulation(
+    config: SimulationConfig | None = None, verbose: bool = False
+) -> SimulationResult:
+    """One-call convenience wrapper used by examples and benches."""
+    return SimulationDriver(config).run(verbose=verbose)
+
+
+def default_executor(parallel: bool = False) -> SnapshotExecutor:
+    """Executor policy helper: serial by default, parallel for benches."""
+    return SnapshotExecutor(processes=None if parallel else 1)

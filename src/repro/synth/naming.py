@@ -1,0 +1,131 @@
+"""File and directory name generation.
+
+Produces the naming patterns the paper observes in the wild (§4.1.3):
+domain-specific extensions dominating some communities, ``result.1`` /
+``result.2`` checkpoint series "named with an increasing order or
+timestamp", a persistent no-extension population (~16% of files), source
+trees, and a generic tail of images/text/logs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scan.extensions import NO_EXTENSION
+from repro.synth.domains import DomainSpec
+from repro.synth.languages import source_extension_weights
+
+#: Generic data-file extensions present in every domain's long tail, with
+#: rough global weights — this pool plus "no extension" is what Figure 10
+#: aggregates into its dominant *other*/*no extension* buckets.
+GENERIC_EXTENSIONS: tuple[tuple[str, float], ...] = (
+    ("txt", 2.5),
+    ("dat", 2.2),
+    ("log", 2.0),
+    ("png", 1.6),
+    ("o", 1.5),
+    ("gz", 1.4),
+    ("out", 1.2),
+    ("h5", 1.0),
+    ("xml", 0.9),
+    ("bin", 0.8),
+    ("ppm", 0.7),
+    ("nc", 0.7),
+    ("mat", 0.6),
+    ("tar", 0.5),
+    ("inp", 0.5),
+    ("csv", 0.4),
+    ("json", 0.3),
+    ("vtk", 0.3),
+    ("pdf", 0.2),
+    ("err", 0.2),
+)
+
+#: Sentinel used in weight tables for checkpoint-series names (result.1,
+#: result.2, ... — the suffix is the sequence number, so the observed
+#: "extension" is numeric and uncategorizable, exactly as the paper notes).
+SERIES = "<series>"
+
+#: Share of files with no extension (Figure 10 reports ~16% overall).
+NO_EXT_WEIGHT = 16.0
+#: Share of checkpoint-series files.
+SERIES_WEIGHT = 4.0
+#: Share of source-code files in a project tree.
+SOURCE_WEIGHT = 9.0
+
+_STEMS = (
+    "run", "output", "state", "restart", "frame", "step", "field",
+    "mesh", "grid", "dump", "result", "sample", "config", "trace",
+    "model", "input", "snap", "prof", "diag", "energy",
+)
+
+_NOEXT_NAMES = (
+    "README", "Makefile", "LICENSE", "INSTALL", "NOTES", "core",
+    "hostfile", "batchlog", "params", "OUTCAR", "CONTCAR", "POTCAR",
+)
+
+_DIR_NAMES = (
+    "run", "data", "output", "analysis", "restart", "scratch", "results",
+    "case", "exp", "batch", "prod", "test", "viz", "post", "inputs",
+)
+
+
+class ExtensionSampler:
+    """Per-domain weighted extension/name sampler.
+
+    The weight table combines (1) the domain's Table 2 top-three extensions
+    at their published popularity, (2) the source-code mix biased toward the
+    domain's Table 1 language pair, (3) checkpoint series, (4) no-extension
+    names, and (5) the generic pool filling the remainder.
+    """
+
+    def __init__(self, spec: DomainSpec, rng: np.random.Generator) -> None:
+        self.spec = spec
+        self.rng = rng
+        weights: dict[str, float] = {}
+        top_total = 0.0
+        for ext, pct in spec.ext_top:
+            weights[ext] = weights.get(ext, 0.0) + pct
+            top_total += pct
+        weights[NO_EXTENSION] = NO_EXT_WEIGHT
+        weights[SERIES] = SERIES_WEIGHT
+        source = source_extension_weights(spec.languages)
+        source_total = sum(source.values())
+        for ext, w in source.items():
+            weights[ext] = weights.get(ext, 0.0) + SOURCE_WEIGHT * w / source_total
+        remainder = max(
+            100.0 - top_total - NO_EXT_WEIGHT - SERIES_WEIGHT - SOURCE_WEIGHT, 5.0
+        )
+        generic_total = sum(w for _, w in GENERIC_EXTENSIONS)
+        for ext, w in GENERIC_EXTENSIONS:
+            weights[ext] = weights.get(ext, 0.0) + remainder * w / generic_total
+        self.extensions = list(weights)
+        probs = np.array([weights[e] for e in self.extensions], dtype=np.float64)
+        self.probs = probs / probs.sum()
+        self._series_counter = 0
+        self._name_counter = 0
+
+    def sample_names(self, count: int) -> list[str]:
+        """Generate ``count`` distinct leaf names following the domain mix."""
+        if count <= 0:
+            return []
+        picks = self.rng.choice(len(self.extensions), size=count, p=self.probs)
+        stems = self.rng.choice(len(_STEMS), size=count)
+        names: list[str] = []
+        for pick, stem_i in zip(picks, stems):
+            ext = self.extensions[pick]
+            self._name_counter += 1
+            uniq = self._name_counter
+            if ext == SERIES:
+                self._series_counter += 1
+                names.append(f"{_STEMS[stem_i]}.{self._series_counter}")
+            elif ext == NO_EXTENSION:
+                base = _NOEXT_NAMES[uniq % len(_NOEXT_NAMES)]
+                names.append(f"{base}_{uniq:06d}")
+            else:
+                names.append(f"{_STEMS[stem_i]}_{uniq:06d}.{ext}")
+        return names
+
+    def sample_dir_name(self, ordinal: int) -> str:
+        base = _DIR_NAMES[int(self.rng.integers(len(_DIR_NAMES)))]
+        return f"{base}{ordinal:04d}"

@@ -1,0 +1,409 @@
+"""User and project population generator.
+
+Generates the 1,362 active users and 380 projects of §4.1.1 with the
+membership structure behind every network result in §4.3:
+
+* organization mix from Figure 5(a): ~52% national labs / government, 24%
+  academia, 19% industry, 5% other;
+* per-domain median project sizes from Figure 6(c) (env, nfi, chp, cli and
+  stf exceed 10 users per project);
+* each project lands in the "core" (the largest connected component of the
+  file generation network) with its domain's probability from Table 1's
+  "Network" column — reproducing the 160-component structure of Table 3
+  with the largest component holding ≈72% of vertices;
+* core membership uses preferential attachment with a same-domain affinity
+  boost, yielding the power-law degree distribution of Figure 18(b);
+* the paper's anecdotes are planted explicitly: one extreme user pair
+  sharing five Climate Science projects plus one Computer Science project
+  (§4.3.3), and six high-centrality liaison users — three staff, one
+  postdoc, two computer scientists — joined to projects across domains
+  (§4.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.synth.domains import DOMAINS, DomainSpec
+
+#: Figure 5(a) organization-type mix.
+ORG_TYPES = ("national_lab", "academia", "industry", "other")
+ORG_WEIGHTS = (0.52, 0.24, 0.19, 0.05)
+
+FIRST_UID = 10_000
+FIRST_GID = 2_000
+
+#: Fraction of isolated projects that chain onto the previous isolated
+#: project of their domain (producing the 3–18-vertex components of Table 3
+#: instead of all-singleton pairs).
+_ISOLATED_MERGE_PROB = 0.12
+
+#: Isolated-project team sizes: mostly a lone user (Table 3: 94 of the 160
+#: components have exactly one user and one project).
+_ISOLATED_SIZES = (1, 2, 3, 4)
+_ISOLATED_SIZE_P = (0.62, 0.22, 0.11, 0.05)
+
+#: Same-domain weight boost in preferential attachment — keeps domains like
+#: chp/env/cli internally well-connected (Figure 19(b)) and keeps the user
+#: base of heavily-shared domains compact (cli: ≈51 users over 21 projects).
+#: Scaled with the domain's median project size.
+def _affinity_boost(users_median: int) -> float:
+    return 5.0 + 4.0 * users_median
+
+
+#: Figure 6(a) target: share of users in exactly 1 / 2 / 3–7 / 8+ projects.
+_PPU_BUCKETS = ((1, 0.40), (2, 0.40), (3, 0.18), (8, 0.02))
+
+#: Hard cap on project team size — Figure 6(b)'s tail tops out well under
+#: 40 users, and unbounded lognormal draws blow up the user-pair count
+#: (the paper measures only ~1% of pairs sharing a project).
+_MAX_PROJECT_USERS = 24
+
+#: Attachment flattening exponent: 1.0 is classic preferential attachment
+#: (too concentrated for Figure 6(a)); 0.6 keeps a heavy tail while letting
+#: >60% of users reach a second project.
+_ATTACH_EXPONENT = 0.6
+
+#: Users reserved for the planted anecdotes (extreme pair + six liaisons).
+_PLANTED_USERS = 8
+
+
+@dataclass
+class UserRecord:
+    uid: int
+    org_type: str
+    primary_domain: str
+    #: gids of the projects this user belongs to
+    projects: list[int] = field(default_factory=list)
+    #: marks the six §4.3.2 liaison users and the §4.3.3 extreme pair
+    role: str = "scientist"
+
+    @property
+    def n_projects(self) -> int:
+        return len(self.projects)
+
+
+@dataclass
+class ProjectRecord:
+    gid: int
+    name: str
+    domain: str
+    core: bool
+    members: list[int] = field(default_factory=list)
+
+    @property
+    def n_users(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class Population:
+    users: dict[int, UserRecord]
+    projects: dict[int, ProjectRecord]
+    seed: int
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_projects(self) -> int:
+        return len(self.projects)
+
+    def projects_in_domain(self, code: str) -> list[ProjectRecord]:
+        return [p for p in self.projects.values() if p.domain == code]
+
+    def memberships(self) -> np.ndarray:
+        """(uid, gid) pairs — the edge list of the file generation network."""
+        pairs = [
+            (uid, gid)
+            for uid, user in self.users.items()
+            for gid in user.projects
+        ]
+        return np.array(pairs, dtype=np.int64).reshape(-1, 2)
+
+    def accounts_table(self) -> dict[int, tuple[str, str]]:
+        """uid → (org_type, primary_domain): the user accounts database."""
+        return {
+            uid: (u.org_type, u.primary_domain) for uid, u in self.users.items()
+        }
+
+    def domain_of_gid(self) -> dict[int, str]:
+        return {gid: p.domain for gid, p in self.projects.items()}
+
+
+def _draw_member_count(spec: DomainSpec, rng: np.random.Generator) -> int:
+    """Project size: lognormal around the domain's Figure 6(c) median."""
+    size = rng.lognormal(mean=np.log(spec.users_median), sigma=0.95)
+    return int(np.clip(round(size), 1, _MAX_PROJECT_USERS))
+
+
+def _link(user: UserRecord, project: ProjectRecord) -> None:
+    if project.gid not in user.projects:
+        user.projects.append(project.gid)
+        project.members.append(user.uid)
+
+
+class _UserFactory:
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self._next_uid = FIRST_UID
+        self.users: dict[int, UserRecord] = {}
+
+    def new_user(self, domain: str) -> UserRecord:
+        uid = self._next_uid
+        self._next_uid += 1
+        org = ORG_TYPES[self.rng.choice(len(ORG_TYPES), p=ORG_WEIGHTS)]
+        user = UserRecord(uid=uid, org_type=org, primary_domain=domain)
+        self.users[uid] = user
+        return user
+
+
+def generate_population(seed: int = 2015, n_users: int = 1362) -> Population:
+    """Build the full user/project population for one simulated center."""
+    rng = np.random.default_rng(seed)
+    factory = _UserFactory(rng)
+    projects: dict[int, ProjectRecord] = {}
+
+    # -- 1. projects, with their core/isolated draw ------------------------
+    gid = FIRST_GID
+    for code in sorted(DOMAINS):
+        spec = DOMAINS[code]
+        for i in range(spec.n_projects):
+            core = bool(rng.random() < spec.network_pct / 100.0)
+            projects[gid] = ProjectRecord(
+                gid=gid, name=f"{code}{i + 1:03d}", domain=code, core=core
+            )
+            gid += 1
+
+    core_projects = [p for p in projects.values() if p.core]
+    isolated_projects = [p for p in projects.values() if not p.core]
+
+    # -- 2. isolated components (Table 3's long tail of tiny components) ---
+    prev_by_domain: dict[str, ProjectRecord] = {}
+    for project in isolated_projects:
+        size = int(rng.choice(_ISOLATED_SIZES, p=_ISOLATED_SIZE_P))
+        prev = prev_by_domain.get(project.domain)
+        if prev is not None and rng.random() < _ISOLATED_MERGE_PROB:
+            # chain onto the previous isolated project through one shared user
+            bridge_uid = prev.members[int(rng.integers(len(prev.members)))]
+            _link(factory.users[bridge_uid], project)
+            size -= 1
+        for _ in range(size):
+            _link(factory.new_user(project.domain), project)
+        if not project.members:
+            _link(factory.new_user(project.domain), project)
+        prev_by_domain[project.domain] = project
+
+    isolated_users = len(factory.users)
+
+    # -- 3. core component: newcomers-per-project + flattened preferential
+    #       attachment.  Newcomer counts are roughly constant per project
+    #       (veterans fill the big collaborations), which is what keeps the
+    #       user base of heavily-shared domains like cli small (≈51 users
+    #       over 21 projects) while their projects stay big.
+    order = list(core_projects)
+    rng.shuffle(order)
+    member_targets = [_draw_member_count(DOMAINS[p.domain], rng) for p in order]
+    core_user_budget = max(n_users - isolated_users - _PLANTED_USERS, 1)
+    # each project mints roughly (team size / domain projects-per-user) new
+    # users: domains whose teams span many projects (cli at ~5 projects per
+    # user) mostly re-use their existing community, keeping e.g. Climate
+    # Science at ≈51 users across 21 projects
+    raw_newcomers = np.array(
+        [
+            max(m / (1.0 + DOMAINS[p.domain].users_median / 2.5), 0.3)
+            for p, m in zip(order, member_targets)
+        ]
+    )
+    scale = core_user_budget / max(raw_newcomers.sum(), 1.0)
+    newcomer_counts = np.floor(raw_newcomers * scale).astype(np.int64)
+    np.minimum(newcomer_counts, member_targets, out=newcomer_counts)
+    # distribute the rounding remainder one newcomer at a time
+    shortfall = core_user_budget - int(newcomer_counts.sum())
+    idx = 0
+    while shortfall > 0 and len(order) > 0:
+        j = idx % len(order)
+        if newcomer_counts[j] < member_targets[j]:
+            newcomer_counts[j] += 1
+            shortfall -= 1
+        idx += 1
+        if idx > 10 * len(order):  # everyone saturated: grow projects
+            member_targets[idx % len(order)] += 1
+            idx += 1
+
+    core_uids: list[int] = []
+    core_index: dict[int, int] = {}
+    degrees: list[int] = []  # parallel to core_uids
+
+    def add_to_pool(user: UserRecord) -> None:
+        core_index[user.uid] = len(core_uids)
+        core_uids.append(user.uid)
+        degrees.append(0)
+
+    def pick_existing(domain: str) -> UserRecord:
+        boost = _affinity_boost(DOMAINS[domain].users_median)
+        weights = (
+            np.asarray(degrees, dtype=np.float64) + 1.0
+        ) ** _ATTACH_EXPONENT * np.array(
+            [
+                boost if factory.users[u].primary_domain == domain else 1.0
+                for u in core_uids
+            ]
+        )
+        weights /= weights.sum()
+        idx = int(rng.choice(len(core_uids), p=weights))
+        return factory.users[core_uids[idx]]
+
+    for project, target, newcomers in zip(order, member_targets, newcomer_counts):
+        for k in range(target):
+            veteran_slots = target - int(newcomers)
+            if not core_uids:
+                user = factory.new_user(project.domain)  # seeds the pool
+                add_to_pool(user)
+            elif k < veteran_slots:
+                # veterans first: the very first member of every project is
+                # an existing user, keeping the core a single component
+                user = pick_existing(project.domain)
+            else:
+                user = factory.new_user(project.domain)
+                add_to_pool(user)
+            before = user.n_projects
+            _link(user, project)
+            if user.n_projects > before:
+                degrees[core_index[user.uid]] += 1
+        if int(newcomers) == target and target > 0 and len(project.members) == target:
+            # all-newcomer project: bridge it into the core explicitly
+            if len(core_uids) > target:
+                _link(pick_existing(project.domain), project)
+
+    # -- 4. calibrate projects-per-user to Figure 6(a) ----------------------
+    _calibrate_projects_per_user(factory, core_projects, rng)
+
+    # -- 5. plant the paper's anecdotes ------------------------------------
+    _plant_extreme_pair(factory, projects, rng)
+    _plant_liaisons(factory, projects, rng)
+
+    # -- 6. primary domain = modal project domain --------------------------
+    domain_of = {g: p.domain for g, p in projects.items()}
+    for user in factory.users.values():
+        if user.projects:
+            codes = [domain_of[g] for g in user.projects]
+            values, counts = np.unique(codes, return_counts=True)
+            user.primary_domain = str(values[np.argmax(counts)])
+
+    return Population(users=factory.users, projects=projects, seed=seed)
+
+
+def _calibrate_projects_per_user(
+    factory: _UserFactory,
+    core_projects: list[ProjectRecord],
+    rng: np.random.Generator,
+) -> None:
+    """Top up core users' memberships to the Figure 6(a) distribution.
+
+    Each core user draws a target project count from the published CDF
+    shape (40% in one project, 40% in two, 18% in three-to-seven, 2% in
+    eight or more); users already above their target keep what preferential
+    attachment gave them.  Extra memberships favor large projects in the
+    user's own domain, so the added edges reinforce (not dilute) the
+    domain-clustering of Figure 19(b).
+    """
+    if not core_projects:
+        return
+    sizes = np.array([p.n_users for p in core_projects], dtype=np.float64)
+    domains = [p.domain for p in core_projects]
+    core_user_uids = {
+        uid for p in core_projects for uid in p.members
+    }
+    bucket_p = np.array([w for _, w in _PPU_BUCKETS])
+    for uid in sorted(core_user_uids):
+        user = factory.users[uid]
+        bucket = int(rng.choice(len(_PPU_BUCKETS), p=bucket_p))
+        floor_n = _PPU_BUCKETS[bucket][0]
+        if floor_n == 3:
+            target = int(rng.integers(3, 8))
+        elif floor_n == 8:
+            target = int(rng.integers(8, 13))
+        else:
+            target = floor_n
+        missing = target - user.n_projects
+        if missing <= 0:
+            continue
+        joined = set(user.projects)
+        affinity = np.array(
+            [30.0 if d == user.primary_domain else 1.0 for d in domains]
+        )
+        for _ in range(missing):
+            mask = np.array(
+                [
+                    p.gid not in joined and p.n_users < _MAX_PROJECT_USERS
+                    for p in core_projects
+                ]
+            )
+            if not mask.any():
+                break
+            # quadratic size preference: the additions pile into the big
+            # collaborations (Figure 6(b)'s 20% >10-user tail) instead of
+            # dragging the median project size up
+            w = (sizes + 1.0) ** 2 * affinity * mask
+            w = w / w.sum()
+            idx = int(rng.choice(len(core_projects), p=w))
+            project = core_projects[idx]
+            _link(user, project)
+            joined.add(project.gid)
+            sizes[idx] += 1.0
+
+
+def _plant_extreme_pair(
+    factory: _UserFactory,
+    projects: dict[int, ProjectRecord],
+    rng: np.random.Generator,
+) -> None:
+    """The §4.3.3 anecdote: a user pair sharing 5 cli + 1 csc projects."""
+    cli_core = [p for p in projects.values() if p.domain == "cli" and p.core]
+    csc_core = [p for p in projects.values() if p.domain == "csc" and p.core]
+    if len(cli_core) < 5 or not csc_core:
+        return
+    shared = list(rng.choice(len(cli_core), size=5, replace=False))
+    targets = [cli_core[i] for i in shared] + [
+        csc_core[int(rng.integers(len(csc_core)))]
+    ]
+    a = factory.new_user("cli")
+    b = factory.new_user("cli")
+    a.role = b.role = "extreme_pair"
+    for project in targets:
+        _link(a, project)
+        _link(b, project)
+
+
+def _plant_liaisons(
+    factory: _UserFactory,
+    projects: dict[int, ProjectRecord],
+    rng: np.random.Generator,
+) -> None:
+    """The §4.3.2 anecdote: six central liaison users.
+
+    Three staff members, one postdoc, and two computer scientists from the
+    application-optimization group, each joined to a spread of core projects
+    across domains, which puts them (and their stf/csc projects) at the
+    center of the largest connected component.
+    """
+    core = [p for p in projects.values() if p.core]
+    if len(core) < 12:
+        return
+    liaison_domains = ["stf", "stf", "stf", "csc", "csc", "csc"]
+    roles = ["staff", "staff", "staff", "postdoc", "liaison", "liaison"]
+    for domain, role in zip(liaison_domains, roles):
+        user = factory.new_user(domain)
+        user.role = role
+        n_joined = int(rng.integers(14, 21))
+        picks = rng.choice(len(core), size=min(n_joined, len(core)), replace=False)
+        for idx in picks:
+            _link(user, core[int(idx)])
+        # always include at least one home-domain core project if available
+        home = [p for p in core if p.domain == domain]
+        if home:
+            _link(user, home[int(rng.integers(len(home)))])

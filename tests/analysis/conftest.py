@@ -1,0 +1,30 @@
+"""Shared fixtures: one small simulation reused across the analysis tests."""
+
+import pytest
+
+from repro.analysis.context import AnalysisContext
+from repro.query.parallel import SnapshotExecutor
+from repro.synth.driver import SimulationConfig, run_simulation
+
+#: Small but non-trivial: every analysis has data, suite stays fast.
+SMALL_CONFIG = SimulationConfig(
+    seed=1234,
+    scale=6e-6,
+    weeks=20,
+    min_project_files=8,
+    backlog_age_days=200,
+)
+
+
+@pytest.fixture(scope="session")
+def sim_result():
+    return run_simulation(SMALL_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def ctx(sim_result):
+    return AnalysisContext(
+        collection=sim_result.collection,
+        population=sim_result.population,
+        executor=SnapshotExecutor(processes=1),
+    )

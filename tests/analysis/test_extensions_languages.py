@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.analysis.extensions import extension_trend, extensions_by_domain
+from repro.analysis.languages import language_ranking, languages_by_domain
+
+
+def test_dominant_extensions_match_table2(ctx):
+    exts = extensions_by_domain(ctx)
+    # Table 2's heavily-biased domains keep their signature extension
+    assert exts["bio"].top[0][0] == "pdbqt"
+    assert exts["bif"].top[0][0] in ("fasta", "fa")
+    assert exts["cli"].top[0][0] in ("nc", "mat")
+    assert exts["nph"].top[0][0] == "bb"
+    assert exts["chp"].top[0][0] == "xyz"
+
+
+def test_dominance_flag(ctx):
+    exts = extensions_by_domain(ctx)
+    assert exts["bio"].dominant  # 97.6% pdbqt in the paper
+    # diffuse domains: top extension well under 40%
+    for code in ("csc", "cmb"):
+        if code in exts:
+            assert not exts[code].dominant
+
+
+def test_concentration_orders_domains(ctx):
+    exts = extensions_by_domain(ctx)
+    # single-format Biology is more concentrated than Computer Science
+    assert exts["bio"].concentration > exts["csc"].concentration
+
+
+def test_extension_shares_are_percentages(ctx):
+    exts = extensions_by_domain(ctx)
+    for row in exts.values():
+        for _, pct in row.top:
+            assert 0 <= pct <= 100
+        # descending order
+        pcts = [p for _, p in row.top]
+        assert pcts == sorted(pcts, reverse=True)
+
+
+def test_extension_trend_buckets_sum_to_one(ctx):
+    trend = extension_trend(ctx)
+    totals = trend.shares.sum(axis=1) + trend.no_extension + trend.other
+    assert np.allclose(totals[totals > 0], 1.0, atol=1e-9)
+
+
+def test_extension_trend_other_and_noext_bands(ctx):
+    trend = extension_trend(ctx)
+    # Figure 10: 'other' and 'no extension' are big stable buckets
+    assert 0.05 < trend.mean_no_extension < 0.4
+    assert trend.mean_other > 0.05
+
+
+def test_extension_trend_has_20_names(ctx):
+    trend = extension_trend(ctx)
+    assert len(trend.extensions) == 20
+    assert len(set(trend.extensions)) == 20
+    assert trend.shares.shape == (len(trend.labels), 20)
+
+
+def test_campaign_spikes_visible(ctx):
+    """Figure 10: the nph .bb spike lands near its campaign window."""
+    trend = extension_trend(ctx)
+    if "bb" in trend.extensions:
+        idx = trend.extensions.index("bb")
+        series = trend.shares[:, idx]
+        assert series.max() > series.mean()
+
+
+def test_language_ranking_c_python_on_top(ctx):
+    ranking = language_ranking(ctx)
+    top5 = ranking.order[:5]
+    assert "C" in top5
+    assert "Python" in top5 or "C++" in top5
+
+
+def test_language_ranking_fortran_overranked_vs_ieee(ctx):
+    """Figure 11's headline: Fortran ranks far higher at OLCF than IEEE."""
+    ranking = language_ranking(ctx)
+    ours = ranking.rank_of("Fortran")
+    assert ours is not None
+    assert ours < ranking.ieee_rank_of("Fortran")
+
+
+def test_language_ranking_rows_shape(ctx):
+    ranking = language_ranking(ctx)
+    rows = ranking.rows(30)
+    assert 0 < len(rows) <= 30
+    counts = [c for _, c, _ in rows]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_rank_of_unseen_language(ctx):
+    ranking = language_ranking(ctx)
+    assert ranking.rank_of("COBOL-85-nonexistent") is None
+
+
+def test_domain_language_dominance(ctx):
+    langs = languages_by_domain(ctx)
+    # Table 1: matlab-heavy and fortran-heavy domains
+    assert "Matlab" in langs.top("nfu", 3) or "C" in langs.top("nfu", 3)
+    shares = langs.shares
+    for code, mix in shares.items():
+        assert pytest.approx(sum(mix.values()), abs=1e-9) == 1.0
+
+
+def test_domain_top_returns_k(ctx):
+    langs = languages_by_domain(ctx)
+    assert len(langs.top("csc", 2)) == 2
+    assert langs.top("nonexistent") == []

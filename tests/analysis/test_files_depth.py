@@ -1,0 +1,80 @@
+import numpy as np
+
+from repro.analysis.depth import directory_depths
+from repro.analysis.files import entries_by_domain, file_count_cdfs
+
+
+def test_entry_counts_cover_all_active_domains(ctx):
+    counts = entries_by_domain(ctx)
+    assert counts.grand_total_files > 0
+    assert counts.grand_total_directories > 0
+    # every domain with projects should have produced something
+    assert len(counts.files) >= 30
+
+
+def test_entry_counts_match_collection_union(ctx):
+    counts = entries_by_domain(ctx)
+    union = ctx.collection.union_path_ids()
+    total = counts.grand_total_files + counts.grand_total_directories
+    # every unique path maps to exactly one domain (gids are project-owned)
+    assert total == union.size
+
+
+def test_big_domains_rank_first(ctx):
+    """Table 1 ordering: stf/bip/csc/chp... dominate the entry counts."""
+    counts = entries_by_domain(ctx)
+    ranked = sorted(counts.files, key=counts.total_entries, reverse=True)
+    assert set(ranked[:8]) & {"stf", "bip", "csc", "chp", "tur", "geo", "nph"}
+    # tiny domains land at the bottom
+    assert set(ranked[-10:]) & {"pss", "nfu", "med", "syb"}
+
+
+def test_dir_heavy_domains(ctx):
+    """Figure 7(b): atm and hep have far more directories than average."""
+    counts = entries_by_domain(ctx)
+    atm = counts.dir_ratio("atm")
+    hep = counts.dir_ratio("hep")
+    typical = np.median([counts.dir_ratio(c) for c in counts.files])
+    assert atm > 2 * typical
+    assert hep > 2 * typical
+    assert atm > 0.5
+
+
+def test_file_count_cdfs_project_heavier_than_user(ctx):
+    result = file_count_cdfs(ctx)
+    # Observation 3: projects hold ~10x more files than users
+    assert result.median_project_files > result.median_user_files
+    assert result.project_to_user_ratio > 2
+    assert result.max_project_files >= result.max_user_files
+
+
+def test_top_domains_by_project_mean_excludes_stf(ctx):
+    result = file_count_cdfs(ctx)
+    codes = [c for c, _ in result.top_domains_by_project_mean]
+    assert "stf" not in codes
+    assert len(codes) == 5
+    # §4.1.2 names chp and bif among the top five
+    assert set(codes) & {"chp", "bif", "tur", "env", "bio", "nph", "geo"}
+
+
+def test_depth_cdf_knee_and_tail(ctx):
+    result = directory_depths(ctx)
+    # user dirs start at depth 5; every project's max is deeper than that
+    assert result.project_max_depth.values.min() >= 4
+    assert result.fraction_deeper_than(10) > 0.1
+    # stress trees: the deepest chain is the stf metadata stress test
+    assert result.max_depth == 2030
+    assert result.max_depth_domain == "stf"
+
+
+def test_depth_by_domain_medians(ctx):
+    result = directory_depths(ctx)
+    meds = result.median_by_domain()
+    # Table 1: mat/csc/atm have high medians; mph/pss low
+    assert meds["mat"] > meds["mph"]
+    assert all(m >= 3 for m in meds.values())
+
+
+def test_gen_stress_tree_present(ctx):
+    result = directory_depths(ctx)
+    assert result.by_domain["gen"]["max"] == 432

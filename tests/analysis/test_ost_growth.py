@@ -1,0 +1,66 @@
+import numpy as np
+
+from repro.analysis.growth import growth_series
+from repro.analysis.ost import stripe_stats
+
+
+def test_stripe_defaults_and_tuned(ctx):
+    stats = stripe_stats(ctx)
+    # Table 1: ast reaches 122 stripes, tur 44, csc 33
+    assert stats.by_domain["ast"][2] == 122
+    assert stats.by_domain["tur"][2] == 44
+    assert stats.by_domain["csc"][2] == 33
+    # untuned domains never leave the default
+    lo, mean, hi = stats.by_domain["med"]
+    assert lo == hi == 4
+    assert mean == 4.0
+
+
+def test_stripe_min_below_default(ctx):
+    """Figure 14: some domains stripe down (env min is below 4)."""
+    stats = stripe_stats(ctx)
+    assert stats.by_domain["env"][0] <= 2
+    assert stats.by_domain["bip"][0] == 1
+
+
+def test_tuned_domain_count(ctx):
+    """Observation 6: about 20 of 35 domains configure stripe counts."""
+    stats = stripe_stats(ctx)
+    assert 14 <= len(stats.tuned_domains()) <= 26
+    assert 9 <= len(stats.untouched_domains()) <= 21
+
+
+def test_max_observed_matches_table(ctx):
+    stats = stripe_stats(ctx)
+    assert stats.max_observed == 122  # ast's Table 1 maximum
+
+
+def test_growth_series_monotonic_shape(ctx, sim_result):
+    series = growth_series(ctx, sim_result.scanner.history)
+    assert len(series.labels) == len(ctx.collection)
+    # Observation 7: files grow substantially over the window
+    assert series.file_growth_factor > 1.2
+    # dirs grow more slowly than files
+    assert series.dir_growth_factor < series.file_growth_factor
+    assert series.snapshot_bytes is not None
+    assert series.snapshot_bytes[-1] > series.snapshot_bytes[0]
+
+
+def test_growth_dir_share_bounded(ctx):
+    series = growth_series(ctx)
+    share = series.dir_share()
+    assert ((share >= 0) & (share <= 1)).all()
+
+
+def test_growth_without_scan_history(ctx):
+    series = growth_series(ctx)
+    assert series.snapshot_bytes is None
+    assert series.files.size == len(ctx.collection)
+
+
+def test_counts_match_snapshots(ctx):
+    series = growth_series(ctx)
+    mid = len(ctx.collection) // 2
+    assert series.files[mid] == ctx.collection[mid].n_files
+    assert series.directories[mid] == ctx.collection[mid].n_dirs
+    assert int(np.max(series.files)) >= series.files[0]

@@ -1,0 +1,62 @@
+import pytest
+
+from repro.analysis.recommendations import (
+    all_domain_briefs,
+    render_brief,
+)
+
+
+@pytest.fixture(scope="module")
+def briefs(ctx):
+    return all_domain_briefs(ctx)
+
+
+def test_briefs_cover_active_domains(briefs):
+    assert len(briefs) >= 30
+    assert "cli" in briefs and "ast" in briefs
+
+
+def test_wide_stripe_domain_gets_striping_advice(briefs):
+    ast = briefs["ast"]  # Table 1: up to 122 OSTs
+    assert ast.stripe_max_seen == 122
+    assert "lfs setstripe" in ast.stripe_advice
+
+
+def test_default_stripe_domain_gets_default_advice(briefs):
+    med = briefs["med"]
+    assert med.stripe_max_seen == 4
+    assert "default" in med.stripe_advice
+
+
+def test_format_conventions_surface(briefs):
+    assert "pdbqt" in briefs["bio"].common_formats
+    assert "nc" in briefs["cli"].common_formats
+
+
+def test_connectivity_tiers(briefs):
+    assert briefs["chp"].connectivity > 0.7
+    assert "liaison" in briefs["chp"].collaboration_advice
+    assert briefs["med"].connectivity < 0.3
+    assert "isolated" in briefs["med"].collaboration_advice
+
+
+def test_bursty_domains_flagged(briefs):
+    # bio's write c_v (~0.1) marks it a bursty producer when it qualifies
+    if briefs["bio"].bursty_writer:
+        assert True
+    # env spreads its writes (c_v ~0.5): never flagged bursty
+    assert not briefs["env"].bursty_writer
+
+
+def test_namespace_expectations_positive(briefs):
+    for brief in briefs.values():
+        assert brief.expected_files_per_project >= 0
+        assert 0 <= brief.dir_share <= 1
+
+
+def test_render_brief(briefs):
+    text = render_brief(briefs["cli"])
+    assert "Climate Science" in text
+    assert "striping" in text
+    assert "community" in text
+    assert len(text.splitlines()) == 6

@@ -1,0 +1,81 @@
+from repro.analysis import report as rpt
+from repro.analysis.access import access_patterns, file_ages
+from repro.analysis.burstiness import burstiness
+from repro.analysis.collaboration import collaboration
+from repro.analysis.depth import directory_depths
+from repro.analysis.extensions import extension_trend, extensions_by_domain
+from repro.analysis.files import entries_by_domain, file_count_cdfs
+from repro.analysis.growth import growth_series
+from repro.analysis.languages import language_ranking, languages_by_domain
+from repro.analysis.network import build_network, component_analysis, degree_distribution
+from repro.analysis.ost import stripe_stats
+from repro.analysis.table1 import build_table1
+from repro.analysis.users import participation, user_profile
+
+
+def test_table1_has_all_domains(ctx):
+    rows = build_table1(ctx, burstiness_min_files=5)
+    assert len(rows) == 35
+    codes = [r.domain for r in rows]
+    assert codes == sorted(codes)
+
+
+def test_table1_row_sanity(ctx):
+    rows = {r.domain: r for r in build_table1(ctx, burstiness_min_files=5)}
+    bio = rows["bio"]
+    assert bio.top_ext == "pdbqt"
+    assert bio.n_projects == 3
+    assert bio.entries_k > 0
+    cli = rows["cli"]
+    assert cli.network_pct > 50
+    assert rows["ast"].max_ost == 122
+    stf = rows["stf"]
+    assert stf.depth_max == 2030
+
+
+def test_table1_entries_ranking_tracks_paper(ctx):
+    rows = {r.domain: r for r in build_table1(ctx, burstiness_min_files=5)}
+    # stf and bip are the giants; pss the smallest
+    assert rows["stf"].entries_k > rows["pss"].entries_k
+    assert rows["bip"].entries_k > rows["nfu"].entries_k
+
+
+def test_every_renderer_produces_text(ctx, sim_result):
+    """Smoke-render every paper artifact."""
+    network = build_network(ctx)
+    pieces = [
+        rpt.render_table1(build_table1(ctx, burstiness_min_files=5)),
+        rpt.render_table2(extensions_by_domain(ctx)),
+        rpt.render_table3(component_analysis(ctx, network)),
+        rpt.render_user_profile(user_profile(ctx)),
+        rpt.render_participation(participation(ctx)),
+        rpt.render_entry_counts(entries_by_domain(ctx)),
+        rpt.render_depths(directory_depths(ctx)),
+        rpt.render_file_count_cdfs(file_count_cdfs(ctx)),
+        rpt.render_extension_trend(extension_trend(ctx)),
+        rpt.render_language_ranking(language_ranking(ctx)),
+        rpt.render_domain_languages(languages_by_domain(ctx)),
+        rpt.render_access(access_patterns(ctx)),
+        rpt.render_stripes(stripe_stats(ctx)),
+        rpt.render_growth(growth_series(ctx, sim_result.scanner.history)),
+        rpt.render_ages(file_ages(ctx)),
+        rpt.render_burstiness(burstiness(ctx, min_files=5)),
+        rpt.render_degree(degree_distribution(network)),
+        rpt.render_collaboration(collaboration(ctx)),
+    ]
+    for text in pieces:
+        assert isinstance(text, str)
+        assert len(text.splitlines()) >= 1
+        assert text.strip()
+
+
+def test_series_to_csv(ctx):
+    import numpy as np
+
+    csv = rpt.series_to_csv(
+        ["w1", "w2"], {"files": np.array([1, 2]), "dirs": np.array([3, 4])}
+    )
+    lines = csv.splitlines()
+    assert lines[0] == "week,files,dirs"
+    assert lines[1] == "w1,1,3"
+    assert lines[2] == "w2,2,4"

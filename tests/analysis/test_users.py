@@ -1,0 +1,53 @@
+import numpy as np
+import pytest
+
+from repro.analysis.users import participation, user_profile
+
+
+def test_user_profile_counts_active_users(ctx):
+    profile = user_profile(ctx)
+    assert 0 < profile.n_active <= ctx.population.n_users
+    # most of the population should actually touch the file system
+    assert profile.n_active > 0.5 * ctx.population.n_users
+
+
+def test_org_fractions_sum_to_one(ctx):
+    profile = user_profile(ctx)
+    assert sum(profile.org_fractions.values()) == pytest.approx(1.0)
+    # Figure 5(a): national labs dominate
+    assert max(profile.org_fractions, key=profile.org_fractions.get) == "national_lab"
+    assert profile.org_fractions["national_lab"] == pytest.approx(0.52, abs=0.08)
+
+
+def test_domain_scientists_majority(ctx):
+    profile = user_profile(ctx)
+    # Figure 5(b): >70% of users are domain scientists (not csc)
+    assert profile.domain_scientist_fraction > 0.6
+
+
+def test_participation_shapes(ctx):
+    result = participation(ctx)
+    # Figure 6(a): most users in >=1 project; healthy multi-project share
+    assert 0.3 < result.multi_project_fraction < 0.8
+    assert result.heavy_user_fraction < 0.1
+    # Figure 6(b): median around 3, heavy tail
+    assert 2 <= result.users_per_project.median <= 6
+    assert result.mean_users_per_project > result.users_per_project.median
+
+
+def test_median_users_heavy_domains(ctx):
+    result = participation(ctx)
+    meds = result.median_users_by_domain
+    # Figure 6(c): env/nfi/chp/cli/stf are the heavily-shared domains
+    heavy = [meds.get(c, 0) for c in ("cli", "stf", "nfi", "chp", "env")]
+    light = [meds.get(c, 0) for c in ("aph", "med", "nel", "mph")]
+    # single-project domains (env) can draw small; compare group averages
+    assert np.mean(heavy) > 2 * np.mean(light)
+    assert meds["cli"] > 8 and meds["stf"] > 8
+
+
+def test_projects_per_user_cdf_consistent(ctx):
+    result = participation(ctx)
+    cdf = result.projects_per_user
+    assert cdf.at(0) == 0.0  # every counted user has >= 1 project
+    assert cdf.probs[-1] == pytest.approx(1.0)

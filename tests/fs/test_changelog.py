@@ -1,0 +1,159 @@
+import numpy as np
+import pytest
+
+from repro.fs.changelog import ChangeKind, Changelog, attach_changelog
+from repro.fs.filesystem import FileSystem
+
+
+@pytest.fixture
+def fs_with_log():
+    fs = FileSystem(ost_count=32, default_stripe=2, max_stripe=8)
+    log = attach_changelog(fs)
+    return fs, log
+
+
+def test_create_records_event(fs_with_log):
+    fs, log = fs_with_log
+    d = fs.makedirs("/p", uid=1, gid=1)
+    f = fs.create(d, "f", uid=1, gid=1)
+    kinds = log.counts_by_kind()
+    assert kinds[ChangeKind.MKDIR] >= 1
+    assert kinds[ChangeKind.CREATE] == 1
+    last = log[len(log) - 1]
+    assert last.ino == f
+    assert last.kind is ChangeKind.CREATE
+
+
+def test_create_many_records_batch(fs_with_log):
+    fs, log = fs_with_log
+    d = fs.makedirs("/p", uid=1, gid=1)
+    fs.create_many(d, [f"f{i}" for i in range(25)], 1, 1, timestamps=fs.clock.now)
+    assert log.counts_by_kind()[ChangeKind.CREATE] == 25
+
+
+def test_unlink_and_rmdir_recorded(fs_with_log):
+    fs, log = fs_with_log
+    d = fs.makedirs("/p", uid=1, gid=1)
+    fs.create(d, "f", uid=1, gid=1)
+    fs.unlink(d, "f")
+    fs.rmdir(fs.namespace.root, "p")
+    kinds = log.counts_by_kind()
+    assert kinds[ChangeKind.UNLINK] == 1
+    assert kinds[ChangeKind.RMDIR] == 1
+
+
+def test_unlink_inode_routes_through_patched_unlink(fs_with_log):
+    fs, log = fs_with_log
+    d = fs.makedirs("/p", uid=1, gid=1)
+    f = fs.create(d, "f", uid=1, gid=1)
+    fs.unlink_inode(f)
+    assert log.counts_by_kind()[ChangeKind.UNLINK] == 1
+
+
+def test_read_write_chown_recorded(fs_with_log):
+    fs, log = fs_with_log
+    d = fs.makedirs("/p", uid=1, gid=1)
+    f = fs.create(d, "f", uid=1, gid=1)
+    fs.read(f)
+    fs.write(f)
+    fs.chown(f, uid=2, gid=2)
+    kinds = log.counts_by_kind()
+    assert kinds[ChangeKind.READ] == 1
+    assert kinds[ChangeKind.WRITE] == 1
+    assert kinds[ChangeKind.SETATTR] == 1
+
+
+def test_vectorized_ops_recorded(fs_with_log):
+    fs, log = fs_with_log
+    d = fs.makedirs("/p", uid=1, gid=1)
+    inos = fs.create_many(d, [f"f{i}" for i in range(10)], 1, 1,
+                          timestamps=fs.clock.now)
+    fs.read_many(inos, fs.clock.now + 100)
+    fs.write_many(inos[:4], fs.clock.now + 200)
+    fs.unlink_many(d, [f"f{i}" for i in range(3)])
+    kinds = log.counts_by_kind()
+    assert kinds[ChangeKind.READ] == 10
+    assert kinds[ChangeKind.WRITE] == 4
+    assert kinds[ChangeKind.UNLINK] == 3
+
+
+def test_events_between_filters(fs_with_log):
+    fs, log = fs_with_log
+    d = fs.makedirs("/p", uid=1, gid=1)
+    t0 = fs.clock.now
+    fs.create(d, "early", uid=1, gid=1, timestamp=t0 + 10)
+    fs.create(d, "late", uid=1, gid=1, timestamp=t0 + 1000)
+    inos, times = log.events_between(t0, t0 + 100, {ChangeKind.CREATE})
+    assert inos.size == 1
+    assert times[0] == t0 + 10
+
+
+def test_churned_inos_counts_birth_and_death(fs_with_log):
+    fs, log = fs_with_log
+    d = fs.makedirs("/p", uid=1, gid=1)
+    t0 = fs.clock.now
+    survivor = fs.create(d, "survivor", uid=1, gid=1, timestamp=t0 + 20)
+    f = fs.create(d, "transient", uid=1, gid=1, timestamp=t0 + 10)
+    fs.unlink(d, "transient", timestamp=t0 + 500)
+    churned = log.churned_inos(t0, t0 + 1000)
+    assert f in churned
+    assert survivor not in churned
+
+
+def test_churned_inos_recycled_numbers_count_once(fs_with_log):
+    """An unlink→create recycle is NOT churn; a create→unlink is, once."""
+    fs, log = fs_with_log
+    d = fs.makedirs("/p", uid=1, gid=1)
+    t0 = fs.clock.now
+    old = fs.create(d, "old", uid=1, gid=1, timestamp=t0 + 10)
+    fs.unlink(d, "old", timestamp=t0 + 100)
+    recycled = fs.create(d, "fresh", uid=1, gid=1, timestamp=t0 + 200)
+    assert recycled == old  # inode number reuse
+    # record order: create(old) < unlink(old) < create(fresh, no unlink):
+    # the transient original counts once; the live recycle does not add
+    churned = log.churned_inos(t0, t0 + 1000)
+    assert churned.tolist() == [old]
+
+
+def test_churned_inos_pure_recycle_not_counted(fs_with_log):
+    """unlink-then-create (no later unlink) must not register as churn."""
+    fs, log = fs_with_log
+    d = fs.makedirs("/p", uid=1, gid=1)
+    t0 = fs.clock.now
+    old = fs.create(d, "old", uid=1, gid=1, timestamp=t0 - 100)  # before window
+    fs.clock.advance_to(t0 + 1)
+    window_start = fs.clock.now
+    fs.unlink(d, "old", timestamp=window_start + 10)
+    fresh = fs.create(d, "fresh", uid=1, gid=1, timestamp=window_start + 20)
+    assert fresh == old
+    churned = log.churned_inos(window_start, window_start + 1000)
+    assert churned.size == 0
+
+
+def test_estimated_bytes(fs_with_log):
+    fs, log = fs_with_log
+    d = fs.makedirs("/p", uid=1, gid=1)
+    fs.create(d, "f", uid=1, gid=1)
+    assert log.estimated_bytes() == 64 * len(log)
+
+
+def test_plain_fs_has_no_log_overhead():
+    fs = FileSystem(ost_count=32)
+    # no changelog attribute or wrapping unless attach_changelog is called
+    assert "create" not in fs.__dict__
+
+
+def test_empty_log():
+    log = Changelog()
+    assert len(log) == 0
+    assert log.counts_by_kind() == {}
+    inos, times = log.events_between(0, 10)
+    assert inos.size == 0 and times.size == 0
+    assert log.churned_inos(0, 10).size == 0
+
+
+def test_record_many_scalar_timestamp():
+    log = Changelog()
+    log.record_many(ChangeKind.READ, np.array([1, 2, 3]), 500)
+    assert len(log) == 3
+    assert log[2].timestamp == 500

@@ -1,0 +1,59 @@
+import datetime
+
+import pytest
+
+from repro.fs.clock import DEFAULT_EPOCH, SECONDS_PER_DAY, SimClock
+
+
+def test_clock_starts_at_epoch():
+    clock = SimClock()
+    assert clock.now == DEFAULT_EPOCH
+    assert clock.day == 0
+
+
+def test_advance_days_moves_now():
+    clock = SimClock()
+    clock.advance_days(3)
+    assert clock.day == 3
+    assert clock.now == DEFAULT_EPOCH + 3 * SECONDS_PER_DAY
+
+
+def test_advance_days_rejects_negative():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance_days(-1)
+
+
+def test_advance_to_rejects_backwards():
+    clock = SimClock()
+    clock.advance_days(1)
+    with pytest.raises(ValueError):
+        clock.advance_to(DEFAULT_EPOCH)
+
+
+def test_at_offsets_within_day():
+    clock = SimClock()
+    clock.advance_days(2)
+    assert clock.at(0) == clock.day_start
+    assert clock.at(3600) == clock.day_start + 3600
+    with pytest.raises(ValueError):
+        clock.at(-5)
+
+
+def test_datestamp_matches_paper_window():
+    clock = SimClock()
+    assert clock.datestamp() == "20150105"
+    clock.advance_days(7)
+    assert clock.datestamp() == "20150112"
+
+
+def test_date_is_utc():
+    clock = SimClock()
+    assert clock.date() == datetime.date(2015, 1, 5)
+
+
+def test_day_start_tracks_partial_days():
+    clock = SimClock()
+    clock.advance_to(clock.now + 3600)  # one hour in
+    assert clock.day == 0
+    assert clock.day_start == DEFAULT_EPOCH

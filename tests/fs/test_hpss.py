@@ -1,0 +1,86 @@
+import numpy as np
+import pytest
+
+from repro.fs.hpss import ArchivePolicy, HpssArchive
+
+
+@pytest.fixture
+def archive():
+    return HpssArchive()
+
+
+def test_ingest_and_holdings(archive):
+    n = archive.ingest(gid=7, uid=1, names=["a.nc", "b.nc"],
+                       scratch_mtimes=[100, 200], timestamp=1000)
+    assert n == 2
+    assert archive.holdings(7) == 2
+    assert archive.total_archived == 2
+    assert archive.has(7, "a.nc")
+    assert not archive.has(7, "zzz")
+    assert not archive.has(99, "a.nc")
+
+
+def test_ingest_empty_batch(archive):
+    assert archive.ingest(1, 1, [], [], 0) == 0
+    assert archive.transfers == []
+
+
+def test_ingest_length_mismatch(archive):
+    with pytest.raises(ValueError):
+        archive.ingest(1, 1, ["a"], [1, 2], 0)
+
+
+def test_reingest_overwrites(archive):
+    archive.ingest(7, 1, ["a.nc"], [100], timestamp=1000)
+    archive.ingest(7, 1, ["a.nc"], [500], timestamp=2000)
+    assert archive.holdings(7) == 1
+    recalled = archive.recall(7, ["a.nc"], timestamp=3000)
+    assert recalled[0].scratch_mtime == 500
+    assert recalled[0].archived_at == 2000
+
+
+def test_recall_returns_found_only(archive):
+    archive.ingest(7, 1, ["a", "b"], [1, 2], timestamp=10)
+    found = archive.recall(7, ["a", "missing"], timestamp=20)
+    assert [f.name for f in found] == ["a"]
+    assert archive.traffic("recall") == 1
+
+
+def test_recall_nothing_records_no_transfer(archive):
+    archive.recall(7, ["ghost"], timestamp=5)
+    assert archive.transfers == []
+
+
+def test_traffic_accounting(archive):
+    archive.ingest(1, 1, ["a", "b", "c"], [0, 0, 0], timestamp=100)
+    archive.ingest(2, 1, ["d"], [0], timestamp=200)
+    archive.recall(1, ["a", "b"], timestamp=300)
+    assert archive.traffic("ingest") == 4
+    assert archive.traffic("recall") == 2
+    assert archive.recall_by_project() == {1: 2}
+
+
+def test_weekly_ingest_series(archive):
+    week = 7 * 86400
+    archive.ingest(1, 1, ["a"], [0], timestamp=0)
+    archive.ingest(1, 1, ["b", "c"], [0, 0], timestamp=week + 5)
+    archive.ingest(1, 1, ["d"], [0], timestamp=10 * week)  # out of range
+    series = archive.weekly_ingest_series(origin=0, n_weeks=3)
+    assert series.tolist() == [1, 2, 0]
+
+
+def test_archive_policy_validation():
+    ArchivePolicy(archive_before_purge=0.0)
+    ArchivePolicy(archive_before_purge=1.0, min_age_days=0)
+    with pytest.raises(ValueError):
+        ArchivePolicy(archive_before_purge=1.5)
+    with pytest.raises(ValueError):
+        ArchivePolicy(min_age_days=-1)
+
+
+def test_per_project_isolation(archive):
+    archive.ingest(1, 1, ["same-name"], [0], timestamp=0)
+    archive.ingest(2, 1, ["same-name"], [0], timestamp=0)
+    assert archive.holdings(1) == 1
+    assert archive.holdings(2) == 1
+    assert archive.total_archived == 2

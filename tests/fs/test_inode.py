@@ -1,0 +1,123 @@
+import numpy as np
+import pytest
+
+from repro.fs.errors import InvalidArgument, NotFound
+from repro.fs.inode import S_IFDIR, S_IFREG, InodeTable
+
+
+def test_alloc_sets_all_timestamps_equal():
+    table = InodeTable()
+    ino = table.alloc(S_IFREG | 0o664, uid=10, gid=20, timestamp=1000)
+    st = table.stat(ino)
+    assert st["atime"] == st["mtime"] == st["ctime"] == 1000
+    assert st["uid"] == 10 and st["gid"] == 20
+
+
+def test_inode_zero_is_reserved():
+    table = InodeTable()
+    ino = table.alloc(S_IFREG, 0, 0, 0)
+    assert ino >= 1
+    assert not table.is_allocated(0)
+
+
+def test_alloc_many_returns_distinct_inodes():
+    table = InodeTable()
+    inos = table.alloc_many(100, S_IFREG | 0o664, 1, 2, timestamps=500)
+    assert len(np.unique(inos)) == 100
+    assert table.live_count == 100
+    assert (table.atime[inos] == 500).all()
+
+
+def test_alloc_many_accepts_timestamp_array():
+    table = InodeTable()
+    ts = np.arange(10) + 100
+    inos = table.alloc_many(10, S_IFREG, 1, 2, timestamps=ts)
+    assert (table.mtime[inos] == ts).all()
+
+
+def test_alloc_many_rejects_nonpositive_count():
+    table = InodeTable()
+    with pytest.raises(InvalidArgument):
+        table.alloc_many(0, S_IFREG, 1, 2, timestamps=0)
+
+
+def test_free_recycles_inode_numbers():
+    table = InodeTable()
+    a = table.alloc(S_IFREG, 1, 1, 0)
+    table.free(a)
+    b = table.alloc(S_IFREG, 2, 2, 0)
+    assert b == a
+    assert table.live_count == 1
+
+
+def test_free_many_then_alloc_many_reuses():
+    table = InodeTable()
+    inos = table.alloc_many(50, S_IFREG, 1, 1, timestamps=0)
+    table.free_many(inos[:30])
+    assert table.live_count == 20
+    again = table.alloc_many(40, S_IFREG, 1, 1, timestamps=1)
+    assert table.live_count == 60
+    assert len(np.unique(again)) == 40
+
+
+def test_free_unallocated_raises():
+    table = InodeTable()
+    with pytest.raises(NotFound):
+        table.free(5)
+
+
+def test_double_free_raises():
+    table = InodeTable()
+    ino = table.alloc(S_IFREG, 1, 1, 0)
+    table.free(ino)
+    with pytest.raises(NotFound):
+        table.free(ino)
+
+
+def test_growth_beyond_initial_capacity():
+    table = InodeTable(capacity=16)
+    inos = table.alloc_many(5000, S_IFREG, 1, 1, timestamps=0)
+    assert table.capacity >= 5001
+    assert table.allocated[inos].all()
+
+
+def test_touch_read_only_bumps_atime_forward():
+    table = InodeTable()
+    ino = table.alloc(S_IFREG, 1, 1, 1000)
+    table.touch_read(ino, 2000)
+    assert table.atime[ino] == 2000 and table.mtime[ino] == 1000
+    table.touch_read(ino, 1500)  # never move atime backwards
+    assert table.atime[ino] == 2000
+
+
+def test_touch_write_bumps_mtime_and_ctime():
+    table = InodeTable()
+    ino = table.alloc(S_IFREG, 1, 1, 1000)
+    table.touch_write(ino, 3000)
+    st = table.stat(ino)
+    assert st["mtime"] == 3000 and st["ctime"] == 3000 and st["atime"] == 1000
+
+
+def test_touch_meta_bumps_only_ctime():
+    table = InodeTable()
+    ino = table.alloc(S_IFREG, 1, 1, 1000)
+    table.touch_meta(ino, 4000)
+    st = table.stat(ino)
+    assert st["ctime"] == 4000 and st["mtime"] == 1000 and st["atime"] == 1000
+
+
+def test_is_dir_is_file():
+    table = InodeTable()
+    d = table.alloc(S_IFDIR | 0o775, 0, 0, 0)
+    f = table.alloc(S_IFREG | 0o664, 0, 0, 0)
+    assert table.is_dir(d) and not table.is_file(d)
+    assert table.is_file(f) and not table.is_dir(f)
+
+
+def test_live_inodes_sorted_and_correct():
+    table = InodeTable()
+    inos = table.alloc_many(10, S_IFREG, 1, 1, timestamps=0)
+    table.free(int(inos[3]))
+    live = table.live_inodes()
+    assert (np.diff(live) > 0).all()
+    assert set(live.tolist()) == set(inos.tolist()) - {int(inos[3])}

@@ -1,0 +1,123 @@
+import pytest
+
+from repro.fs.clock import SECONDS_PER_DAY
+from repro.fs.filesystem import FileSystem
+from repro.fs.purge import PurgePolicy
+
+
+@pytest.fixture
+def fs():
+    return FileSystem(ost_count=32, default_stripe=2, max_stripe=8)
+
+
+def _populate(fs, n=10):
+    d = fs.makedirs("/proj/user", uid=1, gid=1)
+    t0 = fs.clock.now
+    inos = fs.create_many(d, [f"f{i}" for i in range(n)], 1, 1, timestamps=t0)
+    return d, inos
+
+
+def test_no_purge_within_window(fs):
+    _populate(fs)
+    fs.clock.advance_days(30)
+    report = PurgePolicy(window_days=90).sweep(fs)
+    assert report.purged == 0
+    assert fs.file_count == 10
+
+
+def test_purge_after_window(fs):
+    _populate(fs)
+    fs.clock.advance_days(91)
+    report = PurgePolicy(window_days=90).sweep(fs)
+    assert report.purged == 10
+    assert fs.file_count == 0
+
+
+def test_purge_never_deletes_directories(fs):
+    _populate(fs)
+    fs.clock.advance_days(365)
+    PurgePolicy(window_days=90).sweep(fs)
+    # /proj and /proj/user survive as the paper's "empty directories"
+    assert fs.directory_count == 3
+
+
+def test_recent_access_protects_file(fs):
+    d, inos = _populate(fs, n=3)
+    assert d
+    fs.clock.advance_days(80)
+    fs.read(int(inos[0]))  # touch one file's atime
+    fs.clock.advance_days(20)  # others now 100 days stale
+    report = PurgePolicy(window_days=90).sweep(fs)
+    assert report.purged == 2
+    assert fs.file_count == 1
+
+
+def test_exempt_gid_is_skipped(fs):
+    d = fs.makedirs("/stf", uid=1, gid=99)
+    fs.create(d, "bench.log", uid=1, gid=99)
+    _populate(fs)
+    fs.clock.advance_days(120)
+    report = PurgePolicy(window_days=90, exempt_gids={99}).sweep(fs)
+    assert report.purged == 10
+    assert fs.file_count == 1
+
+
+def test_purged_ages_reported_in_days(fs):
+    _populate(fs, n=1)
+    fs.clock.advance_days(100)
+    report = PurgePolicy(window_days=90).sweep(fs)
+    assert report.purged_ages_days.size == 1
+    assert report.purged_ages_days[0] == pytest.approx(100.0)
+
+
+def test_candidates_does_not_delete(fs):
+    _populate(fs)
+    fs.clock.advance_days(120)
+    policy = PurgePolicy(window_days=90)
+    cands = policy.candidates(fs)
+    assert cands.size == 10
+    assert fs.file_count == 10
+
+
+def test_window_must_be_positive():
+    with pytest.raises(ValueError):
+        PurgePolicy(window_days=0)
+
+
+def test_history_accumulates(fs):
+    _populate(fs)
+    policy = PurgePolicy(window_days=90)
+    fs.clock.advance_days(91)
+    policy.sweep(fs)
+    fs.clock.advance_days(30)
+    policy.sweep(fs)
+    assert len(policy.history) == 2
+    assert policy.total_purged == 10
+
+
+def test_shorter_window_purges_more(fs):
+    _populate(fs)
+    fs.clock.advance_days(45)
+    assert PurgePolicy(window_days=30).candidates(fs).size == 10
+    assert PurgePolicy(window_days=60).candidates(fs).size == 0
+
+
+def test_purge_timestamp_is_clock_now(fs):
+    _populate(fs, n=1)
+    fs.clock.advance_days(91)
+    report = PurgePolicy(window_days=90).sweep(fs)
+    assert report.timestamp == fs.clock.now
+    assert report.window_days == 90
+    assert report.scanned >= 1
+
+
+def test_atime_in_future_of_cutoff_is_safe(fs):
+    d, inos = _populate(fs, n=2)
+    assert d
+    fs.clock.advance_days(89)
+    assert PurgePolicy(window_days=90).candidates(fs).size == 0
+    fs.clock.advance_days(1)
+    # exactly at the boundary: age == window, strict < cutoff comparison
+    assert PurgePolicy(window_days=90).candidates(fs).size == 0
+    fs.clock.advance_to(fs.clock.now + SECONDS_PER_DAY)
+    assert PurgePolicy(window_days=90).candidates(fs).size == 2

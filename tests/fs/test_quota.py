@@ -1,0 +1,76 @@
+import pytest
+
+from repro.fs.errors import QuotaExceeded
+from repro.fs.quota import QuotaManager
+
+
+def test_unlimited_by_default():
+    q = QuotaManager()
+    q.charge(1, 10_000)
+    assert q.usage(1) == 10_000
+    assert q.headroom(1) is None
+
+
+def test_limit_enforced():
+    q = QuotaManager()
+    q.set_limit(1, 100)
+    q.charge(1, 100)
+    with pytest.raises(QuotaExceeded):
+        q.charge(1, 1)
+    assert q.usage(1) == 100
+
+
+def test_denials_counted():
+    q = QuotaManager()
+    q.set_limit(1, 5)
+    with pytest.raises(QuotaExceeded):
+        q.charge(1, 6)
+    assert q.entries[1].denials == 1
+
+
+def test_refund_and_floor_at_zero():
+    q = QuotaManager()
+    q.charge(1, 5)
+    q.refund(1, 3)
+    assert q.usage(1) == 2
+    q.refund(1, 10)
+    assert q.usage(1) == 0
+
+
+def test_peak_tracks_high_watermark():
+    q = QuotaManager()
+    q.charge(1, 50)
+    q.refund(1, 40)
+    q.charge(1, 10)
+    assert q.peak(1) == 50
+    assert q.usage(1) == 20
+
+
+def test_headroom():
+    q = QuotaManager()
+    q.set_limit(2, 10)
+    q.charge(2, 4)
+    assert q.headroom(2) == 6
+
+
+def test_non_enforcing_mode_allows_overrun():
+    q = QuotaManager(enforcing=False)
+    q.set_limit(1, 5)
+    q.charge(1, 50)
+    assert q.usage(1) == 50
+
+
+def test_report_sorted_by_usage():
+    q = QuotaManager()
+    q.charge(1, 5)
+    q.charge(2, 50)
+    q.charge(3, 20)
+    rows = q.report()
+    assert [r[0] for r in rows] == [2, 3, 1]
+
+
+def test_unknown_gid_reads_as_zero():
+    q = QuotaManager()
+    assert q.usage(42) == 0
+    assert q.peak(42) == 0
+    assert q.headroom(42) is None

@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.core import Graph
+
+
+def test_from_edges_basic():
+    g = Graph.from_edges(4, np.array([[0, 1], [1, 2], [2, 3]]))
+    assert g.n == 4
+    assert g.n_edges == 3
+    assert sorted(g.neighbors(1).tolist()) == [0, 2]
+
+
+def test_self_loops_dropped():
+    g = Graph.from_edges(3, np.array([[0, 0], [0, 1]]))
+    assert g.n_edges == 1
+    assert g.degree(0) == 1
+
+
+def test_duplicate_edges_collapsed():
+    g = Graph.from_edges(3, np.array([[0, 1], [1, 0], [0, 1]]))
+    assert g.n_edges == 1
+
+
+def test_degree_vector():
+    g = Graph.from_edges(4, np.array([[0, 1], [0, 2], [0, 3]]))
+    assert g.degree().tolist() == [3, 1, 1, 1]
+    assert g.degree(0) == 3
+
+
+def test_has_edge():
+    g = Graph.from_edges(3, np.array([[0, 2]]))
+    assert g.has_edge(0, 2) and g.has_edge(2, 0)
+    assert not g.has_edge(0, 1)
+
+
+def test_empty_graph():
+    g = Graph.empty(5)
+    assert g.n == 5
+    assert g.n_edges == 0
+    assert g.neighbors(3).size == 0
+
+
+def test_out_of_range_edge_rejected():
+    with pytest.raises(ValueError):
+        Graph.from_edges(2, np.array([[0, 5]]))
+
+
+def test_subgraph_remaps_vertices():
+    g = Graph.from_edges(5, np.array([[0, 1], [1, 2], [3, 4]]))
+    sub, verts = g.subgraph(np.array([1, 2, 3]))
+    assert sub.n == 3
+    assert verts.tolist() == [1, 2, 3]
+    # only the 1-2 edge survives (0 and 4 excluded)
+    assert sub.n_edges == 1
+    assert sub.has_edge(0, 1)  # new ids: 1→0, 2→1
+
+
+def test_subgraph_empty_selection():
+    g = Graph.from_edges(3, np.array([[0, 1]]))
+    sub, _ = g.subgraph(np.array([], dtype=np.int64))
+    assert sub.n == 0 and sub.n_edges == 0
+
+
+@settings(max_examples=30)
+@given(
+    st.integers(min_value=2, max_value=20).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                max_size=40,
+            ),
+        )
+    )
+)
+def test_csr_consistency(args):
+    n, edges = args
+    g = Graph.from_edges(n, np.array(edges, dtype=np.int64).reshape(-1, 2))
+    # symmetry: u in N(v) iff v in N(u)
+    for u in range(n):
+        for v in g.neighbors(u):
+            assert u in g.neighbors(int(v))
+    # indptr covers indices exactly
+    assert g.indptr[-1] == g.indices.size
+    assert int(g.degree().sum()) == g.indices.size

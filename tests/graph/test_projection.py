@@ -1,0 +1,116 @@
+import numpy as np
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.core import Graph
+from repro.graph.projection import (
+    clustering_coefficient,
+    mean_clustering,
+    project_bipartite,
+)
+
+
+def _bipartite(n_left, n_right, memberships):
+    """memberships: list of (left, right) with right < n_right."""
+    edges = np.array(
+        [(l, n_left + r) for l, r in memberships], dtype=np.int64
+    ).reshape(-1, 2)
+    return Graph.from_edges(n_left + n_right, edges)
+
+
+def test_simple_projection():
+    # users 0,1 share project 0; users 1,2 share project 1
+    g = _bipartite(3, 2, [(0, 0), (1, 0), (1, 1), (2, 1)])
+    proj, weights = project_bipartite(g, left_size=3)
+    assert proj.n == 3
+    assert proj.has_edge(0, 1)
+    assert proj.has_edge(1, 2)
+    assert not proj.has_edge(0, 2)
+    assert weights == {(0, 1): 1, (1, 2): 1}
+
+
+def test_projection_weights_count_shared():
+    # users 0,1 share two projects
+    g = _bipartite(2, 2, [(0, 0), (1, 0), (0, 1), (1, 1)])
+    _, weights = project_bipartite(g, left_size=2)
+    assert weights == {(0, 1): 2}
+
+
+def test_right_projection():
+    # projects 0,1 share user 0
+    g = _bipartite(2, 2, [(0, 0), (0, 1)])
+    proj, weights = project_bipartite(g, left_size=2, project_left=False)
+    assert proj.n == 2
+    assert proj.has_edge(0, 1)
+    assert weights == {(0, 1): 1}
+
+
+def test_projection_empty():
+    g = Graph.empty(5)
+    proj, weights = project_bipartite(g, left_size=3)
+    assert proj.n == 3 and proj.n_edges == 0
+    assert weights == {}
+
+
+def test_projection_rejects_bad_split():
+    g = Graph.empty(4)
+    with pytest.raises(ValueError):
+        project_bipartite(g, left_size=9)
+
+
+def test_clustering_triangle():
+    g = Graph.from_edges(3, np.array([[0, 1], [1, 2], [0, 2]]))
+    assert clustering_coefficient(g, 0) == 1.0
+    assert mean_clustering(g) == 1.0
+
+
+def test_clustering_star_is_zero():
+    g = Graph.from_edges(4, np.array([[0, 1], [0, 2], [0, 3]]))
+    assert clustering_coefficient(g, 0) == 0.0
+    assert mean_clustering(g) == 0.0
+
+
+def test_clustering_degree_one_is_zero():
+    g = Graph.from_edges(2, np.array([[0, 1]]))
+    assert clustering_coefficient(g, 0) == 0.0
+
+
+@settings(max_examples=20)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 4)),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_projection_against_networkx(memberships):
+    g = _bipartite(6, 5, memberships)
+    proj, _ = project_bipartite(g, left_size=6)
+    nxb = nx.Graph()
+    nxb.add_nodes_from(range(6), bipartite=0)
+    nxb.add_nodes_from(range(6, 11), bipartite=1)
+    nxb.add_edges_from((l, 6 + r) for l, r in memberships)
+    nx_proj = nx.bipartite.projected_graph(nxb, list(range(6)))
+    assert proj.n_edges == nx_proj.number_of_edges()
+    for u, v in nx_proj.edges:
+        assert proj.has_edge(u, v)
+
+
+@settings(max_examples=20)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_clustering_against_networkx(edges):
+    g = Graph.from_edges(8, np.array(edges, dtype=np.int64).reshape(-1, 2))
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(8))
+    nxg.add_edges_from(e for e in edges if e[0] != e[1])
+    theirs = nx.clustering(nxg)
+    for v in range(8):
+        assert clustering_coefficient(g, v) == pytest.approx(theirs[v])

@@ -1,0 +1,90 @@
+import numpy as np
+
+from repro.fs.filesystem import FileSystem
+from repro.query.parallel import SnapshotExecutor, snapshot_map
+from repro.scan.lustredu import LustreDuScanner
+from repro.scan.snapshot import SnapshotCollection
+
+
+def _build_collection(weeks=4, files_per_week=20):
+    fs = FileSystem(ost_count=32, default_stripe=2, max_stripe=8)
+    scanner = LustreDuScanner()
+    coll = SnapshotCollection(scanner.paths)
+    d = fs.makedirs("/lustre/atlas1/cli/p1/u1", uid=1, gid=1)
+    for week in range(weeks):
+        fs.create_many(
+            d,
+            [f"w{week}.f{i}.nc" for i in range(files_per_week)],
+            1, 1, timestamps=fs.clock.now,
+        )
+        coll.append(scanner.scan(fs, label=f"w{week}"))
+        fs.clock.advance_days(7)
+    return coll
+
+
+def _count(snapshot):
+    return len(snapshot)
+
+
+def _file_count(snapshot):
+    return int(snapshot.is_file.sum())
+
+
+def test_serial_map():
+    coll = _build_collection()
+    counts = snapshot_map(coll, _count, processes=1)
+    assert len(counts) == 4
+    assert counts == sorted(counts)  # growing file system
+
+
+def test_parallel_map_matches_serial():
+    coll = _build_collection()
+    serial = snapshot_map(coll, _file_count, processes=1)
+    parallel = snapshot_map(coll, _file_count, processes=2)
+    assert serial == parallel
+
+
+def test_empty_collection():
+    coll = SnapshotCollection()
+    assert snapshot_map(coll, _count) == []
+
+
+def test_executor_map():
+    coll = _build_collection()
+    ex = SnapshotExecutor(processes=1)
+    assert ex.map(coll, _count) == snapshot_map(coll, _count, processes=1)
+
+
+def _pair_diff(prev, cur):
+    return len(cur) - len(prev)
+
+
+def test_executor_map_pairs_serial():
+    coll = _build_collection(weeks=3, files_per_week=10)
+    ex = SnapshotExecutor(processes=1)
+    diffs = ex.map_pairs(coll, _pair_diff)
+    assert diffs == [10, 10]
+
+
+def test_executor_map_pairs_parallel_matches():
+    coll = _build_collection(weeks=4, files_per_week=5)
+    serial = SnapshotExecutor(processes=1).map_pairs(coll, _pair_diff)
+    parallel = SnapshotExecutor(processes=2).map_pairs(coll, _pair_diff)
+    assert serial == parallel
+
+
+def test_map_pairs_short_collection():
+    coll = _build_collection(weeks=1)
+    assert SnapshotExecutor(processes=1).map_pairs(coll, _pair_diff) == []
+
+
+def test_closure_works_in_parallel():
+    coll = _build_collection()
+    threshold = 30
+
+    def count_above(snapshot):
+        return int(np.sum(snapshot.is_file) > threshold)
+
+    serial = snapshot_map(coll, count_above, processes=1)
+    parallel = snapshot_map(coll, count_above, processes=2)
+    assert serial == parallel

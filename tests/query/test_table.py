@@ -1,0 +1,182 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.table import ColumnTable
+
+
+@pytest.fixture
+def table():
+    return ColumnTable(
+        {
+            "gid": np.array([1, 2, 1, 3, 2, 1]),
+            "uid": np.array([10, 20, 10, 30, 21, 11]),
+            "size": np.array([5.0, 1.0, 2.0, 8.0, 3.0, 4.0]),
+        }
+    )
+
+
+def test_construction_and_access(table):
+    assert table.n_rows == 6
+    assert table.column_names == ["gid", "uid", "size"]
+    assert "gid" in table and "nope" not in table
+    assert table["uid"][3] == 30
+
+
+def test_ragged_columns_rejected():
+    with pytest.raises(ValueError):
+        ColumnTable({"a": np.array([1]), "b": np.array([1, 2])})
+
+
+def test_empty_dict_rejected():
+    with pytest.raises(ValueError):
+        ColumnTable({})
+
+
+def test_select_and_with_column(table):
+    sub = table.select(["gid", "size"])
+    assert sub.column_names == ["gid", "size"]
+    extended = table.with_column("flag", np.zeros(6, dtype=bool))
+    assert "flag" in extended
+    with pytest.raises(ValueError):
+        table.with_column("bad", np.zeros(3))
+
+
+def test_filter(table):
+    out = table.filter(table["gid"] == 1)
+    assert out.n_rows == 3
+    assert set(out["uid"].tolist()) == {10, 11}
+    with pytest.raises(ValueError):
+        table.filter(np.array([1, 0, 1, 0, 1, 0]))  # not boolean
+
+
+def test_sort_and_head(table):
+    out = table.sort_by("size", descending=True)
+    assert out["size"][0] == 8.0
+    assert out.head(2).n_rows == 2
+
+
+def test_groupby_count(table):
+    out = table.groupby("gid").count()
+    rows = {r["gid"]: r["count"] for r in out.to_dicts()}
+    assert rows == {1: 3, 2: 2, 3: 1}
+
+
+def test_groupby_sum_min_max_mean(table):
+    g = table.groupby("gid")
+    sums = {r["gid"]: r["size_sum"] for r in g.sum("size").to_dicts()}
+    assert sums == {1: 11.0, 2: 4.0, 3: 8.0}
+    mins = {r["gid"]: r["size_min"] for r in g.min("size").to_dicts()}
+    assert mins == {1: 2.0, 2: 1.0, 3: 8.0}
+    maxs = {r["gid"]: r["size_max"] for r in g.max("size").to_dicts()}
+    assert maxs == {1: 5.0, 2: 3.0, 3: 8.0}
+    means = {r["gid"]: r["size_mean"] for r in g.mean("size").to_dicts()}
+    assert means[1] == pytest.approx(11 / 3)
+
+
+def test_groupby_nunique(table):
+    out = table.groupby("gid").nunique("uid")
+    rows = {r["gid"]: r["uid_nunique"] for r in out.to_dicts()}
+    assert rows == {1: 2, 2: 2, 3: 1}
+
+
+def test_groupby_apply(table):
+    out = table.groupby("gid").apply("size", np.median, as_name="med")
+    rows = {r["gid"]: r["med"] for r in out.to_dicts()}
+    assert rows == {1: 4.0, 2: 2.0, 3: 8.0}
+
+
+def test_groupby_multi_key():
+    t = ColumnTable(
+        {
+            "a": np.array([1, 1, 2, 2, 1]),
+            "b": np.array([0, 0, 0, 1, 1]),
+            "v": np.array([1, 2, 3, 4, 5]),
+        }
+    )
+    out = t.groupby(["a", "b"]).sum("v")
+    rows = {(r["a"], r["b"]): r["v_sum"] for r in out.to_dicts()}
+    assert rows == {(1, 0): 3, (1, 1): 5, (2, 0): 3, (2, 1): 4}
+
+
+def test_groupby_groups_iteration(table):
+    groups = dict(table.groupby("gid").groups())
+    assert set(groups) == {(1,), (2,), (3,)}
+    assert sorted(table["uid"][groups[(1,)]].tolist()) == [10, 10, 11]
+
+
+def test_groupby_missing_key_raises(table):
+    with pytest.raises(KeyError):
+        table.groupby("nope")
+
+
+def test_groupby_empty_table():
+    t = ColumnTable({"k": np.empty(0, dtype=np.int64), "v": np.empty(0)})
+    out = t.groupby("k").count()
+    assert out.n_rows == 0
+    assert t.groupby("k").sum("v").n_rows == 0
+    assert t.groupby("k").mean("v").n_rows == 0
+
+
+def test_inner_join(table):
+    dims = ColumnTable(
+        {"gid": np.array([1, 2]), "domain": np.array(["cli", "bio"], dtype=object)}
+    )
+    out = table.join(dims, on="gid", how="inner")
+    assert out.n_rows == 5  # gid 3 dropped
+    assert set(out["domain"].tolist()) == {"cli", "bio"}
+
+
+def test_left_join_fills_missing(table):
+    dims = ColumnTable({"gid": np.array([1]), "code": np.array([7])})
+    out = table.join(dims, on="gid", how="left")
+    assert out.n_rows == 6
+    missing = out.filter(out["gid"] != 1)
+    assert (missing["code"] == -1).all()
+
+
+def test_join_rejects_duplicate_right_keys(table):
+    dims = ColumnTable({"gid": np.array([1, 1]), "x": np.array([1, 2])})
+    with pytest.raises(ValueError):
+        table.join(dims, on="gid")
+
+
+def test_join_rejects_unknown_how(table):
+    dims = ColumnTable({"gid": np.array([1]), "x": np.array([1])})
+    with pytest.raises(ValueError):
+        table.join(dims, on="gid", how="outer")
+
+
+def test_unique(table):
+    assert table.unique("gid").tolist() == [1, 2, 3]
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(-100, 100)),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_groupby_sum_matches_python(pairs):
+    keys = np.array([p[0] for p in pairs])
+    vals = np.array([p[1] for p in pairs], dtype=np.int64)
+    t = ColumnTable({"k": keys, "v": vals})
+    out = t.groupby("k").sum("v")
+    got = {r["k"]: r["v_sum"] for r in out.to_dicts()}
+    expected: dict[int, int] = {}
+    for k, v in pairs:
+        expected[k] = expected.get(k, 0) + v
+    assert got == expected
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(st.integers(0, 8), min_size=1, max_size=100),
+)
+def test_groupby_count_partitions_rows(keys):
+    t = ColumnTable({"k": np.array(keys)})
+    out = t.groupby("k").count()
+    assert int(out["count"].sum()) == len(keys)

@@ -1,0 +1,70 @@
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.scan.extensions import (
+    NO_EXTENSION,
+    ExtensionTable,
+    split_extension,
+)
+
+
+def test_plain_extension():
+    assert split_extension("data.nc") == "nc"
+    assert split_extension("run.tar.gz") == "gz"
+
+
+def test_numeric_suffix_is_extension():
+    # the paper's HEP domain has '0' as its top extension (checkpoint.0)
+    assert split_extension("checkpoint.0") == "0"
+    assert split_extension("result.12") == "12"
+
+
+def test_no_dot_means_no_extension():
+    assert split_extension("Makefile") == NO_EXTENSION
+    assert split_extension("POSCAR") == NO_EXTENSION
+
+
+def test_leading_dot_hidden_file():
+    assert split_extension(".bashrc") == NO_EXTENSION
+
+
+def test_trailing_dot():
+    assert split_extension("weird.") == NO_EXTENSION
+
+
+def test_overlong_suffix_rejected():
+    assert split_extension("x.thisistoolongtobereal") == NO_EXTENSION
+    assert split_extension("x.GraphGeod") == "GraphGeod"  # 9 chars, paper-real
+
+
+def test_table_interns_stably():
+    table = ExtensionTable()
+    a = table.intern("nc")
+    b = table.intern("h5")
+    assert table.intern("nc") == a
+    assert a != b
+    assert table.name_of(a) == "nc"
+    assert table.id_of("h5") == b
+    assert "nc" in table and "xyz" not in table
+
+
+def test_no_extension_is_id_zero():
+    table = ExtensionTable()
+    assert table.no_extension_id == 0
+    assert table.intern(NO_EXTENSION) == 0
+    assert table.intern_name("README") == 0
+    assert table.intern_name("a.dat") != 0
+
+
+def test_len_counts_entries():
+    table = ExtensionTable()
+    table.intern("a")
+    table.intern("b")
+    assert len(table) == 3  # noext + 2
+
+
+@given(st.text(alphabet=st.characters(blacklist_characters="/\x00"), min_size=1, max_size=30))
+def test_split_never_raises_and_never_empty(name):
+    ext = split_extension(name)
+    assert ext
+    assert ext == NO_EXTENSION or ("." + ext) in ("." + name)[-(len(ext) + 1):] or name.endswith(ext)

@@ -1,0 +1,85 @@
+import numpy as np
+
+from repro.scan.paths import PathTable
+
+
+def test_intern_is_stable():
+    table = PathTable()
+    a = table.intern("/lustre/atlas1/cli/p1/u1/data.nc")
+    b = table.intern("/lustre/atlas1/cli/p1/u1/other.nc")
+    assert table.intern("/lustre/atlas1/cli/p1/u1/data.nc") == a
+    assert a != b
+    assert len(table) == 2
+    assert table.path_of(a) == "/lustre/atlas1/cli/p1/u1/data.nc"
+
+
+def test_depth_derived_from_components():
+    table = PathTable()
+    pid = table.intern("/a/b/c/file.txt")
+    assert table.depth[pid] == 4
+
+
+def test_intern_with_depth_trusts_caller():
+    table = PathTable()
+    pid = table.intern_with_depth("/a/b/file", 2)
+    assert table.depth[pid] == 2  # caller-supplied, not recounted
+
+
+def test_extension_derived():
+    table = PathTable()
+    a = table.intern("/p/x.nc")
+    b = table.intern("/p/noext")
+    exts = table.extensions
+    assert exts.name_of(int(table.ext_id[a])) == "nc"
+    assert table.ext_id[b] == exts.no_extension_id
+
+
+def test_intern_many_round_trip():
+    table = PathTable()
+    paths = [f"/p/f{i}.dat" for i in range(100)]
+    ids = table.intern_many(paths)
+    assert len(np.unique(ids)) == 100
+    again = table.intern_many(paths)
+    assert (ids == again).all()
+
+
+def test_vectorized_lookups():
+    table = PathTable()
+    ids = table.intern_many(["/a/x.h5", "/a/b/y.nc", "/a/b/c/z"])
+    assert table.depths_of(ids).tolist() == [2, 3, 4]
+    ext_names = [table.extensions.name_of(int(e)) for e in table.ext_ids_of(ids)]
+    assert ext_names[:2] == ["h5", "nc"]
+
+
+def test_component_accessor():
+    table = PathTable()
+    pid = table.intern("/lustre/atlas1/cli/p1/u1/f.nc")
+    assert table.component(pid, 0) == "lustre"
+    assert table.component(pid, 2) == "cli"
+    assert table.component(pid, 99) is None
+
+
+def test_contains_and_id_of():
+    table = PathTable()
+    table.intern("/x")
+    assert "/x" in table
+    assert "/y" not in table
+    assert table.id_of("/y") is None
+
+
+def test_growth_past_initial_capacity():
+    table = PathTable()
+    ids = table.intern_many([f"/f{i}.txt" for i in range(3000)])
+    assert table.depth[ids[-1]] == 1
+    assert len(table) == 3000
+
+
+def test_shared_extension_table():
+    from repro.scan.extensions import ExtensionTable
+
+    ext = ExtensionTable()
+    t1 = PathTable(ext)
+    t2 = PathTable(ext)
+    a = t1.intern("/a.nc")
+    b = t2.intern("/b.nc")
+    assert t1.ext_id[a] == t2.ext_id[b]

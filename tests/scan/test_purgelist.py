@@ -1,0 +1,106 @@
+import numpy as np
+import pytest
+
+from repro.fs.clock import SECONDS_PER_DAY
+from repro.fs.filesystem import FileSystem
+from repro.scan.lustredu import LustreDuScanner
+from repro.scan.purgelist import (
+    generate_purge_list,
+    validate_purge_list,
+)
+
+
+@pytest.fixture
+def aged_fs():
+    fs = FileSystem(ost_count=32, default_stripe=2, max_stripe=8)
+    d = fs.makedirs("/lustre/atlas1/cli/p1/u1", uid=1, gid=100)
+    old = fs.create_many(d, [f"old{i}" for i in range(10)], 1, 100,
+                         timestamps=fs.clock.now)
+    fs.clock.advance_days(100)
+    fresh = fs.create_many(d, [f"new{i}" for i in range(5)], 1, 100,
+                           timestamps=fs.clock.now)
+    return fs, old, fresh
+
+
+def test_candidates_are_old_files_only(aged_fs):
+    fs, old, fresh = aged_fs
+    snap = LustreDuScanner().scan(fs)
+    plist = generate_purge_list(snap, window_days=90)
+    assert len(plist) == 10
+    paths = plist.paths(snap)
+    assert all("old" in p for p in paths)
+    assert (plist.ages_days >= 90).all()
+
+
+def test_directories_never_listed(aged_fs):
+    fs, *_ = aged_fs
+    fs.clock.advance_days(400)  # even the dirs' timestamps are ancient
+    snap = LustreDuScanner().scan(fs)
+    plist = generate_purge_list(snap, window_days=90)
+    rows = snap.rows_for(plist.path_ids)
+    assert (~snap.is_dir[rows]).all()
+
+
+def test_by_project_breakdown(aged_fs):
+    fs, *_ = aged_fs
+    snap = LustreDuScanner().scan(fs)
+    plist = generate_purge_list(snap, window_days=90)
+    assert plist.by_project(snap) == {100: 10}
+
+
+def test_window_validation(aged_fs):
+    fs, *_ = aged_fs
+    snap = LustreDuScanner().scan(fs)
+    with pytest.raises(ValueError):
+        generate_purge_list(snap, window_days=0)
+
+
+def test_validation_perfect_when_nothing_changed(aged_fs):
+    fs, *_ = aged_fs
+    snap = LustreDuScanner().scan(fs)
+    plist = generate_purge_list(snap, window_days=90)
+    acc = validate_purge_list(plist, snap, fs)
+    assert acc.precision == 1.0
+    assert acc.recall == 1.0
+    assert acc.false_positives == 0 and acc.false_negatives == 0
+
+
+def test_validation_detects_post_scan_access(aged_fs):
+    fs, old, _ = aged_fs
+    snap = LustreDuScanner().scan(fs)
+    plist = generate_purge_list(snap, window_days=90)
+    # the user touches two listed files after the scan
+    fs.read_many(old[:2], fs.clock.now + 3600)
+    fs.clock.advance_to(fs.clock.now + 7200)
+    acc = validate_purge_list(plist, snap, fs)
+    assert acc.false_positives == 2
+    assert acc.precision == pytest.approx(8 / 10)
+
+
+def test_validation_detects_post_scan_aging(aged_fs):
+    fs, _, fresh = aged_fs
+    snap = LustreDuScanner().scan(fs)
+    plist = generate_purge_list(snap, window_days=90)
+    # the fresh files cross the age threshold after the scan
+    fs.clock.advance_days(95)
+    acc = validate_purge_list(plist, snap, fs)
+    assert acc.false_negatives >= fresh.size
+    assert acc.recall < 1.0
+
+
+def test_purge_list_empty_for_young_fs():
+    fs = FileSystem(ost_count=16)
+    d = fs.makedirs("/p", uid=1, gid=1)
+    fs.create(d, "f", uid=1, gid=1)
+    snap = LustreDuScanner().scan(fs)
+    plist = generate_purge_list(snap, window_days=90)
+    assert len(plist) == 0
+    assert plist.by_project(snap) == {}
+
+
+def test_explicit_now_parameter(aged_fs):
+    fs, *_ = aged_fs
+    snap = LustreDuScanner().scan(fs)
+    far_future = snap.timestamp + 400 * SECONDS_PER_DAY
+    plist = generate_purge_list(snap, window_days=90, now=far_future)
+    assert len(plist) == 15  # everything is stale from that vantage point

@@ -1,0 +1,155 @@
+import numpy as np
+import pytest
+
+from repro.fs.inode import S_IFDIR, S_IFREG
+from repro.scan.paths import PathTable
+from repro.scan.snapshot import NUMERIC_COLUMNS, Snapshot, SnapshotCollection
+
+
+def _make_snapshot(paths, table=None, label="20150105", ts=1000, dirs=0):
+    """Snapshot with the given path strings; first `dirs` rows are dirs."""
+    table = table if table is not None else PathTable()
+    n = len(paths)
+    pids = table.intern_many(paths)
+    mode = np.full(n, S_IFREG | 0o664, dtype=np.uint32)
+    mode[:dirs] = S_IFDIR | 0o775
+    cols = {
+        "path_id": pids,
+        "ino": np.arange(1, n + 1, dtype=np.int64),
+        "mode": mode,
+        "uid": np.full(n, 10, dtype=np.int32),
+        "gid": np.full(n, 20, dtype=np.int32),
+        "atime": np.full(n, ts, dtype=np.int64),
+        "mtime": np.full(n, ts, dtype=np.int64),
+        "ctime": np.full(n, ts, dtype=np.int64),
+        "stripe_count": np.full(n, 4, dtype=np.int32),
+        "stripe_start": np.zeros(n, dtype=np.int32),
+    }
+    return Snapshot.from_columns(label, ts, table, cols), table
+
+
+def test_rows_sorted_by_path_id():
+    snap, table = _make_snapshot(["/c", "/a", "/b"])
+    assert (np.diff(snap.path_id) > 0).all()
+    # columns stayed row-aligned after the sort
+    strings = snap.path_strings()
+    assert strings == [table.path_of(int(p)) for p in snap.path_id]
+
+
+def test_is_dir_mask():
+    snap, _ = _make_snapshot(["/d1", "/d2", "/f1", "/f2", "/f3"], dirs=2)
+    assert snap.n_dirs == 2
+    assert snap.n_files == 3
+    assert len(snap) == 5
+
+
+def test_depth_and_ext_gathers():
+    snap, _ = _make_snapshot(["/a/b/x.nc", "/y.h5"])
+    depths = set(snap.depth().tolist())
+    assert depths == {1, 3}
+    exts = {snap.paths.extensions.name_of(int(e)) for e in snap.ext_id()}
+    assert exts == {"nc", "h5"}
+
+
+def test_select_subset():
+    snap, _ = _make_snapshot(["/d", "/f1", "/f2"], dirs=1)
+    files_only = snap.select(snap.is_file)
+    assert len(files_only) == 2
+    assert files_only.n_dirs == 0
+
+
+def test_column_length_mismatch_rejected():
+    snap, table = _make_snapshot(["/a"])
+    cols = {name: getattr(snap, name) for name in NUMERIC_COLUMNS}
+    cols["uid"] = np.array([1, 2], dtype=np.int32)
+    with pytest.raises(ValueError):
+        Snapshot(label="x", timestamp=0, paths=table, **cols)
+
+
+def test_set_algebra_between_weeks():
+    table = PathTable()
+    week1, _ = _make_snapshot(["/a", "/b", "/c"], table=table, ts=100)
+    week2, _ = _make_snapshot(["/b", "/c", "/d"], table=table, ts=200)
+    both = week1.intersect_ids(week2)
+    assert sorted(table.path_of(int(p)) for p in both) == ["/b", "/c"]
+    deleted = week1.only_ids(week2)
+    assert [table.path_of(int(p)) for p in deleted] == ["/a"]
+    new = week2.only_ids(week1)
+    assert [table.path_of(int(p)) for p in new] == ["/d"]
+
+
+def test_rows_for_lookup():
+    table = PathTable()
+    snap, _ = _make_snapshot(["/a", "/b", "/c"], table=table)
+    ids = snap.path_id[[0, 2]]
+    rows = snap.rows_for(ids)
+    assert (snap.path_id[rows] == ids).all()
+
+
+def test_rows_for_missing_raises():
+    table = PathTable()
+    snap, _ = _make_snapshot(["/a"], table=table)
+    missing = table.intern("/zzz")
+    with pytest.raises(KeyError):
+        snap.rows_for(np.array([missing]))
+
+
+def test_collection_enforces_shared_table_and_order():
+    table = PathTable()
+    coll = SnapshotCollection(table)
+    s1, _ = _make_snapshot(["/a"], table=table, ts=100)
+    s2, _ = _make_snapshot(["/b"], table=table, ts=200)
+    coll.append(s1)
+    coll.append(s2)
+    assert len(coll) == 2
+    assert coll.labels == ["20150105", "20150105"]
+
+    alien, _ = _make_snapshot(["/x"])  # different table
+    with pytest.raises(ValueError):
+        coll.append(alien)
+
+    stale, _ = _make_snapshot(["/c"], table=table, ts=50)
+    with pytest.raises(ValueError):
+        coll.append(stale)
+
+
+def test_collection_union_and_pairs():
+    table = PathTable()
+    coll = SnapshotCollection(table)
+    s1, _ = _make_snapshot(["/a", "/b"], table=table, ts=100)
+    s2, _ = _make_snapshot(["/b", "/c"], table=table, ts=200)
+    coll.append(s1)
+    coll.append(s2)
+    union = coll.union_path_ids()
+    assert union.size == 3
+    pairs = list(coll.pairs())
+    assert len(pairs) == 1
+    assert pairs[0][0] is s1 and pairs[0][1] is s2
+
+
+def test_collection_subset_shares_table():
+    table = PathTable()
+    coll = SnapshotCollection(table)
+    for i, ps in enumerate((["/a"], ["/b"], ["/c"])):
+        s, _ = _make_snapshot(ps, table=table, ts=100 * (i + 1))
+        coll.append(s)
+    sub = coll.subset([0, 2])
+    assert len(sub) == 2
+    assert sub.paths is table
+    assert sub[1].timestamp == 300
+
+
+def test_empty_snapshot():
+    table = PathTable()
+    cols = {
+        name: np.empty(0, dtype=dt)
+        for name, dt in (
+            ("path_id", np.int64), ("ino", np.int64), ("mode", np.uint32),
+            ("uid", np.int32), ("gid", np.int32), ("atime", np.int64),
+            ("mtime", np.int64), ("ctime", np.int64),
+            ("stripe_count", np.int32), ("stripe_start", np.int32),
+        )
+    }
+    snap = Snapshot.from_columns("empty", 0, table, cols)
+    assert len(snap) == 0
+    assert snap.n_files == 0 and snap.n_dirs == 0

@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.cdf import Cdf, ecdf, quantiles
+
+
+def test_ecdf_simple():
+    cdf = ecdf(np.array([1, 2, 2, 3]))
+    assert cdf.at(0) == 0.0
+    assert cdf.at(1) == pytest.approx(0.25)
+    assert cdf.at(2) == pytest.approx(0.75)
+    assert cdf.at(3) == pytest.approx(1.0)
+    assert cdf.at(99) == 1.0
+
+
+def test_ecdf_empty_raises():
+    with pytest.raises(ValueError):
+        ecdf(np.array([]))
+
+
+def test_quantile_inverse():
+    cdf = ecdf(np.arange(1, 101))
+    assert cdf.quantile(0.5) == 50
+    assert cdf.quantile(0.0) == 1
+    assert cdf.quantile(1.0) == 100
+    assert cdf.median == 50
+
+
+def test_quantile_rejects_out_of_range():
+    cdf = ecdf(np.array([1.0]))
+    with pytest.raises(ValueError):
+        cdf.quantile(1.5)
+
+
+def test_tail_fraction():
+    cdf = ecdf(np.array([5, 10, 15, 20]))
+    assert cdf.tail_fraction(10) == pytest.approx(0.5)
+
+
+def test_as_series_pairs():
+    cdf = ecdf(np.array([3, 1, 3]))
+    series = cdf.as_series()
+    assert series[0] == (1.0, pytest.approx(1 / 3))
+    assert series[-1] == (3.0, pytest.approx(1.0))
+
+
+def test_mismatched_shapes_rejected():
+    with pytest.raises(ValueError):
+        Cdf(values=np.array([1.0, 2.0]), probs=np.array([1.0]))
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=200))
+def test_ecdf_is_monotone_and_ends_at_one(xs):
+    cdf = ecdf(np.array(xs))
+    assert (np.diff(cdf.probs) >= 0).all()
+    assert cdf.probs[-1] == pytest.approx(1.0)
+    assert (np.diff(cdf.values) > 0).all()
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=100),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_quantile_at_roundtrip(xs, q):
+    cdf = ecdf(np.array(xs))
+    x = cdf.quantile(q)
+    # by definition of the inverse CDF: P(X <= x) >= q
+    assert cdf.at(x) >= q - 1e-12
+
+
+def test_quantiles_helper():
+    qs = quantiles(np.arange(101), (0.25, 0.5, 0.75))
+    assert qs.tolist() == [25.0, 50.0, 75.0]
+
+
+def test_quantiles_empty_raises():
+    with pytest.raises(ValueError):
+        quantiles(np.array([]))

@@ -1,0 +1,100 @@
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.dispersion import (
+    coefficient_of_variation,
+    five_number_summary,
+    gini,
+    relative_cv,
+)
+
+
+def test_cv_of_constant_sample_is_zero():
+    assert coefficient_of_variation(np.full(10, 42.0)) == 0.0
+
+
+def test_cv_empty_is_nan():
+    assert math.isnan(coefficient_of_variation(np.array([])))
+
+
+def test_cv_zero_mean():
+    assert coefficient_of_variation(np.array([-1.0, 1.0])) == 0.0
+
+
+def test_cv_known_value():
+    sample = np.array([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    # mean 5, population std 2
+    assert coefficient_of_variation(sample) == pytest.approx(0.4)
+
+
+def test_cv_burstier_sample_is_smaller():
+    """The paper's key property: tighter clustering → lower c_v."""
+    base = 1.45e9  # epoch-scale timestamps, like real mtime data
+    spread = base + np.linspace(0, 6 * 86400, 100)
+    burst = base + np.linspace(0, 3600, 100)
+    assert coefficient_of_variation(burst) < coefficient_of_variation(spread)
+
+
+@given(st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=2, max_size=100))
+def test_cv_scale_invariant(xs):
+    sample = np.array(xs)
+    a = coefficient_of_variation(sample)
+    b = coefficient_of_variation(sample * 7.5)
+    assert a == pytest.approx(b, rel=1e-9)
+
+
+def test_relative_cv_rebases():
+    sample = 1000.0 + np.array([0.0, 50.0, 100.0])
+    out = relative_cv(sample, origin=1000.0, span=100.0)
+    expected = coefficient_of_variation(np.array([0.0, 0.5, 1.0]))
+    assert out == pytest.approx(expected)
+
+
+def test_relative_cv_rejects_bad_span():
+    with pytest.raises(ValueError):
+        relative_cv(np.array([1.0]), origin=0.0, span=0.0)
+
+
+def test_five_number_summary():
+    s = five_number_summary(np.arange(1, 102))
+    assert s == {
+        "min": 1.0,
+        "q1": 26.0,
+        "median": 51.0,
+        "q3": 76.0,
+        "max": 101.0,
+    }
+
+
+def test_five_number_summary_empty_raises():
+    with pytest.raises(ValueError):
+        five_number_summary(np.array([]))
+
+
+def test_gini_equal_distribution_is_zero():
+    assert gini(np.full(10, 3.0)) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_gini_total_concentration_near_one():
+    sample = np.zeros(1000)
+    sample[0] = 100.0
+    assert gini(sample) > 0.99
+
+
+def test_gini_rejects_negative():
+    with pytest.raises(ValueError):
+        gini(np.array([-1.0, 2.0]))
+
+
+def test_gini_all_zero_is_zero():
+    assert gini(np.zeros(5)) == 0.0
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_gini_bounded(xs):
+    g = gini(np.array(xs))
+    assert -1e-9 <= g <= 1.0

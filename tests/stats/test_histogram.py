@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.stats.histogram import log_binned_histogram, ratio_breakdown
+
+
+def test_log_binning_covers_sample():
+    sample = np.array([1, 10, 100, 1000], dtype=float)
+    centers, dens = log_binned_histogram(sample, bins_per_decade=1)
+    assert centers.size == dens.size
+    assert centers.min() >= 0.5 and centers.max() <= 5000
+
+
+def test_log_binning_density_integrates_to_one():
+    rng = np.random.default_rng(2)
+    sample = rng.zipf(2.3, size=10_000).astype(float)
+    centers, dens = log_binned_histogram(sample, bins_per_decade=4)
+    assert dens.min() > 0  # empty bins dropped
+    # reconstruct the mass: density * width should sum to ~1
+    # (recompute edges the same way the function does)
+    lo = np.floor(np.log10(sample.min()))
+    hi = np.ceil(np.log10(sample.max())) + 1e-9
+    n_bins = max(1, int(np.ceil((hi - lo) * 4)))
+    edges = np.logspace(lo, hi, n_bins + 1)
+    counts, _ = np.histogram(sample, bins=edges)
+    mass = (counts / sample.size).sum()
+    assert mass == pytest.approx(1.0)
+
+
+def test_log_binning_power_law_straightish():
+    rng = np.random.default_rng(3)
+    sample = rng.zipf(2.5, size=50_000).astype(float)
+    centers, dens = log_binned_histogram(sample)
+    x, y = np.log10(centers), np.log10(dens)
+    slope, _ = np.polyfit(x, y, 1)
+    assert -3.5 < slope < -1.5
+
+
+def test_log_binning_rejects_empty():
+    with pytest.raises(ValueError):
+        log_binned_histogram(np.array([0.0, -1.0]))
+
+
+def test_ratio_breakdown_sums_to_one():
+    out = ratio_breakdown({"a": 3, "b": 1})
+    assert out == {"a": 0.75, "b": 0.25}
+
+
+def test_ratio_breakdown_all_zero():
+    out = ratio_breakdown({"a": 0, "b": 0})
+    assert out == {"a": 0.0, "b": 0.0}
+
+
+def test_ratio_breakdown_empty():
+    assert ratio_breakdown({}) == {}

@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.stats.powerlaw import fit_power_law
+
+
+def _power_law_sample(alpha, n, seed=1, kmin=1):
+    """Discrete power-law sample by inverse-transform on a Zipf tail."""
+    rng = np.random.default_rng(seed)
+    return rng.zipf(alpha, size=n) * kmin
+
+
+def test_recovers_known_exponent():
+    sample = _power_law_sample(2.5, 20_000, seed=7)
+    fit = fit_power_law(sample, kmin=1)
+    assert fit.alpha == pytest.approx(2.5, abs=0.1)
+
+
+def test_exponent_with_automatic_kmin():
+    sample = _power_law_sample(2.2, 20_000, seed=3)
+    fit = fit_power_law(sample)
+    assert fit.alpha == pytest.approx(2.2, abs=0.25)
+    assert fit.plausibly_power_law
+
+
+def test_loglog_slope_negative_for_power_law():
+    sample = _power_law_sample(2.5, 10_000, seed=5)
+    fit = fit_power_law(sample, kmin=1)
+    assert fit.loglog_slope < -1.0
+
+
+def test_uniform_sample_fits_poorly():
+    rng = np.random.default_rng(11)
+    sample = rng.integers(90, 110, size=5000)
+    fit = fit_power_law(sample)
+    good = _power_law_sample(2.5, 5000, seed=11)
+    good_fit = fit_power_law(good)
+    assert good_fit.ks_distance < fit.ks_distance
+
+
+def test_rejects_tiny_sample():
+    with pytest.raises(ValueError):
+        fit_power_law(np.array([1, 2]))
+
+
+def test_rejects_bad_kmin():
+    with pytest.raises(ValueError):
+        fit_power_law(np.array([1, 2, 3, 4]), kmin=0)
+
+
+def test_nonpositive_values_dropped():
+    sample = np.concatenate([_power_law_sample(2.5, 5000), [0, 0, -5]])
+    fit = fit_power_law(sample, kmin=1)
+    assert np.isfinite(fit.alpha)
+
+
+def test_tail_size_reported():
+    sample = np.array([1] * 50 + [2] * 20 + [5] * 10 + [20] * 3)
+    fit = fit_power_law(sample, kmin=2)
+    assert fit.n_tail == 33
+
+
+def test_degenerate_constant_sample_falls_back():
+    fit = fit_power_law(np.full(20, 3))
+    assert fit.kmin >= 1  # no crash; fallback path

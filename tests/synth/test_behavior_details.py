@@ -1,0 +1,162 @@
+"""Focused behavior-model tests: archive sweeps, transient cleanup, stripe
+tuning, directory feedback control, campaign weights."""
+
+import numpy as np
+import pytest
+
+from repro.fs.clock import SECONDS_PER_DAY
+from repro.fs.filesystem import FileSystem
+from repro.fs.hpss import ArchivePolicy, HpssArchive
+from repro.synth.behavior import (
+    TRANSIENT_FRACTION,
+    ProjectBehavior,
+)
+from repro.synth.domains import DOMAINS
+from repro.synth.population import ProjectRecord
+
+
+def _behavior(code="cli", total=600, weeks=8, seed=11, **kwargs):
+    project = ProjectRecord(
+        gid=7000, name=f"{code}990", domain=code, core=True,
+        members=[501, 502],
+    )
+    return ProjectBehavior(
+        project=project,
+        spec=DOMAINS[code],
+        rng=np.random.default_rng(seed),
+        total_files=total,
+        n_weeks=weeks,
+        **kwargs,
+    )
+
+
+def _fs():
+    return FileSystem(ost_count=2016, default_stripe=4, max_stripe=1008)
+
+
+def test_transient_cleanup_next_week():
+    fs = _fs()
+    b = _behavior(total=800, weeks=4)
+    b.setup(fs)
+    s0 = b.step_week(fs, 0, fs.clock.now)
+    fs.clock.advance_days(7)
+    s1 = b.step_week(fs, 1, fs.clock.now)
+    # roughly TRANSIENT_FRACTION of week 0's output dies in week 1
+    if s0["created"] > 20:
+        expected = s0["created"] * TRANSIENT_FRACTION
+        assert s1["deleted"] >= 0.5 * expected
+
+
+def test_archive_sweep_sends_old_files_to_hpss():
+    fs = _fs()
+    b = _behavior(total=400, weeks=3)
+    b.archive = HpssArchive()
+    b.archive_policy = ArchivePolicy(archive_before_purge=1.0, min_age_days=10)
+    b.setup(fs)
+    b.step_week(fs, 0, fs.clock.now)
+    fs.clock.advance_days(30)  # age the output past min_age_days
+    stats = b.step_week(fs, 1, fs.clock.now)
+    assert stats.get("archived", 0) > 0
+    assert b.archive.holdings(7000) > 0
+    # archive keys are full scratch paths
+    names = list(b.archive._holdings[7000])
+    assert all(name.startswith("/lustre/atlas") for name in names)
+
+
+def test_archive_disabled_by_default():
+    fs = _fs()
+    b = _behavior(total=200, weeks=2)
+    b.setup(fs)
+    stats = b.step_week(fs, 0, fs.clock.now)
+    assert "archived" not in stats
+    assert "recalled" not in stats
+
+
+def test_stripe_tuning_respects_table1_bounds():
+    fs = _fs()
+    b = _behavior(code="ast", total=3000, weeks=4)  # ast: min 4, max 122
+    b.setup(fs)
+    for week in range(4):
+        b.step_week(fs, week, fs.clock.now)
+        fs.clock.advance_days(7)
+    live = fs.inodes.live_inodes()
+    files = live[[fs.inodes.is_file(int(i)) for i in live]]
+    stripes = fs.inodes.stripe_count[files]
+    assert stripes.max() <= 122
+    assert stripes.min() >= 1
+
+
+def test_untuned_domain_stays_default():
+    fs = _fs()
+    b = _behavior(code="med", total=500, weeks=3)  # med never tunes
+    b.setup(fs)
+    for week in range(3):
+        b.step_week(fs, week, fs.clock.now)
+        fs.clock.advance_days(7)
+    live = fs.inodes.live_inodes()
+    files = live[[fs.inodes.is_file(int(i)) for i in live]]
+    assert (fs.inodes.stripe_count[files] == 4).all()
+
+
+def test_dir_feedback_control_tracks_target():
+    fs = _fs()
+    b = _behavior(code="cli", total=3000, weeks=6)  # dir_fraction 0.15
+    b.setup(fs)
+    for week in range(6):
+        b.step_week(fs, week, fs.clock.now)
+        fs.clock.advance_days(7)
+    # working dirs per file stays in the discounted-odds neighborhood
+    ratio = b._dirs_made / max(b._files_made, 1)
+    target = 0.22 * 0.15 / 0.85
+    assert ratio == pytest.approx(target, rel=0.8)
+
+
+def test_dir_heavy_domain_outpaces_files():
+    fs = _fs()
+    b = _behavior(code="atm", total=400, weeks=4)  # dir_fraction 0.90
+    b.setup(fs)
+    for week in range(4):
+        b.step_week(fs, week, fs.clock.now)
+        fs.clock.advance_days(7)
+    assert b._dirs_made > b._files_made  # directories dominate
+
+
+def test_campaign_domain_peaks_at_campaign_week():
+    b = _behavior(code="nph", total=10_000, weeks=72)  # campaign week 26
+    window = b.weights[24:29].sum()
+    elsewhere = b.weights[50:55].sum()
+    assert window > elsewhere
+
+
+def test_weekly_budgets_total_to_project_budget():
+    b = _behavior(total=5000, weeks=20)
+    total = sum(b.weekly_budget(w) for w in range(20))
+    assert total == pytest.approx(5000, abs=2)
+
+
+def test_member_rotation_activates_everyone():
+    fs = _fs()
+    b = _behavior(total=400, weeks=4)
+    b.setup(fs)
+    for week in range(4):
+        b.step_week(fs, week, fs.clock.now)
+        fs.clock.advance_days(7)
+    live = fs.inodes.live_inodes()
+    uids = set(int(u) for u in np.unique(fs.inodes.uid[live]))
+    assert {501, 502} <= uids
+
+
+def test_recall_creates_restored_files():
+    fs = _fs()
+    b = _behavior(total=400, weeks=2)
+    archive = HpssArchive()
+    archive.ingest(7000, 501, ["/lustre/atlas1/cli/cli990/u501/x.nc"],
+                   [fs.clock.now - 200 * SECONDS_PER_DAY], fs.clock.now)
+    b.archive = archive
+    b.setup(fs)
+    b._recall_from_archive(fs, fs.clock.now, stats := {})
+    assert stats.get("recalled") == 1
+    restored = fs.namespace.lookup(
+        f"{b.root_path}/u501/restored"
+    )
+    assert fs.namespace.child_count(restored) == 1

@@ -1,0 +1,170 @@
+import numpy as np
+import pytest
+
+from repro.fs.clock import SECONDS_PER_DAY
+from repro.fs.filesystem import FileSystem
+from repro.synth.behavior import ProjectBehavior, build_behaviors
+from repro.synth.domains import DOMAINS
+from repro.synth.driver import SimulationConfig, run_simulation
+from repro.synth.population import ProjectRecord, generate_population
+
+WEEK = 7 * SECONDS_PER_DAY
+
+
+def _one_behavior(code="cli", total=400, weeks=10, keepalive=False, stress=None,
+                  seed=3):
+    project = ProjectRecord(
+        gid=5000, name=f"{code}901", domain=code, core=True,
+        members=[111, 222, 333],
+    )
+    return ProjectBehavior(
+        project=project,
+        spec=DOMAINS[code],
+        rng=np.random.default_rng(seed),
+        total_files=total,
+        n_weeks=weeks,
+        keepalive=keepalive,
+        stress_depth=stress,
+    )
+
+
+def test_setup_creates_root_path():
+    fs = FileSystem(ost_count=64, max_stripe=32)
+    b = _one_behavior()
+    b.setup(fs)
+    assert fs.namespace.lookup(b.root_path) == b.root_ino
+
+
+def test_step_week_produces_files():
+    fs = FileSystem(ost_count=2016, max_stripe=1008)
+    b = _one_behavior(total=500, weeks=5)
+    b.setup(fs)
+    total_created = 0
+    for week in range(5):
+        stats = b.step_week(fs, week, fs.clock.now)
+        total_created += stats["created"]
+        fs.clock.advance_days(7)
+    assert total_created == pytest.approx(500, abs=60)
+    assert fs.file_count > 0
+
+
+def test_budget_carry_conserves_total():
+    b = _one_behavior(total=97, weeks=9)
+    budgets = [b.weekly_budget(w) for w in range(9)]
+    assert sum(budgets) == pytest.approx(97, abs=1)
+
+
+def test_event_timestamps_stay_inside_week():
+    fs = FileSystem(ost_count=2016, max_stripe=1008)
+    b = _one_behavior(total=600, weeks=3)
+    b.setup(fs)
+    for week in range(3):
+        start = fs.clock.now
+        b.step_week(fs, week, start)
+        live = fs.inodes.live_inodes()
+        mt = fs.inodes.mtime[live]
+        assert (mt <= start + WEEK).all()
+        fs.clock.advance_days(7)
+
+
+def test_keepalive_refreshes_old_atimes():
+    fs = FileSystem(ost_count=64, max_stripe=32)
+    b = _one_behavior(total=300, weeks=2, keepalive=True)
+    b.setup(fs)
+    b.step_week(fs, 0, fs.clock.now)
+    # age everything far beyond the keepalive threshold
+    fs.clock.advance_days(70)
+    stats = b.step_week(fs, 1, fs.clock.now)
+    assert stats["kept_alive"] > 0
+
+
+def test_stress_chain_depth():
+    fs = FileSystem(ost_count=64, max_stripe=32)
+    b = _one_behavior(code="gen", total=100, weeks=4, stress=432)
+    b.setup(fs)
+    depths = [fs.namespace.depth(ino) for ino in fs.namespace.iter_dirs()]
+    assert max(depths) == 432
+
+
+def test_reconcile_drops_purged():
+    from repro.fs.purge import PurgePolicy
+
+    fs = FileSystem(ost_count=64, max_stripe=32)
+    b = _one_behavior(total=300, weeks=2, keepalive=False)
+    b.setup(fs)
+    b.step_week(fs, 0, fs.clock.now)
+    before = b.live_tracked
+    assert before > 0
+    fs.clock.advance_days(100)
+    PurgePolicy(window_days=90).sweep(fs)
+    b.reconcile(fs)
+    assert b.live_tracked < before
+
+
+def test_write_spread_matches_domain_cv():
+    bursty = _one_behavior(code="aph")  # write_cv 0.052
+    spread = _one_behavior(code="env")  # write_cv 0.511
+    assert bursty.write_spread < spread.write_spread
+    assert bursty.read_spread < bursty.write_spread
+
+
+def test_build_behaviors_covers_all_projects():
+    pop = generate_population(seed=5)
+    rng = np.random.default_rng(5)
+    behaviors = build_behaviors(pop, n_weeks=10, scale=1e-6, rng=rng,
+                                min_project_files=5)
+    assert len(behaviors) == pop.n_projects
+    stress = [b for b in behaviors if b.stress_depth]
+    assert {b.stress_depth for b in stress} == {2030, 432}
+
+
+def test_build_behaviors_budgets_track_entries():
+    pop = generate_population(seed=5)
+    rng = np.random.default_rng(5)
+    behaviors = build_behaviors(pop, n_weeks=10, scale=1e-5, rng=rng,
+                                min_project_files=5, stress_depths=False)
+    by_domain: dict[str, int] = {}
+    for b in behaviors:
+        by_domain[b.spec.code] = by_domain.get(b.spec.code, 0) + b.total_files
+    # big domains get big budgets
+    assert by_domain["stf"] > by_domain["pss"]
+    assert by_domain["bip"] > by_domain["nfu"]
+
+
+def test_simulation_config_validation():
+    with pytest.raises(ValueError):
+        SimulationConfig(scale=0)
+    with pytest.raises(ValueError):
+        SimulationConfig(weeks=1)
+    with pytest.raises(ValueError):
+        SimulationConfig(backlog_fraction=1.0)
+
+
+def test_simulation_run_small():
+    cfg = SimulationConfig(
+        seed=77, scale=1.5e-6, weeks=6, min_project_files=4,
+        stress_depths=False, missing_weeks=(3,),
+    )
+    result = run_simulation(cfg)
+    # week 3 skipped: 5 snapshots instead of 6
+    assert result.n_snapshots == 5
+    assert len(result.week_stats) == 6
+    assert len(result.purge_reports) == 6
+    assert result.fs.entry_count > 0
+    assert result.collection.paths is result.scanner.paths
+
+
+def test_simulation_deterministic():
+    cfg = SimulationConfig(seed=88, scale=1e-6, weeks=4, min_project_files=4,
+                           stress_depths=False)
+    a = run_simulation(cfg)
+    b = run_simulation(cfg)
+    assert len(a.collection[-1]) == len(b.collection[-1])
+    assert (a.collection[-1].mtime == b.collection[-1].mtime).all()
+
+
+def test_snapshot_labels_are_weekly_dates():
+    cfg = SimulationConfig(seed=88, scale=1e-6, weeks=3, min_project_files=4,
+                           stress_depths=False)
+    result = run_simulation(cfg)
+    assert result.collection.labels == ["20150112", "20150119", "20150126"]

@@ -1,0 +1,99 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.synth.calibration import (
+    cv_from_spread,
+    depth_geometric_p,
+    project_budget_shares,
+    sessions_per_week,
+    spread_from_cv,
+    weekly_weights,
+)
+
+
+def test_spread_cv_round_trip():
+    for cv in (0.05, 0.1, 0.3, 0.5):
+        f = spread_from_cv(cv, default=0.3)
+        assert cv_from_spread(f) == pytest.approx(cv, rel=1e-6)
+
+
+def test_spread_uses_default_for_none():
+    assert spread_from_cv(None, default=0.3) == spread_from_cv(0.3, default=0.1)
+
+
+def test_spread_clipped_to_unit():
+    assert spread_from_cv(10.0, default=0.3) <= 1.0
+    assert spread_from_cv(1e-9, default=0.3) > 0
+
+
+def test_cv_from_spread_rejects_bad():
+    with pytest.raises(ValueError):
+        cv_from_spread(0.0)
+    with pytest.raises(ValueError):
+        cv_from_spread(1.5)
+
+
+@given(st.floats(min_value=0.001, max_value=0.55))
+def test_spread_monotone_in_cv(cv):
+    assert spread_from_cv(cv, 0.3) <= spread_from_cv(cv + 0.01, 0.3)
+
+
+def test_depth_geometric_median_lands_on_target():
+    rng = np.random.default_rng(0)
+    for med in (8, 10, 12, 16):
+        p = depth_geometric_p(med)
+        sample = 5 + rng.geometric(p, size=20_000)
+        assert np.median(sample) == pytest.approx(med, abs=1.5)
+
+
+def test_depth_geometric_shallow_domain():
+    p = depth_geometric_p(5)  # median at the base depth
+    assert 0 < p <= 0.999
+
+
+def test_sessions_per_week_monotone_in_cv():
+    assert sessions_per_week(0.05, 1000) <= sessions_per_week(0.5, 1000)
+    assert sessions_per_week(0.5, 1000) >= 2
+
+
+def test_sessions_per_week_small_budget_capped():
+    assert sessions_per_week(0.5, 10) <= 2
+    assert sessions_per_week(None, 1000) >= 1
+
+
+def test_budget_shares_sum_to_one():
+    rng = np.random.default_rng(5)
+    shares = project_budget_shares(20, rng)
+    assert shares.sum() == pytest.approx(1.0)
+    assert (shares > 0).all()
+    # heavy tail: the largest project dwarfs the median one
+    assert shares.max() > 3 * np.median(shares)
+
+
+def test_budget_shares_rejects_zero():
+    with pytest.raises(ValueError):
+        project_budget_shares(0, np.random.default_rng(0))
+
+
+def test_weekly_weights_normalized_and_windowed():
+    w = weekly_weights(72, start_week=10, end_week=60, growth=5.0, campaign_week=None)
+    assert w.sum() == pytest.approx(1.0)
+    assert (w[:10] == 0).all()
+    assert (w[61:] == 0).all()
+    # ramp: later active weeks carry more weight
+    assert w[55] > w[15]
+
+
+def test_weekly_weights_campaign_bump():
+    flat = weekly_weights(72, 0, 71, growth=1.0, campaign_week=None)
+    bumped = weekly_weights(72, 0, 71, growth=1.0, campaign_week=30)
+    assert bumped[30] > flat[30]
+    assert bumped[30] > bumped[10]
+    assert bumped.sum() == pytest.approx(1.0)
+
+
+def test_weekly_weights_empty_window_rejected():
+    with pytest.raises(ValueError):
+        weekly_weights(10, start_week=20, end_week=30, growth=1.0, campaign_week=None)

@@ -1,0 +1,101 @@
+import pytest
+
+from repro.synth.domains import (
+    DOMAINS,
+    SYSTEM_DOMAINS,
+    TOTAL_PROJECTS,
+    DomainSpec,
+    domain_codes,
+    validate_catalog,
+)
+
+
+def test_catalog_headline_numbers():
+    """The paper's abstract numbers: 35 domains, 380 projects."""
+    assert len(DOMAINS) == 35
+    assert TOTAL_PROJECTS == 380
+
+
+def test_validate_catalog_passes():
+    validate_catalog()  # raises on any inconsistency
+
+
+def test_domain_codes_sorted():
+    codes = domain_codes()
+    assert codes == sorted(codes)
+    assert codes[0] == "aph"
+    assert "cli" in codes and "stf" in codes
+
+
+def test_table1_spot_checks():
+    """Rows transcribed from Table 1."""
+    cli = DOMAINS["cli"]
+    assert cli.n_projects == 21
+    assert cli.entries_k == 211_876
+    assert cli.ext_top[0] == ("nc", 40.3)
+    assert cli.write_cv == 0.421
+    assert cli.network_pct == 76.19
+    assert cli.collab_pct == 45.80
+
+    bio = DOMAINS["bio"]
+    assert bio.ext_top[0] == ("pdbqt", 97.6)
+
+    ast = DOMAINS["ast"]
+    assert ast.max_ost == 122
+
+    stf = DOMAINS["stf"]
+    assert stf.stress_depth == 2030
+    assert stf.depth_max == 2030
+
+    gen = DOMAINS["gen"]
+    assert gen.stress_depth == 432
+
+    pss = DOMAINS["pss"]
+    assert pss.write_cv is None  # excluded (<100 files/week)
+    assert pss.entries_k == pytest.approx(0.09)
+
+
+def test_missing_cv_domains():
+    """atm and syb were excluded from both c_v columns in Table 1."""
+    for code in ("atm", "syb"):
+        assert DOMAINS[code].write_cv is None
+        assert DOMAINS[code].read_cv is None
+
+
+def test_dir_heavy_domains():
+    assert DOMAINS["atm"].dir_fraction == 0.90
+    assert DOMAINS["hep"].dir_fraction == 0.67
+    others = [s.dir_fraction for c, s in DOMAINS.items() if c not in ("atm", "hep")]
+    assert max(others) < 0.5
+
+
+def test_campaign_weeks():
+    """Figure 10's spikes: nph ~July 2015, chp ~February 2016."""
+    assert DOMAINS["nph"].campaign_week == 26
+    assert DOMAINS["chp"].campaign_week == 56
+
+
+def test_tunes_stripes_property():
+    assert DOMAINS["ast"].tunes_stripes
+    assert DOMAINS["env"].tunes_stripes  # max 2 < default 4
+    assert not DOMAINS["med"].tunes_stripes
+
+
+def test_system_domains():
+    assert SYSTEM_DOMAINS == {"stf", "gen", "ven"}
+
+
+def test_entries_property_scales_k():
+    spec = DOMAINS["aph"]
+    assert spec.entries == spec.entries_k * 1000.0
+
+
+def test_catalog_validation_rejects_bad_spec():
+    bad = DomainSpec(
+        code="bad", name="Bad", n_projects=1, entries_k=1.0,
+        depth_median=10, depth_max=5,  # median > max
+        ext_top=(("x", 1.0),), languages=("C", "C"),
+        max_ost=4, write_cv=None, read_cv=None,
+        network_pct=0.0, collab_pct=0.0,
+    )
+    assert bad.depth_median > bad.depth_max  # the invalid condition itself

@@ -1,0 +1,69 @@
+import numpy as np
+import pytest
+
+from repro.scan.extensions import split_extension
+from repro.synth.domains import DOMAINS
+from repro.synth.naming import ExtensionSampler
+
+
+@pytest.fixture
+def sampler():
+    return ExtensionSampler(DOMAINS["cli"], np.random.default_rng(7))
+
+
+def test_names_are_unique(sampler):
+    names = sampler.sample_names(2000)
+    assert len(set(names)) == 2000
+
+
+def test_domain_extension_dominates():
+    rng = np.random.default_rng(3)
+    sampler = ExtensionSampler(DOMAINS["bio"], rng)  # pdbqt at 97.6%
+    names = sampler.sample_names(5000)
+    exts = [split_extension(n) for n in names]
+    assert exts.count("pdbqt") / len(exts) > 0.5
+
+
+def test_mix_includes_noext_and_series(sampler):
+    names = sampler.sample_names(5000)
+    exts = [split_extension(n) for n in names]
+    noext = sum(1 for e in exts if e == "<noext>")
+    numeric = sum(1 for e in exts if e.isdigit())
+    assert noext > 100  # ~16% band
+    assert numeric > 20  # checkpoint series
+
+
+def test_source_files_present(sampler):
+    names = sampler.sample_names(5000)
+    exts = {split_extension(n) for n in names}
+    # cli's languages are Matlab + C
+    assert exts & {"m", "c", "h"}
+
+
+def test_probabilities_normalized(sampler):
+    assert sampler.probs.sum() == pytest.approx(1.0)
+    assert (sampler.probs >= 0).all()
+
+
+def test_sample_zero_names(sampler):
+    assert sampler.sample_names(0) == []
+
+
+def test_series_counter_increments(sampler):
+    names = sampler.sample_names(3000)
+    series = sorted(
+        int(n.rsplit(".", 1)[1]) for n in names if n.rsplit(".", 1)[-1].isdigit()
+    )
+    assert series == sorted(set(series))  # strictly increasing sequence
+
+
+def test_dir_names(sampler):
+    names = {sampler.sample_dir_name(i) for i in range(50)}
+    assert len(names) == 50
+    assert all("/" not in n for n in names)
+
+
+def test_deterministic_given_seed():
+    a = ExtensionSampler(DOMAINS["cli"], np.random.default_rng(11))
+    b = ExtensionSampler(DOMAINS["cli"], np.random.default_rng(11))
+    assert a.sample_names(100) == b.sample_names(100)

@@ -1,0 +1,138 @@
+import numpy as np
+import pytest
+
+from repro.synth.domains import DOMAINS
+from repro.synth.population import (
+    ORG_TYPES,
+    Population,
+    generate_population,
+)
+
+
+@pytest.fixture(scope="module")
+def pop():
+    return generate_population(seed=2015)
+
+
+def test_headline_counts(pop):
+    assert pop.n_projects == 380
+    # exact user count is enforced up to the planted anecdote users
+    assert abs(pop.n_users - 1362) <= 8
+
+
+def test_projects_per_domain_match_catalog(pop):
+    for code, spec in DOMAINS.items():
+        assert len(pop.projects_in_domain(code)) == spec.n_projects
+
+
+def test_every_project_has_members(pop):
+    for project in pop.projects.values():
+        assert project.n_users >= 1
+        assert len(set(project.members)) == project.n_users
+
+
+def test_membership_is_symmetric(pop):
+    for gid, project in pop.projects.items():
+        for uid in project.members:
+            assert gid in pop.users[uid].projects
+    for uid, user in pop.users.items():
+        for gid in user.projects:
+            assert uid in pop.projects[gid].members
+
+
+def test_every_user_has_a_project(pop):
+    assert all(u.n_projects >= 1 for u in pop.users.values())
+
+
+def test_org_mix(pop):
+    from collections import Counter
+
+    counts = Counter(u.org_type for u in pop.users.values())
+    assert set(counts) <= set(ORG_TYPES)
+    fractions = {k: v / pop.n_users for k, v in counts.items()}
+    assert fractions["national_lab"] == pytest.approx(0.52, abs=0.06)
+    assert fractions["academia"] == pytest.approx(0.24, abs=0.05)
+
+
+def test_projects_per_user_distribution(pop):
+    ppu = np.array([u.n_projects for u in pop.users.values()])
+    # Figure 6(a) shape
+    assert 0.4 < (ppu > 1).mean() < 0.75
+    assert (ppu > 2).mean() < 0.35
+    assert 0.005 < (ppu >= 8).mean() < 0.06
+
+
+def test_users_per_project_distribution(pop):
+    upp = np.array([p.n_users for p in pop.projects.values()])
+    assert 2 <= np.median(upp) <= 6
+    assert (upp > 10).mean() < 0.45
+    assert upp.max() <= 40
+
+
+def test_memberships_array(pop):
+    mem = pop.memberships()
+    assert mem.ndim == 2 and mem.shape[1] == 2
+    total = sum(u.n_projects for u in pop.users.values())
+    assert mem.shape[0] == total
+
+
+def test_accounts_table(pop):
+    accounts = pop.accounts_table()
+    assert len(accounts) == pop.n_users
+    org, domain = accounts[next(iter(accounts))]
+    assert org in ORG_TYPES
+    assert domain in DOMAINS
+
+
+def test_extreme_pair_planted(pop):
+    pairs = [u for u in pop.users.values() if u.role == "extreme_pair"]
+    assert len(pairs) == 2
+    a, b = pairs
+    shared = set(a.projects) & set(b.projects)
+    assert len(shared) >= 6
+    domains = [pop.projects[g].domain for g in shared]
+    assert domains.count("cli") >= 5
+    assert "csc" in domains
+
+
+def test_liaisons_planted(pop):
+    liaisons = [
+        u for u in pop.users.values() if u.role in ("staff", "postdoc", "liaison")
+    ]
+    assert len(liaisons) == 6
+    for liaison in liaisons:
+        assert liaison.n_projects >= 10  # they join many projects
+
+
+def test_determinism_same_seed():
+    a = generate_population(seed=99)
+    b = generate_population(seed=99)
+    assert a.n_users == b.n_users
+    for uid in a.users:
+        assert a.users[uid].projects == b.users[uid].projects
+
+
+def test_different_seeds_differ():
+    a = generate_population(seed=1)
+    b = generate_population(seed=2)
+    some_diff = any(
+        a.users[uid].projects != b.users.get(uid, a.users[uid]).projects
+        for uid in list(a.users)[:50]
+    )
+    assert some_diff
+
+
+def test_core_flag_tracks_network_pct(pop):
+    # all-in domains (network_pct=100) must have every project core
+    for code in ("chp", "env", "nfu", "nro"):
+        for project in pop.projects_in_domain(code):
+            assert project.core
+    # zero-probability domains have none
+    for code in ("aph", "med", "pss"):
+        for project in pop.projects_in_domain(code):
+            assert not project.core
+
+
+def test_population_is_population(pop):
+    assert isinstance(pop, Population)
+    assert pop.domain_of_gid()[min(pop.projects)] in DOMAINS

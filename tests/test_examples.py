@@ -1,0 +1,84 @@
+"""Smoke tests: every shipped example runs end-to-end at tiny scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_quickstart_runs():
+    result = _run("quickstart.py", "--scale", "1e-6", "--weeks", "8")
+    assert result.returncode == 0, result.stderr
+    assert "TABLE 1" in result.stdout
+    assert "Obs 10" in result.stdout
+
+
+def test_purge_policy_study_runs():
+    result = _run(
+        "purge_policy_study.py", "--scale", "1e-6", "--weeks", "14",
+        "--windows", "30", "90",
+    )
+    assert result.returncode == 0, result.stderr
+    assert "near-miss" in result.stdout
+    assert "30d" in result.stdout and "90d" in result.stdout
+
+
+def test_collaboration_study_runs():
+    result = _run("collaboration_study.py", "--seed", "7")
+    assert result.returncode == 0, result.stderr
+    assert "components:" in result.stdout
+    assert "central entities" in result.stdout
+    assert "suggested collaborations" in result.stdout
+
+
+def test_capacity_planning_runs():
+    result = _run("capacity_planning.py", "--scale", "1e-6", "--weeks", "10")
+    assert result.returncode == 0, result.stderr
+    assert "projection" in result.stdout
+    assert "quota guidance" in result.stdout
+
+
+def test_workflow_insights_runs():
+    result = _run("workflow_insights.py", "--scale", "1e-6", "--weeks", "8")
+    assert result.returncode == 0, result.stderr
+    assert "pearson" in result.stdout
+    assert "workflow chains" in result.stdout
+
+
+def test_trace_replay_runs(tmp_path):
+    result = _run(
+        "trace_replay.py", "--scale", "1e-6", "--weeks", "3",
+        "--out", str(tmp_path / "t.jsonl"),
+    )
+    assert result.returncode == 0, result.stderr
+    assert "verified" in result.stdout
+    assert (tmp_path / "t.jsonl").exists()
+
+
+@pytest.mark.slow
+def test_paper_comparison_runs():
+    result = _run("paper_comparison.py")
+    assert result.returncode == 0, result.stderr
+    assert "Tab 3" in result.stdout
+
+
+def test_onboarding_briefs_runs():
+    result = _run(
+        "onboarding_briefs.py", "--scale", "1e-6", "--weeks", "8",
+        "--domains", "cli", "bio",
+    )
+    assert result.returncode == 0, result.stderr
+    assert "onboarding brief" in result.stdout
+    assert "striping" in result.stdout
