@@ -1,54 +1,87 @@
-"""Ablation — serial vs process-parallel snapshot analysis.
+"""Ablation — serial vs process-parallel snapshot analysis, fork AND spawn.
 
 The paper leaned on a 32-node Spark cluster; our equivalent lever is the
-fork-based snapshot executor.  Times the Figure 13 weekly-diff pass (the
-most snapshot-parallel analysis) both ways."""
+snapshot execution engine.  Times the Figure 13 weekly-diff pass (the most
+snapshot-parallel analysis) serially and with a 4-worker pool under every
+available start method — fork inherits the columns copy-on-write, spawn
+attaches them through the shared-memory transport — and reports the
+engine's per-task stats for each run.
 
+Speedup is hardware-bound: with 4 workers on a multi-core box the runs
+should clear 1.5x over serial; on a single hardware thread there is
+nothing to overlap and the run degenerates to serial-plus-overhead (the
+emitted stats make that visible rather than hiding it).
+"""
+
+import multiprocessing as mp
 import os
+import time
 
 from conftest import emit
 
 from repro.analysis.access import access_patterns
 from repro.analysis.context import AnalysisContext
+from repro.analysis.report import render_execution_stats
 from repro.query.parallel import SnapshotExecutor
+
+WORKERS = 4
+
+METHODS = [m for m in ("fork", "spawn") if m in mp.get_all_start_methods()]
+
+
+def _run(sim_result, executor):
+    ctx = AnalysisContext(
+        collection=sim_result.collection,
+        population=sim_result.population,
+        executor=executor,
+    )
+    t0 = time.perf_counter()
+    result = access_patterns(ctx)
+    return result, time.perf_counter() - t0
 
 
 def test_parallel_speedup(benchmark, sim_result, artifact_dir):
-    serial_ctx = AnalysisContext(
-        collection=sim_result.collection,
-        population=sim_result.population,
-        executor=SnapshotExecutor(processes=1),
-    )
-    workers = max(2, min(4, (os.cpu_count() or 2)))
-    parallel_ctx = AnalysisContext(
-        collection=sim_result.collection,
-        population=sim_result.population,
-        executor=SnapshotExecutor(processes=workers),
-    )
+    serial, serial_s = _run(sim_result, SnapshotExecutor(processes=1))
 
-    import time
-
-    t0 = time.perf_counter()
-    serial = access_patterns(serial_ctx)
-    serial_s = time.perf_counter() - t0
-
-    def parallel_run():
-        return access_patterns(parallel_ctx)
-
-    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
-    t1 = time.perf_counter()
-    parallel_run()
-    parallel_s = time.perf_counter() - t1
-
-    # identical results regardless of execution policy
-    assert [w.new for w in serial.weeks] == [w.new for w in parallel.weeks]
-    assert [w.untouched for w in serial.weeks] == [
-        w.untouched for w in parallel.weeks
+    lines = [
+        f"weekly-diff pass over {len(sim_result.collection)} snapshots "
+        f"({os.cpu_count()} hardware threads)",
+        f"serial: {serial_s:.2f}s",
     ]
-    emit(
-        artifact_dir,
-        "ablation_parallelism",
-        f"weekly-diff pass: serial {serial_s:.2f}s vs "
-        f"{workers}-worker {parallel_s:.2f}s "
-        f"(speedup {serial_s / parallel_s:.2f}x)",
+    runs = {}
+    for method in METHODS:
+        executor = SnapshotExecutor(processes=WORKERS, start_method=method)
+        result, seconds = _run(sim_result, executor)
+        runs[method] = (executor, result, seconds)
+        stats = executor.last_stats
+        lines.append(
+            f"{method} x{WORKERS}: {seconds:.2f}s "
+            f"(speedup {serial_s / seconds:.2f}x, transport {stats.transport}, "
+            f"utilization {stats.utilization:.0%})"
+        )
+        lines.append(render_execution_stats(stats))
+
+    # identical results regardless of execution policy or start method
+    for method, (executor, result, _) in runs.items():
+        assert [w.new for w in serial.weeks] == [w.new for w in result.weeks], method
+        assert [w.untouched for w in serial.weeks] == [
+            w.untouched for w in result.weeks
+        ], method
+        assert [w.readonly for w in serial.weeks] == [
+            w.readonly for w in result.weeks
+        ], method
+        stats = executor.last_stats
+        # every run must have genuinely executed under its start method
+        assert not stats.downgraded, (method, stats.downgrade_reason)
+        assert stats.start_method == method
+        assert stats.n_tasks == len(sim_result.collection) - 1
+
+    # the timed bench round reuses the fastest start method
+    best = min(runs, key=lambda m: runs[m][2]) if runs else None
+    bench_ex = (
+        SnapshotExecutor(processes=WORKERS, start_method=best)
+        if best
+        else SnapshotExecutor(processes=1)
     )
+    benchmark.pedantic(lambda: _run(sim_result, bench_ex)[0], rounds=1, iterations=1)
+    emit(artifact_dir, "ablation_parallelism", "\n".join(lines))

@@ -34,11 +34,17 @@ def sim_result():
 
 @pytest.fixture(scope="session")
 def ctx(sim_result):
-    return AnalysisContext(
+    executor = SnapshotExecutor(processes=1)
+    yield AnalysisContext(
         collection=sim_result.collection,
         population=sim_result.population,
-        executor=SnapshotExecutor(processes=1),
+        executor=executor,
     )
+    if executor.stats.n_tasks:
+        from repro.analysis.report import render_execution_stats
+
+        print("\n--- session execution stats ---")
+        print(render_execution_stats(executor.stats))
 
 
 @pytest.fixture(scope="session")

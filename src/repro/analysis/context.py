@@ -26,6 +26,16 @@ class AnalysisContext:
     population: Population
     executor: SnapshotExecutor = field(default_factory=lambda: SnapshotExecutor(1))
 
+    # -- execution observability ----------------------------------------------
+
+    @property
+    def execution_stats(self):
+        """Lifetime :class:`~repro.query.engine.ExecutionStats` of the
+        executor driving this suite (tasks, wall/busy time, bytes touched,
+        downgrades).  Render with
+        :func:`repro.analysis.report.render_execution_stats`."""
+        return self.executor.stats
+
     # -- domain indexing -----------------------------------------------------
 
     @cached_property

@@ -312,6 +312,17 @@ def render_collaboration(result: CollaborationResult) -> str:
     return "\n".join(lines)
 
 
+def render_execution_stats(stats) -> str:
+    """Execution-engine observability block (per-task timings, transport).
+
+    Takes an :class:`~repro.query.engine.ExecutionStats` — the analysis
+    suite's equivalent of the paper's Spark job metrics (§3, Figure 4).
+    """
+    lines = ["execution engine:"]
+    lines.extend("  " + line for line in stats.summary().splitlines())
+    return "\n".join(lines)
+
+
 def series_to_csv(labels: list[str], columns: dict[str, np.ndarray]) -> str:
     """Generic CSV dump for plotting the figure series elsewhere."""
     header = "week," + ",".join(columns)

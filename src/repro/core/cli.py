@@ -40,6 +40,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="use a process pool for per-snapshot analyses",
     )
     parser.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver", "serial"),
+        default=None,
+        help="process start method for --parallel (default: platform "
+        "default; REPRO_START_METHOD overrides both)",
+    )
+    parser.add_argument(
         "--archive-dir",
         default=None,
         help="also write PSV + columnar snapshot files here",
@@ -78,7 +85,10 @@ def main(argv: list[str] | None = None) -> int:
         weeks=args.weeks,
         purge_window_days=args.purge_window,
     )
-    executor = SnapshotExecutor(processes=None if args.parallel else 1)
+    executor = SnapshotExecutor(
+        processes=None if args.parallel else 1,
+        start_method=args.start_method,
+    )
     t0 = time.time()
     if args.from_archive:
         from repro.core.pipeline import analyze_archive

@@ -174,6 +174,38 @@ class Namespace:
     def parent_of(self, ino: int) -> int:
         return int(self._parent[ino])
 
+    def parents_of(self, inos: np.ndarray) -> np.ndarray:
+        """Vectorized parent lookup."""
+        return self._parent[np.asarray(inos, dtype=np.int64)]
+
+    def unlink_inodes(self, inos: np.ndarray) -> None:
+        """Batched *file* dentry removal (the purge sweep's hot path).
+
+        Validates the whole batch before mutating anything, so a bad inode
+        leaves the namespace untouched.  The per-dentry dict deletions are
+        unavoidable (they are hash-map removals), but the parent-pointer and
+        name bookkeeping is done array-wise.
+        """
+        inos = np.asarray(inos, dtype=np.int64)
+        if inos.size == 0:
+            return
+        if np.unique(inos).size != inos.size:
+            raise InvalidArgument("duplicate inodes in unlink batch")
+        removals: list[tuple[dict[str, int], str]] = []
+        for ino in inos:
+            ino = int(ino)
+            if ino in self._children:
+                raise IsADirectory(f"inode {ino} is a directory; use rmdir")
+            name = self._name[ino]
+            if name is None or ino == self.root:
+                raise NotFound(f"inode {ino} is not linked")
+            removals.append((self._children[int(self._parent[ino])], name))
+        for entries, name in removals:
+            del entries[name]
+        for ino in inos:
+            self._name[int(ino)] = None
+        self._parent[inos] = 0
+
     def linked_mask(self, inos: np.ndarray) -> np.ndarray:
         """Vectorized: which of these inodes are linked into the tree.
 

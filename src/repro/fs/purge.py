@@ -77,13 +77,12 @@ class PurgePolicy:
         return old[mask]
 
     def sweep(self, fs: FileSystem, now: int | None = None) -> PurgeReport:
-        """Run one purge sweep; unlinks every candidate file."""
+        """Run one purge sweep; unlinks every candidate file in one batch."""
         now = fs.clock.now if now is None else int(now)
         scanned = fs.inodes.live_count
         victims = self.candidates(fs, now)
         ages = (now - fs.inodes.atime[victims]) / SECONDS_PER_DAY
-        for ino in victims:
-            fs.unlink_inode(int(ino), timestamp=now)
+        fs.unlink_inodes(victims, timestamp=now)
         report = PurgeReport(
             timestamp=now,
             window_days=self.window_days,

@@ -5,11 +5,29 @@ The paper runs its analyses as SparkSQL jobs over Parquet snapshots on a
 group-by aggregations, and joins; :class:`~repro.query.table.ColumnTable`
 provides exactly those, vectorized over NumPy arrays, and
 :mod:`repro.query.parallel` fans independent per-snapshot queries out over a
-process pool (fork-based, zero-copy via copy-on-write), mirroring Spark's
-per-partition parallelism at laptop scale.
+process pool — zero-copy under ``fork`` (copy-on-write) *and* under
+``spawn`` (a shared-memory column transport, :mod:`repro.query.shm`) —
+mirroring Spark's per-partition parallelism at laptop scale.  The engine
+(:mod:`repro.query.engine`) surfaces worker failures as structured
+:class:`TaskError`\\ s and accumulates per-task :class:`ExecutionStats`.
 """
 
-from repro.query.table import ColumnTable, GroupBy
+from repro.query.engine import (
+    EngineConfig,
+    ExecutionEngine,
+    ExecutionStats,
+    TaskError,
+)
 from repro.query.parallel import SnapshotExecutor, snapshot_map
+from repro.query.table import ColumnTable, GroupBy
 
-__all__ = ["ColumnTable", "GroupBy", "SnapshotExecutor", "snapshot_map"]
+__all__ = [
+    "ColumnTable",
+    "EngineConfig",
+    "ExecutionEngine",
+    "ExecutionStats",
+    "GroupBy",
+    "SnapshotExecutor",
+    "TaskError",
+    "snapshot_map",
+]

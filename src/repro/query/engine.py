@@ -1,0 +1,491 @@
+"""Crash-safe parallel execution engine for per-snapshot analyses.
+
+The paper ran its analyses as per-snapshot-partition Spark jobs (§3); this
+engine is the local equivalent: it fans a pure function over a snapshot
+collection with a process pool and gives the run the properties a scan
+subsystem needs in production:
+
+* **start-method portability** — under ``fork`` workers inherit the columns
+  copy-on-write; under ``spawn`` (and ``forkserver``) the columns travel
+  through a shared-memory segment (:mod:`repro.query.shm`) and only a small
+  handle is pickled.  The engine works the same either way.
+* **re-entrant scheduling** — tasks are integer indices batched into chunks
+  and dispatched through ``imap_unordered``; results are reassembled in
+  snapshot order.  All run state lives in an engine-local context, so
+  concurrent or nested maps never trample each other (the old module-global
+  handoff could).  A map issued *inside* a worker (daemonic processes cannot
+  fork) transparently runs serial.
+* **fault handling** — a task that raises is retried up to
+  ``EngineConfig.retries`` times in the worker; when retries are exhausted a
+  structured :class:`TaskError` carrying the snapshot index and the worker
+  traceback is raised in the parent — never a hang, never a silent partial
+  result.  A worker that dies outright is caught by the optional
+  ``task_timeout`` watchdog.  Any *downgrade* to serial execution (no usable
+  start method, unpicklable work under spawn) is warned about and recorded
+  in the stats, never silent.
+* **observability** — every run accumulates per-task wall time, bytes
+  touched, retry/failure counts, and pool utilization into an
+  :class:`ExecutionStats`, exposed by
+  :class:`~repro.query.parallel.SnapshotExecutor` and printed by the bench
+  harness.
+
+The chosen start method defaults to ``$REPRO_START_METHOD`` when set
+(``fork`` / ``spawn`` / ``forkserver`` / ``serial``), else ``fork`` where
+available, else ``spawn``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import time
+import traceback
+import warnings
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.query import shm as shm_transport
+from repro.scan.snapshot import SnapshotCollection
+
+#: Environment variable consulted when ``EngineConfig.start_method`` is None.
+START_METHOD_ENV = "REPRO_START_METHOD"
+
+#: Pseudo start method: run everything inline in the calling process.
+SERIAL = "serial"
+
+
+class TaskError(RuntimeError):
+    """A snapshot task failed (worker exception, crash, or watchdog timeout).
+
+    Attributes
+    ----------
+    index:
+        Snapshot index of the failing task (None if unattributable, e.g. a
+        dead worker whose chunk never reported).
+    traceback_text:
+        The worker-side traceback, verbatim.
+    stats:
+        The :class:`ExecutionStats` accumulated up to the failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        index: int | None = None,
+        traceback_text: str = "",
+        stats: "ExecutionStats | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.traceback_text = traceback_text
+        self.stats = stats
+
+    def __str__(self) -> str:  # keep the worker traceback visible to callers
+        base = super().__str__()
+        if self.traceback_text:
+            return f"{base}\n--- worker traceback ---\n{self.traceback_text}"
+        return base
+
+
+@dataclass
+class ExecutionStats:
+    """Accumulated observability for one run (or merged across runs)."""
+
+    runs: int = 0
+    n_tasks: int = 0
+    processes: int = 1
+    start_method: str = SERIAL
+    transport: str = "inline"
+    wall_seconds: float = 0.0
+    task_seconds: float = 0.0
+    bytes_touched: int = 0
+    retries: int = 0
+    failures: int = 0
+    downgraded: bool = False
+    downgrade_reason: str = ""
+    #: per-task wall seconds, in completion order
+    task_wall: list[float] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the pool: Σ task time / (wall × processes)."""
+        denom = self.wall_seconds * max(1, self.processes)
+        return self.task_seconds / denom if denom > 0 else 0.0
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Fold another run into this aggregate (lifetime executor stats)."""
+        self.runs += other.runs
+        self.n_tasks += other.n_tasks
+        self.processes = max(self.processes, other.processes)
+        self.start_method = other.start_method
+        self.transport = other.transport
+        self.wall_seconds += other.wall_seconds
+        self.task_seconds += other.task_seconds
+        self.bytes_touched += other.bytes_touched
+        self.retries += other.retries
+        self.failures += other.failures
+        self.downgraded = self.downgraded or other.downgraded
+        if other.downgrade_reason:
+            self.downgrade_reason = other.downgrade_reason
+        self.task_wall.extend(other.task_wall)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest (bench harness output)."""
+        mean_task = self.task_seconds / self.n_tasks if self.n_tasks else 0.0
+        max_task = max(self.task_wall) if self.task_wall else 0.0
+        lines = [
+            f"{self.n_tasks} tasks / {self.runs} runs | "
+            f"{self.processes} proc via {self.start_method} ({self.transport})",
+            f"wall {self.wall_seconds:.3f}s  busy {self.task_seconds:.3f}s  "
+            f"utilization {self.utilization:.0%}",
+            f"per-task mean {mean_task * 1e3:.1f}ms  max {max_task * 1e3:.1f}ms  "
+            f"bytes touched {self.bytes_touched / 1e6:.1f}MB",
+            f"retries {self.retries}  failures {self.failures}",
+        ]
+        if self.downgraded:
+            lines.append(f"DOWNGRADED to serial: {self.downgrade_reason}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Execution policy for :class:`ExecutionEngine`.
+
+    Parameters
+    ----------
+    processes:
+        Worker count; None picks half the cores (capped at the task count),
+        1 forces serial.
+    start_method:
+        ``fork`` / ``spawn`` / ``forkserver`` / ``serial``; None defers to
+        ``$REPRO_START_METHOD``, then the platform default (fork where
+        available).
+    chunk_size:
+        Tasks per scheduling unit; None targets ~4 chunks per worker.
+    retries:
+        Per-task in-worker retry count for raising tasks.
+    task_timeout:
+        Watchdog seconds to wait for the *next* chunk result before
+        declaring the pool dead (catches hard-crashed workers, which a
+        plain ``Pool`` would otherwise wait on forever while respawning
+        replacements); None disables the watchdog.  The default is generous
+        — per-task analysis work here is sub-second to seconds — so a
+        legitimate run never trips it.
+    """
+
+    processes: int | None = None
+    start_method: str | None = None
+    chunk_size: int | None = None
+    retries: int = 0
+    task_timeout: float | None = 300.0
+
+
+# -- worker side -----------------------------------------------------------
+#
+# Each worker process gets its context exactly once, via the pool
+# initializer.  This is per-*worker* state, not parent-side handoff: the
+# parent never mutates it, so engine runs are re-entrant and thread-safe.
+
+
+@dataclass
+class _WorkerContext:
+    collection: Any
+    fn: Callable[..., Any]
+    pairwise: bool
+    retries: int
+    segment: Any = None  # keeps the shm mapping alive for the views
+
+
+_WORKER: _WorkerContext | None = None
+
+
+def _init_worker(payload: tuple) -> None:
+    global _WORKER
+    fn, pairwise, retries, transport, data = payload
+    segment = None
+    if transport == "shm":
+        collection, segment = shm_transport.attach_collection(data)
+    else:
+        collection = data
+    _WORKER = _WorkerContext(
+        collection=collection,
+        fn=fn,
+        pairwise=pairwise,
+        retries=retries,
+        segment=segment,
+    )
+
+
+def _nbytes_of(snapshot: Any) -> int:
+    sizer = getattr(snapshot, "column_nbytes", None)
+    return int(sizer()) if callable(sizer) else 0
+
+
+def _run_task(ctx: _WorkerContext, index: int) -> tuple[Any, int]:
+    if ctx.pairwise:
+        prev, cur = ctx.collection[index - 1], ctx.collection[index]
+        return ctx.fn(prev, cur), _nbytes_of(prev) + _nbytes_of(cur)
+    snap = ctx.collection[index]
+    return ctx.fn(snap), _nbytes_of(snap)
+
+
+def _run_chunk(indices: Sequence[int]) -> list[tuple]:
+    """Execute one chunk; every task reports (index, ok, value, secs, nbytes, retries)."""
+    ctx = _WORKER
+    assert ctx is not None, "worker context not initialized"
+    out: list[tuple] = []
+    for index in indices:
+        t0 = time.perf_counter()
+        used = 0
+        while True:
+            try:
+                value, nbytes = _run_task(ctx, index)
+            except Exception:
+                if used < ctx.retries:
+                    used += 1
+                    continue
+                out.append(
+                    (index, False, traceback.format_exc(), time.perf_counter() - t0, 0, used)
+                )
+                break
+            out.append((index, True, value, time.perf_counter() - t0, nbytes, used))
+            break
+    return out
+
+
+# -- parent side -----------------------------------------------------------
+
+
+def _available_methods() -> list[str]:
+    return mp.get_all_start_methods()
+
+
+class ExecutionEngine:
+    """Runs per-snapshot (or per-pair) functions under one explicit policy."""
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config if config is not None else EngineConfig()
+
+    # -- public API --------------------------------------------------------
+
+    def map(
+        self, collection: Any, fn: Callable[[Any], Any]
+    ) -> tuple[list[Any], ExecutionStats]:
+        """``[fn(s) for s in collection]`` with the configured policy + stats."""
+        return self._run(collection, fn, list(range(len(collection))), pairwise=False)
+
+    def map_pairs(
+        self, collection: Any, fn: Callable[[Any, Any], Any]
+    ) -> tuple[list[Any], ExecutionStats]:
+        """``fn`` over adjacent snapshot pairs (weekly diffs), ordered."""
+        return self._run(collection, fn, list(range(1, len(collection))), pairwise=True)
+
+    # -- policy resolution -------------------------------------------------
+
+    def _resolve_start_method(self) -> str:
+        method = self.config.start_method or os.environ.get(START_METHOD_ENV) or ""
+        method = method.strip().lower()
+        available = _available_methods()
+        if method:
+            if method == SERIAL:
+                return SERIAL
+            if method in available:
+                return method
+            raise ValueError(
+                f"start method {method!r} not available here (have {available})"
+            )
+        if "fork" in available:
+            return "fork"
+        if "spawn" in available:  # pragma: no cover - non-fork platforms
+            return "spawn"
+        return SERIAL  # pragma: no cover - no multiprocessing at all
+
+    def _resolve_processes(self, n_tasks: int) -> int:
+        if self.config.processes is not None:
+            return max(1, int(self.config.processes))
+        return max(1, min(n_tasks, (os.cpu_count() or 2) // 2))
+
+    # -- execution ---------------------------------------------------------
+
+    def _run(
+        self,
+        collection: Any,
+        fn: Callable[..., Any],
+        indices: list[int],
+        pairwise: bool,
+    ) -> tuple[list[Any], ExecutionStats]:
+        stats = ExecutionStats(runs=1)
+        n = len(indices)
+        if n == 0:
+            return [], stats
+        stats.n_tasks = n
+        processes = self._resolve_processes(n)
+        if processes <= 1:
+            return self._run_serial(collection, fn, indices, pairwise, stats)
+        method = self._resolve_start_method()
+        if method == SERIAL:
+            # explicit policy choice (config or $REPRO_START_METHOD=serial)
+            return self._run_serial(collection, fn, indices, pairwise, stats)
+        if mp.current_process().daemon:
+            # nested map inside a pool worker: daemonic processes cannot
+            # have children, run inline (recorded, not a parent-side warning)
+            stats.downgraded = True
+            stats.downgrade_reason = "nested map inside a daemonic worker"
+            return self._run_serial(collection, fn, indices, pairwise, stats)
+
+        export: shm_transport.CollectionExport | None = None
+        if method == "fork":
+            transport, data = "inherit", collection
+        elif isinstance(collection, SnapshotCollection):
+            reason = _unpicklable_reason((fn,))
+            if reason is not None:
+                return self._downgrade(
+                    collection, fn, indices, pairwise, stats, method, reason
+                )
+            export = shm_transport.export_collection(collection)
+            transport, data = "shm", export.handle
+        else:
+            reason = _unpicklable_reason((fn, collection))
+            if reason is not None:
+                return self._downgrade(
+                    collection, fn, indices, pairwise, stats, method, reason
+                )
+            transport, data = "pickle", collection
+
+        stats.processes = processes
+        stats.start_method = method
+        stats.transport = transport
+        chunk_size = self.config.chunk_size or max(1, -(-n // (processes * 4)))
+        chunks = [indices[i : i + chunk_size] for i in range(0, n, chunk_size)]
+        payload = (fn, pairwise, self.config.retries, transport, data)
+        results: dict[int, Any] = {}
+        failure: tuple[int, str] | None = None
+        t0 = time.perf_counter()
+        try:
+            ctx = mp.get_context(method)
+            with ctx.Pool(
+                processes=min(processes, len(chunks)),
+                initializer=_init_worker,
+                initargs=(payload,),
+            ) as pool:
+                it = pool.imap_unordered(_run_chunk, chunks, chunksize=1)
+                for _ in range(len(chunks)):
+                    try:
+                        if self.config.task_timeout is not None:
+                            entries = it.next(self.config.task_timeout)
+                        else:
+                            entries = it.next()
+                    except mp.TimeoutError:
+                        pending = sorted(set(indices) - set(results))
+                        stats.failures += 1
+                        raise TaskError(
+                            f"no result within {self.config.task_timeout}s — a worker "
+                            f"crashed or a task is stuck; pending snapshot indices "
+                            f"{pending[:8]}{'…' if len(pending) > 8 else ''}",
+                            index=pending[0] if pending else None,
+                            stats=stats,
+                        ) from None
+                    for index, ok, value, secs, nbytes, used in entries:
+                        stats.task_seconds += secs
+                        stats.task_wall.append(secs)
+                        stats.retries += used
+                        if ok:
+                            stats.bytes_touched += nbytes
+                            results[index] = value
+                        else:
+                            stats.failures += 1
+                            if failure is None:
+                                failure = (index, value)
+        finally:
+            stats.wall_seconds = time.perf_counter() - t0
+            if export is not None:
+                export.destroy()
+        if failure is not None:
+            index, tb_text = failure
+            raise TaskError(
+                f"snapshot task {index} failed in a worker "
+                f"(after {self.config.retries} retries)",
+                index=index,
+                traceback_text=tb_text,
+                stats=stats,
+            )
+        return [results[i] for i in indices], stats
+
+    def _downgrade(
+        self,
+        collection: Any,
+        fn: Callable[..., Any],
+        indices: list[int],
+        pairwise: bool,
+        stats: ExecutionStats,
+        method: str,
+        reason: str,
+    ) -> tuple[list[Any], ExecutionStats]:
+        """Explicit (warned + recorded) fallback to serial execution."""
+        message = (
+            f"parallel snapshot map downgraded to serial under {method!r}: {reason}"
+        )
+        warnings.warn(message, RuntimeWarning, stacklevel=4)
+        stats.downgraded = True
+        stats.downgrade_reason = reason
+        return self._run_serial(collection, fn, indices, pairwise, stats)
+
+    def _run_serial(
+        self,
+        collection: Any,
+        fn: Callable[..., Any],
+        indices: list[int],
+        pairwise: bool,
+        stats: ExecutionStats,
+    ) -> tuple[list[Any], ExecutionStats]:
+        ctx = _WorkerContext(
+            collection=collection, fn=fn, pairwise=pairwise, retries=self.config.retries
+        )
+        results: list[Any] = []
+        t0 = time.perf_counter()
+        try:
+            for index in indices:
+                t_task = time.perf_counter()
+                used = 0
+                while True:
+                    try:
+                        value, nbytes = _run_task(ctx, index)
+                        break
+                    except Exception as exc:
+                        if used < ctx.retries:
+                            used += 1
+                            continue
+                        stats.retries += used
+                        stats.failures += 1
+                        stats.task_wall.append(time.perf_counter() - t_task)
+                        raise TaskError(
+                            f"snapshot task {index} failed "
+                            f"(after {used} retries): {exc!r}",
+                            index=index,
+                            traceback_text=traceback.format_exc(),
+                            stats=stats,
+                        ) from exc
+                secs = time.perf_counter() - t_task
+                stats.task_seconds += secs
+                stats.task_wall.append(secs)
+                stats.retries += used
+                stats.bytes_touched += nbytes
+                results.append(value)
+        finally:
+            stats.wall_seconds = time.perf_counter() - t0
+        return results, stats
+
+
+def _unpicklable_reason(objs: tuple) -> str | None:
+    """None if all objects survive pickling, else a human-readable reason.
+
+    Spawned workers receive their work by pickle (closures and lambdas
+    cannot travel); fork inherits everything and skips this check.
+    """
+    try:
+        pickle.dumps(objs)
+        return None
+    except Exception as exc:
+        return f"work is not picklable for spawned workers ({exc})"

@@ -1,113 +1,123 @@
-"""Process-parallel execution of per-snapshot analyses.
+"""Process-parallel execution of per-snapshot analyses (public API).
 
 The paper's Spark jobs are per-snapshot-partition parallel; our equivalent
-fans a pure function over the snapshot collection with a fork-based process
-pool.  Fork start gives the workers a copy-on-write view of the snapshot
-arrays — no pickling of the multi-gigabyte columns, matching the "analyze
-the data in place" goal of the paper's framework (§3).
+fans a pure function over the snapshot collection through
+:class:`repro.query.engine.ExecutionEngine`.  Workers receive the columns
+either by copy-on-write inheritance (``fork``) or through a shared-memory
+segment (``spawn`` / ``forkserver`` — see :mod:`repro.query.shm`), so the
+multi-gigabyte columns are never pickled under any start method.
 
-Falls back to serial execution on platforms without ``fork`` or when
-``processes=1``.
+Failure semantics: a task that raises (or a worker that dies, when a
+``task_timeout`` watchdog is configured) surfaces as a structured
+:class:`~repro.query.engine.TaskError` carrying the snapshot index and the
+worker traceback.  Any fallback to serial execution is warned about and
+recorded in the run's :class:`~repro.query.engine.ExecutionStats` — never
+silent.  Set ``$REPRO_START_METHOD`` to pin the start method suite-wide
+(``fork`` / ``spawn`` / ``forkserver`` / ``serial``).
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import os
-from collections.abc import Callable, Sequence
+from collections.abc import Callable
 from typing import Any, TypeVar
 
+from repro.query.engine import (
+    EngineConfig,
+    ExecutionEngine,
+    ExecutionStats,
+    TaskError,
+)
 from repro.scan.snapshot import Snapshot, SnapshotCollection
 
+__all__ = [
+    "EngineConfig",
+    "ExecutionStats",
+    "SnapshotExecutor",
+    "TaskError",
+    "snapshot_map",
+]
+
 T = TypeVar("T")
-
-# Module-level slot read by forked workers (copy-on-write inheritance).
-_WORK_COLLECTION: SnapshotCollection | None = None
-_WORK_FN: Callable[[Snapshot], Any] | None = None
-
-
-def _worker(index: int) -> Any:
-    assert _WORK_COLLECTION is not None and _WORK_FN is not None
-    return _WORK_FN(_WORK_COLLECTION[index])
-
-
-def _fork_available() -> bool:
-    return "fork" in mp.get_all_start_methods()
 
 
 def snapshot_map(
     collection: SnapshotCollection,
     fn: Callable[[Snapshot], T],
     processes: int | None = None,
+    start_method: str | None = None,
 ) -> list[T]:
     """Apply ``fn`` to every snapshot; returns results in snapshot order.
 
     ``processes=None`` picks a sensible default (half the cores, capped at
-    the snapshot count); ``processes=1`` forces serial execution.  ``fn``
-    must be a module-level function when running in parallel (fork workers
-    re-reference it by the inherited module state, so closures work too —
-    but it must not mutate shared state).
+    the snapshot count); ``processes=1`` forces serial execution.  Under
+    ``fork`` closures work (workers inherit them); under ``spawn`` the
+    function must be picklable — if it is not, the map runs serial with a
+    ``RuntimeWarning`` rather than failing or silently misbehaving.
     """
-    n = len(collection)
-    if n == 0:
-        return []
-    if processes is None:
-        processes = max(1, min(n, (os.cpu_count() or 2) // 2))
-    if processes <= 1 or not _fork_available():
-        return [fn(snap) for snap in collection]
-    global _WORK_COLLECTION, _WORK_FN
-    _WORK_COLLECTION, _WORK_FN = collection, fn
-    try:
-        ctx = mp.get_context("fork")
-        with ctx.Pool(processes=processes) as pool:
-            return pool.map(_worker, range(n))
-    finally:
-        _WORK_COLLECTION, _WORK_FN = None, None
+    engine = ExecutionEngine(
+        EngineConfig(processes=processes, start_method=start_method)
+    )
+    results, _ = engine.map(collection, fn)
+    return results
 
 
 class SnapshotExecutor:
     """Reusable executor with a fixed parallelism policy.
 
     The analysis suite takes one of these so callers choose the policy once
-    (`SnapshotExecutor(processes=1)` in unit tests, parallel in benches).
+    (``SnapshotExecutor(processes=1)`` in unit tests, parallel in benches).
+    After every map the run's :class:`ExecutionStats` is available as
+    ``last_stats``, and ``stats`` keeps the lifetime aggregate across runs.
     """
 
-    def __init__(self, processes: int | None = 1) -> None:
+    def __init__(
+        self,
+        processes: int | None = 1,
+        start_method: str | None = None,
+        retries: int = 0,
+        chunk_size: int | None = None,
+        task_timeout: float | None = None,
+    ) -> None:
         self.processes = processes
+        self._engine = ExecutionEngine(
+            EngineConfig(
+                processes=processes,
+                start_method=start_method,
+                chunk_size=chunk_size,
+                retries=retries,
+                task_timeout=task_timeout,
+            )
+        )
+        self.last_stats: ExecutionStats | None = None
+        self.stats = ExecutionStats()
 
-    def map(self, collection: SnapshotCollection, fn: Callable[[Snapshot], T]) -> list[T]:
-        return snapshot_map(collection, fn, processes=self.processes)
+    @property
+    def config(self) -> EngineConfig:
+        return self._engine.config
+
+    def _record(self, stats: ExecutionStats) -> None:
+        self.last_stats = stats
+        self.stats.merge(stats)
+
+    def _collect(self, run: Callable[[], tuple[list[Any], ExecutionStats]]) -> list[Any]:
+        try:
+            results, stats = run()
+        except TaskError as err:
+            if err.stats is not None:
+                self._record(err.stats)
+            raise
+        self._record(stats)
+        return results
+
+    def map(
+        self, collection: SnapshotCollection, fn: Callable[[Snapshot], T]
+    ) -> list[T]:
+        return self._collect(lambda: self._engine.map(collection, fn))
 
     def map_pairs(
         self,
         collection: SnapshotCollection,
         fn: Callable[[Snapshot, Snapshot], T],
     ) -> list[T]:
-        """Apply ``fn`` to adjacent snapshot pairs (weekly diffs).
-
-        Pair analyses reuse the same fork trick: the collection and the pair
-        function are parked in module globals before the fork, and workers
-        are dispatched plain integer indices.
-        """
-        n = len(collection)
-        if n < 2:
-            return []
-        indices: Sequence[int] = range(1, n)
-        if (self.processes or 1) <= 1 or not _fork_available():
-            return [fn(collection[i - 1], collection[i]) for i in indices]
-        global _WORK_COLLECTION, _PAIR_FN
-        _WORK_COLLECTION, _PAIR_FN = collection, fn
-        try:
-            ctx = mp.get_context("fork")
-            with ctx.Pool(processes=self.processes) as pool:
-                return pool.map(_pair_worker, indices)
-        finally:
-            _WORK_COLLECTION, _PAIR_FN = None, None
-
-
-_PAIR_FN: Callable[[Snapshot, Snapshot], Any] | None = None
-
-
-def _pair_worker(index: int) -> Any:
-    assert _WORK_COLLECTION is not None and _PAIR_FN is not None
-    return _PAIR_FN(_WORK_COLLECTION[index - 1], _WORK_COLLECTION[index])
+        """Apply ``fn`` to adjacent snapshot pairs (weekly diffs), ordered."""
+        return self._collect(lambda: self._engine.map_pairs(collection, fn))

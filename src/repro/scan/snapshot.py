@@ -86,6 +86,37 @@ class Snapshot:
         }
         return cls(label=label, timestamp=timestamp, paths=paths, **cast)
 
+    @classmethod
+    def from_attached_columns(
+        cls,
+        label: str,
+        timestamp: int,
+        paths: PathTable,
+        columns: dict[str, np.ndarray],
+    ) -> "Snapshot":
+        """Zero-copy attach of externally owned column buffers.
+
+        Bypasses ``__init__`` validation: the buffers are the verbatim
+        columns of an already-validated snapshot (the shared-memory
+        exporter is the only producer), and they may be read-only views
+        that the sort fallback could not reorder anyway.
+        """
+        snap = cls.__new__(cls)
+        snap.label = label
+        snap.timestamp = int(timestamp)
+        snap.paths = paths
+        for name in NUMERIC_COLUMNS:
+            setattr(snap, name, columns[name])
+        return snap
+
+    def numeric_columns(self) -> dict[str, np.ndarray]:
+        """name → column view, in serialization order (zero-copy export)."""
+        return {name: getattr(self, name) for name in NUMERIC_COLUMNS}
+
+    def column_nbytes(self) -> int:
+        """Total bytes across the numeric columns (transport/stats sizing)."""
+        return int(sum(getattr(self, name).nbytes for name in NUMERIC_COLUMNS))
+
     def _sort_by_path_id(self) -> None:
         order = np.argsort(self.path_id, kind="stable")
         for name in NUMERIC_COLUMNS:

@@ -12,21 +12,26 @@ import numpy as np
 
 
 def coefficient_of_variation(sample: np.ndarray) -> float:
-    """``std / mean`` of a sample; NaN for empty input, 0 for a zero-mean one.
+    """``std / mean`` of a sample; NaN for empty input.
 
     The paper computes ``c_v`` over raw epoch timestamps, whose mean is huge
     and roughly constant within one snapshot week — that is exactly why the
     published values are small (0.05–0.5 for mtime, ~0.003 for atime): the
     denominator is the absolute epoch time.  We reproduce that definition
     verbatim rather than re-zeroing the timestamps.
+
+    A zero-mean sample with nonzero spread has *infinite* relative
+    dispersion, not zero: only a truly constant sample (zero std — including
+    the all-zero one) is dispersion-free.
     """
     sample = np.asarray(sample, dtype=np.float64)
     if sample.size == 0:
         return float("nan")
     mean = float(sample.mean())
+    std = float(sample.std())
     if mean == 0.0:
-        return 0.0
-    return float(sample.std() / abs(mean))
+        return 0.0 if std == 0.0 else float("inf")
+    return float(std / abs(mean))
 
 
 def relative_cv(sample: np.ndarray, origin: float, span: float) -> float:
@@ -43,9 +48,10 @@ def relative_cv(sample: np.ndarray, origin: float, span: float) -> float:
         raise ValueError(f"span must be positive, got {span}")
     rebased = (sample - origin) / span
     mean = float(rebased.mean())
+    std = float(rebased.std())
     if mean == 0.0:
-        return 0.0
-    return float(rebased.std() / abs(mean))
+        return 0.0 if std == 0.0 else float("inf")
+    return float(std / abs(mean))
 
 
 def five_number_summary(sample: np.ndarray) -> dict[str, float]:

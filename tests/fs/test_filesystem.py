@@ -153,3 +153,36 @@ def test_clock_is_shared():
     d = fs.makedirs("/p", uid=1, gid=1)
     f = fs.create(d, "f", uid=1, gid=1)
     assert fs.stat(f)["mtime"] == clock.epoch + 10 * SECONDS_PER_DAY
+
+
+def test_unlink_inodes_batched(fs):
+    d1 = fs.makedirs("/p/a", uid=1, gid=1)
+    d2 = fs.makedirs("/p/b", uid=1, gid=2)
+    inos1 = fs.create_many(d1, ["f0", "f1", "f2"], 1, 1, timestamps=fs.clock.now)
+    inos2 = fs.create_many(d2, ["g0", "g1"], 1, 2, timestamps=fs.clock.now)
+    before_deleted = fs.files_deleted
+    fs.clock.advance_days(1)
+    ts = fs.clock.now
+    victims = np.concatenate([inos1, inos2])
+    fs.unlink_inodes(victims, timestamp=ts)
+    assert fs.file_count == 0
+    assert fs.files_deleted == before_deleted + 5
+    assert fs.quota.usage(1) == 2  # only the /p and /p/a directories remain
+    assert fs.quota.usage(2) == 1  # only the /p/b directory remains
+    # parents' mtime bumped by the batch
+    assert int(fs.inodes.mtime[d1]) == ts
+    assert int(fs.inodes.mtime[d2]) == ts
+
+
+def test_unlink_inodes_rejects_directories(fs):
+    d = fs.makedirs("/p", uid=1, gid=1)
+    with pytest.raises(IsADirectory):
+        fs.unlink_inodes(np.array([d], dtype=np.int64))
+    # nothing was mutated by the failed batch
+    assert fs.directory_count == 2
+
+
+def test_unlink_inodes_empty_batch_is_noop(fs):
+    count = fs.entry_count
+    fs.unlink_inodes(np.empty(0, dtype=np.int64))
+    assert fs.entry_count == count

@@ -121,3 +121,48 @@ def test_atime_in_future_of_cutoff_is_safe(fs):
     assert PurgePolicy(window_days=90).candidates(fs).size == 0
     fs.clock.advance_to(fs.clock.now + SECONDS_PER_DAY)
     assert PurgePolicy(window_days=90).candidates(fs).size == 2
+
+
+def test_boundary_file_aged_exactly_window_days_survives(fs):
+    """Pin the strict `atime < cutoff` semantics at one-second resolution.
+
+    A file whose last access is exactly `window_days` old sits *at* the
+    cutoff (atime == cutoff) and must survive; one second older and it is
+    purged.
+    """
+    _populate(fs, n=1)
+    t0 = fs.clock.now
+    policy = PurgePolicy(window_days=90)
+    fs.clock.advance_to(t0 + 90 * SECONDS_PER_DAY)
+    assert policy.candidates(fs).size == 0
+    assert policy.sweep(fs).purged == 0
+    fs.clock.advance_to(t0 + 90 * SECONDS_PER_DAY + 1)
+    assert policy.candidates(fs).size == 1
+    assert policy.sweep(fs).purged == 1
+
+
+def test_batched_sweep_matches_per_inode_unlink():
+    """The vectorized sweep leaves the fs in the same state as an inode loop."""
+    def build():
+        f = FileSystem(ost_count=32, default_stripe=2, max_stripe=8)
+        d1 = f.makedirs("/proj/a", uid=1, gid=1)
+        d2 = f.makedirs("/proj/b", uid=2, gid=2)
+        t0 = f.clock.now
+        f.create_many(d1, [f"x{i}" for i in range(6)], 1, 1, timestamps=t0)
+        f.create_many(d2, [f"y{i}" for i in range(4)], 2, 2, timestamps=t0)
+        f.clock.advance_days(120)
+        return f
+
+    batched = build()
+    looped = build()
+    policy = PurgePolicy(window_days=90)
+    victims = policy.candidates(looped)
+    for ino in victims:
+        looped.unlink_inode(int(ino), timestamp=looped.clock.now)
+    report = policy.sweep(batched)
+    assert report.purged == victims.size == 10
+    assert batched.file_count == looped.file_count == 0
+    assert batched.files_deleted == looped.files_deleted
+    assert list(batched.inodes.live_inodes()) == list(looped.inodes.live_inodes())
+    assert batched.quota.usage(1) == looped.quota.usage(1)
+    assert batched.quota.usage(2) == looped.quota.usage(2)

@@ -1,0 +1,255 @@
+"""Equivalence and fault-handling suite for the parallel execution engine.
+
+Every start method must produce the same ordered results as serial
+execution; worker exceptions must surface a structured TaskError with the
+failing snapshot index and traceback; nested maps (the old global-handoff
+re-entrancy bug) must work; downgrades must warn and be recorded.
+"""
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro.fs.filesystem import FileSystem
+from repro.query.engine import EngineConfig, ExecutionEngine, TaskError
+from repro.query.parallel import SnapshotExecutor, snapshot_map
+from repro.scan.lustredu import LustreDuScanner
+from repro.scan.snapshot import SnapshotCollection
+
+#: fork / spawn, intersected with what this platform offers.
+METHODS = [m for m in ("fork", "spawn") if m in mp.get_all_start_methods()]
+
+
+def _build_collection(weeks=4, files_per_week=20):
+    fs = FileSystem(ost_count=32, default_stripe=2, max_stripe=8)
+    scanner = LustreDuScanner()
+    coll = SnapshotCollection(scanner.paths)
+    d = fs.makedirs("/lustre/atlas1/cli/p1/u1", uid=1, gid=1)
+    for week in range(weeks):
+        fs.create_many(
+            d,
+            [f"w{week}.f{i}.nc" for i in range(files_per_week)],
+            1, 1, timestamps=fs.clock.now,
+        )
+        coll.append(scanner.scan(fs, label=f"w{week}"))
+        fs.clock.advance_days(7)
+    return coll
+
+
+# module-level functions: picklable, so they travel under spawn too
+
+
+def _row_count(snapshot):
+    return len(snapshot)
+
+
+def _depth_sum(snapshot):
+    return int(snapshot.depth().sum())
+
+
+def _ext_ids(snapshot):
+    return snapshot.ext_id().tolist()
+
+
+def _pair_growth(prev, cur):
+    return len(cur) - len(prev)
+
+
+def _fail_on_largest(snapshot):
+    if len(snapshot) > 70:
+        raise ValueError(f"rigged failure at {len(snapshot)} rows")
+    return len(snapshot)
+
+
+def _nested_map(snapshot):
+    # a map issued inside a worker: daemonic processes cannot fork, so the
+    # engine must transparently run this inner map serial (and not trample
+    # any engine state, which the old module-global handoff did)
+    inner = _build_collection(weeks=2, files_per_week=3)
+    return len(snapshot) + sum(snapshot_map(inner, _row_count, processes=2))
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_map_matches_serial_ordered(method):
+    coll = _build_collection()
+    serial = snapshot_map(coll, _row_count, processes=1)
+    parallel = snapshot_map(coll, _row_count, processes=2, start_method=method)
+    assert parallel == serial
+    assert parallel == sorted(parallel)  # snapshot order preserved
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_map_derived_columns_match(method):
+    """Depth/extension gathers exercise the shared path table under spawn."""
+    coll = _build_collection()
+    assert snapshot_map(coll, _depth_sum, processes=2, start_method=method) == \
+        snapshot_map(coll, _depth_sum, processes=1)
+    assert snapshot_map(coll, _ext_ids, processes=2, start_method=method) == \
+        snapshot_map(coll, _ext_ids, processes=1)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_map_pairs_matches_serial(method):
+    coll = _build_collection(weeks=4, files_per_week=5)
+    serial = SnapshotExecutor(processes=1).map_pairs(coll, _pair_growth)
+    ex = SnapshotExecutor(processes=2, start_method=method)
+    assert ex.map_pairs(coll, _pair_growth) == serial == [5, 5, 5]
+
+
+@pytest.mark.parametrize("method", METHODS + ["serial"])
+def test_worker_exception_surfaces_index_and_traceback(method):
+    coll = _build_collection(weeks=4, files_per_week=20)  # rows: 21,41,61,81
+    processes = 1 if method == "serial" else 2
+    with pytest.raises(TaskError) as err:
+        snapshot_map(coll, _fail_on_largest, processes=processes,
+                     start_method=None if method == "serial" else method)
+    assert err.value.index == 3  # only the last snapshot exceeds 70 rows
+    assert "ValueError" in err.value.traceback_text
+    assert "rigged failure" in err.value.traceback_text
+
+
+def test_nested_map_runs_serial_in_worker():
+    coll = _build_collection(weeks=3, files_per_week=4)
+    serial = snapshot_map(coll, _nested_map, processes=1)
+    parallel = snapshot_map(coll, _nested_map, processes=2)
+    assert parallel == serial
+
+
+def test_nested_map_in_parent_is_reentrant():
+    # a serial outer map whose fn itself maps (the old module-global
+    # handoff was trampled by exactly this shape)
+    outer = _build_collection(weeks=3, files_per_week=4)
+    inner = _build_collection(weeks=2, files_per_week=2)
+
+    def outer_fn(snapshot):
+        return len(snapshot) + sum(snapshot_map(inner, _row_count, processes=2))
+
+    expected = [len(s) + sum(len(t) for t in inner) for s in outer]
+    assert snapshot_map(outer, outer_fn, processes=1) == expected
+
+
+def test_unpicklable_fn_under_spawn_downgrades_with_warning():
+    if "spawn" not in mp.get_all_start_methods():
+        pytest.skip("no spawn on this platform")
+    coll = _build_collection(weeks=3)
+    ex = SnapshotExecutor(processes=2, start_method="spawn")
+    fn = lambda s: len(s)  # noqa: E731 - deliberately unpicklable
+    with pytest.warns(RuntimeWarning, match="downgraded to serial"):
+        results = ex.map(coll, fn)
+    assert results == snapshot_map(coll, _row_count, processes=1)
+    assert ex.last_stats.downgraded
+    assert "picklable" in ex.last_stats.downgrade_reason
+
+
+def test_stats_populated_by_parallel_run():
+    coll = _build_collection(weeks=4)
+    ex = SnapshotExecutor(processes=2, start_method=METHODS[0])
+    ex.map(coll, _row_count)
+    stats = ex.last_stats
+    assert stats.n_tasks == 4
+    assert stats.processes == 2
+    assert stats.start_method == METHODS[0]
+    assert stats.transport in ("inherit", "shm")
+    assert stats.bytes_touched > 0
+    assert len(stats.task_wall) == 4
+    assert stats.wall_seconds > 0
+    assert 0.0 <= stats.utilization <= 1.5  # tiny tasks, loose bound
+    assert "tasks" in stats.summary()
+
+
+def test_stats_aggregate_across_runs():
+    coll = _build_collection(weeks=3)
+    ex = SnapshotExecutor(processes=1)
+    ex.map(coll, _row_count)
+    ex.map_pairs(coll, _pair_growth)
+    assert ex.stats.runs == 2
+    assert ex.stats.n_tasks == 3 + 2
+
+
+def test_retry_recovers_flaky_task(tmp_path):
+    coll = _build_collection(weeks=3)
+    marker = tmp_path / "attempted"
+
+    def flaky(snapshot):
+        if not marker.exists():
+            marker.write_text("x")
+            raise RuntimeError("first attempt always fails")
+        return len(snapshot)
+
+    ex = SnapshotExecutor(processes=1, retries=1)
+    assert ex.map(coll, flaky) == snapshot_map(coll, _row_count, processes=1)
+    assert ex.last_stats.retries == 1
+    assert ex.last_stats.failures == 0
+
+
+def test_retry_exhaustion_still_raises():
+    coll = _build_collection(weeks=2)
+
+    def always_fails(snapshot):
+        raise RuntimeError("permanent")
+
+    ex = SnapshotExecutor(processes=1, retries=2)
+    with pytest.raises(TaskError) as err:
+        ex.map(coll, always_fails)
+    assert err.value.index == 0
+    assert "2 retries" in str(err.value)
+
+
+def test_failed_run_still_records_stats():
+    coll = _build_collection(weeks=4)
+    ex = SnapshotExecutor(processes=2, start_method=METHODS[0])
+    with pytest.raises(TaskError):
+        ex.map(coll, _fail_on_largest)
+    assert ex.last_stats is not None
+    assert ex.last_stats.failures == 1
+
+
+def test_crashed_worker_detected_by_watchdog():
+    coll = _build_collection(weeks=4, files_per_week=20)
+
+    def die_hard(snapshot):
+        if len(snapshot) > 70:
+            os._exit(13)  # hard crash, bypasses exception handling
+        return len(snapshot)
+
+    ex = SnapshotExecutor(
+        processes=2, start_method="fork", chunk_size=1, task_timeout=3.0
+    )
+    if "fork" not in mp.get_all_start_methods():
+        pytest.skip("fork required for the closure")
+    with pytest.raises(TaskError, match="crashed or a task is stuck"):
+        ex.map(coll, die_hard)
+
+
+def test_empty_collection_all_methods():
+    coll = SnapshotCollection()
+    for method in METHODS:
+        assert snapshot_map(coll, _row_count, processes=2, start_method=method) == []
+
+
+def test_env_var_serial_override(monkeypatch):
+    monkeypatch.setenv("REPRO_START_METHOD", "serial")
+    coll = _build_collection(weeks=3)
+    ex = SnapshotExecutor(processes=4)
+    assert ex.map(coll, _row_count) == snapshot_map(coll, _row_count, processes=1)
+    assert ex.last_stats.start_method == "serial"
+    assert not ex.last_stats.downgraded  # explicit policy, not a downgrade
+
+
+def test_env_var_bad_method_raises(monkeypatch):
+    monkeypatch.setenv("REPRO_START_METHOD", "telepathy")
+    coll = _build_collection(weeks=2)
+    with pytest.raises(ValueError, match="telepathy"):
+        snapshot_map(coll, _row_count, processes=2)
+
+
+def test_engine_config_chunking():
+    coll = _build_collection(weeks=6, files_per_week=3)
+    engine = ExecutionEngine(
+        EngineConfig(processes=2, start_method=METHODS[0], chunk_size=2)
+    )
+    results, stats = engine.map(coll, _row_count)
+    assert results == snapshot_map(coll, _row_count, processes=1)
+    assert stats.n_tasks == 6

@@ -1,0 +1,108 @@
+"""Columnar round-trip edge cases: empty and single-row delta columns.
+
+The delta-zlib codec rebases timestamp/ino columns against their minimum;
+the degenerate shapes — no rows at all (nothing to take a minimum of) and
+exactly one row (delta column of all zeros) — must survive a write/read
+cycle byte-exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.scan.columnar import read_columnar, write_columnar
+from repro.scan.paths import PathTable
+from repro.scan.snapshot import COLUMN_DTYPES, NUMERIC_COLUMNS, Snapshot
+
+
+def _snapshot_from_rows(paths: PathTable, rows: list[dict]) -> Snapshot:
+    columns = {
+        name: np.array([r[name] for r in rows], dtype=COLUMN_DTYPES[name])
+        for name in NUMERIC_COLUMNS
+    }
+    return Snapshot(label="edge", timestamp=1000, paths=paths, **columns)
+
+
+def _row(pid, **over):
+    base = {
+        "path_id": pid,
+        "ino": 7,
+        "mode": 0o100664,
+        "uid": 1,
+        "gid": 2,
+        "atime": 1_420_000_000,
+        "mtime": 1_420_000_000,
+        "ctime": 1_420_000_000,
+        "stripe_count": 4,
+        "stripe_start": 0,
+    }
+    base.update(over)
+    return base
+
+
+def test_empty_snapshot_round_trip(tmp_path):
+    paths = PathTable()
+    snap = _snapshot_from_rows(paths, [])
+    dest = tmp_path / "empty.rpq"
+    stats = write_columnar(snap, dest)
+    assert stats["stored_bytes"] > 0
+    loaded = read_columnar(dest, PathTable())
+    assert len(loaded) == 0
+    for name in NUMERIC_COLUMNS:
+        col = getattr(loaded, name)
+        assert col.size == 0
+        assert col.dtype == COLUMN_DTYPES[name]
+
+
+def test_single_row_delta_columns_round_trip(tmp_path):
+    paths = PathTable()
+    pid = paths.intern("/lustre/atlas1/phy/p1/run.0")
+    snap = _snapshot_from_rows(paths, [_row(pid, atime=1_450_000_123)])
+    dest = tmp_path / "one.rpq"
+    write_columnar(snap, dest)
+    fresh = PathTable()
+    loaded = read_columnar(dest, fresh)
+    assert len(loaded) == 1
+    # delta-encoded columns rebased against a single-element minimum
+    assert int(loaded.atime[0]) == 1_450_000_123
+    assert int(loaded.mtime[0]) == 1_420_000_000
+    assert int(loaded.ino[0]) == 7
+    assert loaded.path_strings() == ["/lustre/atlas1/phy/p1/run.0"]
+
+
+def test_single_row_preserves_every_column(tmp_path):
+    paths = PathTable()
+    pid = paths.intern("/lustre/atlas1/chm/p2/x.nc")
+    snap = _snapshot_from_rows(
+        paths, [_row(pid, uid=42, gid=77, stripe_count=16, stripe_start=3)]
+    )
+    dest = tmp_path / "full.rpq"
+    write_columnar(snap, dest)
+    loaded = read_columnar(dest, PathTable())
+    for name in NUMERIC_COLUMNS:
+        if name == "path_id":
+            continue  # re-interned into the fresh table
+        np.testing.assert_array_equal(getattr(loaded, name), getattr(snap, name))
+
+
+def test_empty_then_populated_same_store_dir(tmp_path):
+    """An empty week among populated ones must not corrupt adjacent reads."""
+    paths = PathTable()
+    empty = _snapshot_from_rows(paths, [])
+    pid = paths.intern("/lustre/atlas1/bio/p3/y.pdbqt")
+    full = Snapshot(
+        label="w1",
+        timestamp=2000,
+        paths=paths,
+        **{
+            name: np.array([_row(pid)[name]], dtype=COLUMN_DTYPES[name])
+            for name in NUMERIC_COLUMNS
+        },
+    )
+    write_columnar(empty, tmp_path / "w0.rpq")
+    write_columnar(full, tmp_path / "w1.rpq")
+    fresh = PathTable()
+    w0 = read_columnar(tmp_path / "w0.rpq", fresh)
+    w1 = read_columnar(tmp_path / "w1.rpq", fresh)
+    assert len(w0) == 0
+    assert len(w1) == 1
+    assert w1.path_strings() == ["/lustre/atlas1/bio/p3/y.pdbqt"]

@@ -21,8 +21,28 @@ def test_cv_empty_is_nan():
     assert math.isnan(coefficient_of_variation(np.array([])))
 
 
-def test_cv_zero_mean():
-    assert coefficient_of_variation(np.array([-1.0, 1.0])) == 0.0
+def test_cv_zero_mean_with_spread_is_inf():
+    # zero mean but nonzero std: relative dispersion diverges, it is not 0
+    assert coefficient_of_variation(np.array([-1.0, 1.0])) == float("inf")
+
+
+def test_cv_all_zero_sample_is_zero():
+    # the only dispersion-free zero-mean sample is the constant-zero one
+    assert coefficient_of_variation(np.zeros(5)) == 0.0
+
+
+def test_cv_single_value():
+    assert coefficient_of_variation(np.array([7.0])) == 0.0
+    assert coefficient_of_variation(np.array([0.0])) == 0.0
+
+
+def test_relative_cv_zero_mean_with_spread_is_inf():
+    # rebased offsets symmetric around the origin: infinite, not flat
+    assert relative_cv(np.array([90.0, 110.0]), origin=100.0, span=10.0) == float("inf")
+
+
+def test_relative_cv_constant_at_origin_is_zero():
+    assert relative_cv(np.full(4, 100.0), origin=100.0, span=10.0) == 0.0
 
 
 def test_cv_known_value():
