@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.analysis.context import AnalysisContext
 from repro.fs.clock import SECONDS_PER_DAY
+from repro.query.engine import Kernel
 from repro.scan.snapshot import Snapshot
 
 
@@ -101,10 +102,19 @@ class AccessPatternResult:
         return new / readonly if readonly else float("inf")
 
 
+def access_kernel() -> Kernel:
+    """Figure 13 as a pair kernel: classify each adjacent snapshot pair."""
+    return Kernel(
+        name="access",
+        map_fn=_classify_pair,
+        reduce_fn=lambda weeks: AccessPatternResult(weeks=list(weeks)),
+        pairwise=True,
+    )
+
+
 def access_patterns(ctx: AnalysisContext) -> AccessPatternResult:
     """Figure 13 over every adjacent snapshot pair."""
-    results = ctx.executor.map_pairs(ctx.collection, _classify_pair)
-    return AccessPatternResult(weeks=results)
+    return ctx.run_kernels([access_kernel()])["access"]
 
 
 @dataclass
@@ -145,12 +155,20 @@ def _age_of(snapshot: Snapshot) -> tuple[str, float, float]:
     return snapshot.label, float(ages.mean()), float(np.median(ages))
 
 
+def ages_kernel(purge_window_days: int = 90) -> Kernel:
+    """Figure 16 as a kernel: per-snapshot mean/median file age."""
+
+    def reduce_ages(rows: list[tuple[str, float, float]]) -> FileAgeResult:
+        return FileAgeResult(
+            labels=[r[0] for r in rows],
+            mean_age_days=np.array([r[1] for r in rows]),
+            median_age_days=np.array([r[2] for r in rows]),
+            purge_window_days=purge_window_days,
+        )
+
+    return Kernel(name="ages", map_fn=_age_of, reduce_fn=reduce_ages)
+
+
 def file_ages(ctx: AnalysisContext, purge_window_days: int = 90) -> FileAgeResult:
     """Figure 16: the file-age series."""
-    rows = ctx.executor.map(ctx.collection, _age_of)
-    return FileAgeResult(
-        labels=[r[0] for r in rows],
-        mean_age_days=np.array([r[1] for r in rows]),
-        median_age_days=np.array([r[2] for r in rows]),
-        purge_window_days=purge_window_days,
-    )
+    return ctx.run_kernels([ages_kernel(purge_window_days)])["ages"]

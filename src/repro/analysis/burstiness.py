@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.context import AnalysisContext
+from repro.query.engine import Kernel
 from repro.scan.snapshot import Snapshot
 from repro.stats.dispersion import coefficient_of_variation, five_number_summary
 
@@ -105,6 +106,46 @@ def _per_project_cv(
     return out
 
 
+def burstiness_kernel(ctx: AnalysisContext, min_files: int = 100) -> Kernel:
+    """Figure 17 as a pair kernel: weekly events map, c_v aggregation reduce."""
+
+    def reduce_burstiness(pair_results: list[tuple]) -> BurstinessResult:
+        write_samples: dict[str, list[float]] = {}
+        read_samples: dict[str, list[float]] = {}
+        code_of = {i: c for c, i in ctx.domain_index.items()}
+        for new_gid, new_off, ro_gid, ro_off in pair_results:
+            for gid, cv in _per_project_cv(new_gid, new_off, min_files).items():
+                dom = ctx.gid_to_domain_id.get(gid)
+                if dom is not None and np.isfinite(cv):
+                    write_samples.setdefault(code_of[dom], []).append(cv)
+            for gid, cv in _per_project_cv(ro_gid, ro_off, min_files).items():
+                dom = ctx.gid_to_domain_id.get(gid)
+                if dom is not None and np.isfinite(cv):
+                    read_samples.setdefault(code_of[dom], []).append(cv)
+
+        write_stats = {
+            code: five_number_summary(np.array(vals))
+            for code, vals in write_samples.items()
+        }
+        read_stats = {
+            code: five_number_summary(np.array(vals))
+            for code, vals in read_samples.items()
+        }
+        return BurstinessResult(
+            write_by_domain=write_stats,
+            read_by_domain=read_stats,
+            write_samples={c: np.array(v) for c, v in write_samples.items()},
+            read_samples={c: np.array(v) for c, v in read_samples.items()},
+        )
+
+    return Kernel(
+        name="burstiness",
+        map_fn=_pair_events,
+        reduce_fn=reduce_burstiness,
+        pairwise=True,
+    )
+
+
 def burstiness(ctx: AnalysisContext, min_files: int = 100) -> BurstinessResult:
     """Figure 17 / Table 1 c_v columns.
 
@@ -112,31 +153,4 @@ def burstiness(ctx: AnalysisContext, min_files: int = 100) -> BurstinessResult:
     smaller value for reduced-scale simulations (the paper used 100 at full
     scale).
     """
-    pair_results = ctx.executor.map_pairs(ctx.collection, _pair_events)
-    write_samples: dict[str, list[float]] = {}
-    read_samples: dict[str, list[float]] = {}
-    code_of = {i: c for c, i in ctx.domain_index.items()}
-    for new_gid, new_off, ro_gid, ro_off in pair_results:
-        for gid, cv in _per_project_cv(new_gid, new_off, min_files).items():
-            dom = ctx.gid_to_domain_id.get(gid)
-            if dom is not None and np.isfinite(cv):
-                write_samples.setdefault(code_of[dom], []).append(cv)
-        for gid, cv in _per_project_cv(ro_gid, ro_off, min_files).items():
-            dom = ctx.gid_to_domain_id.get(gid)
-            if dom is not None and np.isfinite(cv):
-                read_samples.setdefault(code_of[dom], []).append(cv)
-
-    write_stats = {
-        code: five_number_summary(np.array(vals))
-        for code, vals in write_samples.items()
-    }
-    read_stats = {
-        code: five_number_summary(np.array(vals))
-        for code, vals in read_samples.items()
-    }
-    return BurstinessResult(
-        write_by_domain=write_stats,
-        read_by_domain=read_stats,
-        write_samples={c: np.array(v) for c, v in write_samples.items()},
-        read_samples={c: np.array(v) for c, v in read_samples.items()},
-    )
+    return ctx.run_kernels([burstiness_kernel(ctx, min_files)])["burstiness"]

@@ -13,7 +13,7 @@ from functools import cached_property
 
 import numpy as np
 
-from repro.query.parallel import SnapshotExecutor
+from repro.query.parallel import Kernel, SnapshotExecutor
 from repro.query.table import ColumnTable
 from repro.scan.snapshot import Snapshot, SnapshotCollection
 from repro.synth.domains import DOMAINS
@@ -25,6 +25,17 @@ class AnalysisContext:
     collection: SnapshotCollection
     population: Population
     executor: SnapshotExecutor = field(default_factory=lambda: SnapshotExecutor(1))
+
+    # -- kernel execution ------------------------------------------------------
+
+    def run_kernels(self, kernels: list[Kernel]) -> dict:
+        """Run kernels in one fused pass over this context's collection.
+
+        Every analysis routes its snapshot scans through here, so a single
+        executor policy (and its stats) covers both the legacy one-kernel
+        wrappers and the registry's fully fused pass.
+        """
+        return self.executor.run_kernels(self.collection, kernels)
 
     # -- execution observability ----------------------------------------------
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.context import AnalysisContext
+from repro.analysis.rows import ROWS_KERNEL, RowCensus, rows_kernel
 from repro.stats.cdf import Cdf, ecdf
 from repro.stats.dispersion import five_number_summary
 
@@ -39,8 +40,10 @@ class DepthResult:
         return {code: s["median"] for code, s in self.by_domain.items()}
 
 
-def directory_depths(
-    ctx: AnalysisContext, exclude_deepest_chain: bool = True
+def depths_from_census(
+    ctx: AnalysisContext,
+    census: RowCensus,
+    exclude_deepest_chain: bool = True,
 ) -> DepthResult:
     """Depth distributions over all unique directories ever observed.
 
@@ -54,14 +57,7 @@ def directory_depths(
     of directories.
     """
     # unique directory paths with first-seen gid
-    pids, gids = [], []
-    for snap in ctx.collection:
-        mask = snap.is_dir
-        pids.append(snap.path_id[mask])
-        gids.append(snap.gid[mask].astype(np.int64))
-    pid = np.concatenate(pids)
-    uniq, first = np.unique(pid, return_index=True)
-    gid = np.concatenate(gids)[first]
+    uniq, gid = census.dir_pid, census.dir_gid
     depths = ctx.collection.paths.depths_of(uniq)
     dom = ctx.domain_ids_of_gids(gid)
 
@@ -111,3 +107,11 @@ def directory_depths(
         max_depth=max_depth,
         max_depth_domain=max_domain,
     )
+
+
+def directory_depths(
+    ctx: AnalysisContext, exclude_deepest_chain: bool = True
+) -> DepthResult:
+    """Depth distributions over all unique directories (Figures 8a and 9)."""
+    census = ctx.run_kernels([rows_kernel()])[ROWS_KERNEL]
+    return depths_from_census(ctx, census, exclude_deepest_chain)

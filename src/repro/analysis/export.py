@@ -149,13 +149,30 @@ EXPORTERS = {
     "fig17_burstiness.csv": export_burstiness,
 }
 
+#: report field each exporter reads; partial reports (``--analyses``) skip
+#: exporters whose field was not computed.
+_EXPORT_FIELDS = {
+    "table1.csv": "table1",
+    "fig10_extension_trend.csv": "fig10",
+    "fig15_growth.csv": "fig15",
+    "fig16_ages.csv": "fig16",
+    "fig13_access.csv": "fig13",
+    "fig18_degree.csv": "fig18",
+    "fig06_participation.csv": "fig6",
+    "fig08_depth_cdf.csv": "fig8_depth",
+    "fig17_burstiness.csv": "fig17",
+}
+
 
 def export_all(report: PaperReport, directory: str | Path) -> list[Path]:
-    """Write every registered CSV; returns the written paths."""
+    """Write every registered CSV (for the report's computed sections);
+    returns the written paths."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     written = []
     for name, exporter in EXPORTERS.items():
+        if getattr(report, _EXPORT_FIELDS[name]) is None:
+            continue
         path = directory / name
         exporter(report, path)
         written.append(path)

@@ -13,7 +13,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.context import AnalysisContext
+from repro.analysis.rows import ROWS_KERNEL, RowCensus, rows_kernel
+from repro.query.engine import Kernel
 from repro.scan.extensions import NO_EXTENSION
+from repro.scan.snapshot import Snapshot
 from repro.stats.dispersion import gini
 
 
@@ -32,20 +35,12 @@ class DomainExtensions:
         return bool(self.top and self.top[0][1] > 40.0)
 
 
-def extensions_by_domain(
-    ctx: AnalysisContext, top_k: int = 3
+def extensions_from_census(
+    ctx: AnalysisContext, census: RowCensus, top_k: int = 3
 ) -> dict[str, DomainExtensions]:
-    """Table 2: per-domain top-``top_k`` extensions over unique files."""
-    pids, gids = [], []
-    for snap in ctx.collection:
-        mask = snap.is_file
-        pids.append(snap.path_id[mask])
-        gids.append(snap.gid[mask].astype(np.int64))
-    pid = np.concatenate(pids)
-    uniq, first = np.unique(pid, return_index=True)
-    gid = np.concatenate(gids)[first]
-    ext = ctx.collection.paths.ext_ids_of(uniq)
-    dom = ctx.domain_ids_of_gids(gid)
+    """Table 2 from the shared unique-row census."""
+    ext = ctx.collection.paths.ext_ids_of(census.file_pid)
+    dom = ctx.domain_ids_of_gids(census.file_gid)
     names = ctx.collection.paths.extensions.names
 
     out: dict[str, DomainExtensions] = {}
@@ -75,6 +70,14 @@ def extensions_by_domain(
     return out
 
 
+def extensions_by_domain(
+    ctx: AnalysisContext, top_k: int = 3
+) -> dict[str, DomainExtensions]:
+    """Table 2: per-domain top-``top_k`` extensions over unique files."""
+    census = ctx.run_kernels([rows_kernel()])[ROWS_KERNEL]
+    return extensions_from_census(ctx, census, top_k)
+
+
 @dataclass
 class ExtensionTrend:
     """Figure 10: weekly share of the global top-20 extensions."""
@@ -101,34 +104,50 @@ class ExtensionTrend:
         return self.labels[int(np.argmax(self.shares[:, idx]))]
 
 
-def extension_trend(ctx: AnalysisContext, top_k: int = 20) -> ExtensionTrend:
-    """Figure 10: global top-``top_k`` extension shares per snapshot."""
+def _map_ext_hist(snapshot: Snapshot) -> tuple[str, np.ndarray, np.ndarray, int]:
+    """Per-snapshot extension histogram over file rows."""
+    ext = snapshot.ext_id()[snapshot.is_file]
+    eids, counts = np.unique(ext, return_counts=True)
+    return snapshot.label, eids, counts, int(ext.size)
+
+
+def ext_hist_kernel() -> Kernel:
+    """Figure 10's per-snapshot half: weekly extension histograms."""
+    return Kernel(
+        name="ext_hist", map_fn=_map_ext_hist, reduce_fn=lambda rows: list(rows)
+    )
+
+
+def trend_from_census(
+    ctx: AnalysisContext,
+    census: RowCensus,
+    hists: list[tuple[str, np.ndarray, np.ndarray, int]],
+    top_k: int = 20,
+) -> ExtensionTrend:
+    """Figure 10 from the shared census (global ranking) plus the weekly
+    histograms from :func:`ext_hist_kernel`."""
     paths = ctx.collection.paths
     names = paths.extensions.names
     noext_id = paths.extensions.no_extension_id
 
-    # global ranking over unique files
-    pids = np.concatenate([s.path_id[s.is_file] for s in ctx.collection])
-    uniq = np.unique(pids)
-    ext_u = paths.ext_ids_of(uniq)
+    # global ranking over unique files (census.file_pid is already the
+    # sorted unique file-path census)
+    ext_u = paths.ext_ids_of(census.file_pid)
     ids, counts = np.unique(ext_u, return_counts=True)
     order = np.argsort(counts)[::-1]
     top_ids = [int(ids[i]) for i in order if int(ids[i]) != noext_id][:top_k]
     top_names = [names[e] for e in top_ids]
     rank_of = {e: i for i, e in enumerate(top_ids)}
 
-    n = len(ctx.collection)
+    n = len(hists)
     shares = np.zeros((n, len(top_ids)))
     noext = np.zeros(n)
     other = np.zeros(n)
     labels = []
-    for i, snap in enumerate(ctx.collection):
-        labels.append(snap.label)
-        ext = snap.ext_id()[snap.is_file]
-        total = ext.size
+    for i, (label, eids, ecounts, total) in enumerate(hists):
+        labels.append(label)
         if total == 0:
             continue
-        eids, ecounts = np.unique(ext, return_counts=True)
         covered = 0
         for eid, cnt in zip(eids, ecounts):
             eid = int(eid)
@@ -145,4 +164,12 @@ def extension_trend(ctx: AnalysisContext, top_k: int = 20) -> ExtensionTrend:
         shares=shares,
         no_extension=noext,
         other=other,
+    )
+
+
+def extension_trend(ctx: AnalysisContext, top_k: int = 20) -> ExtensionTrend:
+    """Figure 10: global top-``top_k`` extension shares per snapshot."""
+    results = ctx.run_kernels([rows_kernel(), ext_hist_kernel()])
+    return trend_from_census(
+        ctx, results[ROWS_KERNEL], results["ext_hist"], top_k
     )

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.context import AnalysisContext
+from repro.analysis.rows import ROWS_KERNEL, RowCensus, rows_kernel
 from repro.stats.cdf import Cdf, ecdf
 
 
@@ -51,32 +52,17 @@ class DomainEntryCounts:
         )
 
 
-def _unique_rows(ctx: AnalysisContext) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Deduplicated (path_id, domain_id, uid, is_dir) across all snapshots.
+def entries_from_census(
+    ctx: AnalysisContext, census: RowCensus
+) -> DomainEntryCounts:
+    """Figure 7 from the shared unique-row census.
 
-    A path is attributed to the gid/uid of its first appearance; ownership
+    A path is attributed to the gid of its first appearance; ownership
     churn is negligible in scratch file systems and the paper makes the
     same single-owner assumption.
     """
-    pids, doms, uids, dirs = [], [], [], []
-    for snap in ctx.collection:
-        pids.append(snap.path_id)
-        doms.append(ctx.domain_ids_of_gids(snap.gid.astype(np.int64)))
-        uids.append(snap.uid.astype(np.int64))
-        dirs.append(snap.is_dir)
-    pid = np.concatenate(pids)
-    _, first = np.unique(pid, return_index=True)
-    return (
-        pid[first],
-        np.concatenate(doms)[first],
-        np.concatenate(uids)[first],
-        np.concatenate(dirs)[first],
-    )
-
-
-def entries_by_domain(ctx: AnalysisContext) -> DomainEntryCounts:
-    """Figure 7: unique file/dir counts per domain over the full window."""
-    _, dom, _, is_dir = _unique_rows(ctx)
+    dom = ctx.domain_ids_of_gids(census.gid)
+    is_dir = census.is_dir
     files: dict[str, int] = {}
     directories: dict[str, int] = {}
     for code in ctx.domain_codes:
@@ -86,6 +72,12 @@ def entries_by_domain(ctx: AnalysisContext) -> DomainEntryCounts:
             files[code] = int((mask & ~is_dir).sum())
             directories[code] = int((mask & is_dir).sum())
     return DomainEntryCounts(files=files, directories=directories)
+
+
+def entries_by_domain(ctx: AnalysisContext) -> DomainEntryCounts:
+    """Figure 7: unique file/dir counts per domain over the full window."""
+    census = ctx.run_kernels([rows_kernel()])[ROWS_KERNEL]
+    return entries_from_census(ctx, census)
 
 
 @dataclass
@@ -108,22 +100,17 @@ class FileCountCdfs:
         return self.median_project_files / self.median_user_files
 
 
-def file_count_cdfs(ctx: AnalysisContext, exclude_stf_for_top: bool = True) -> FileCountCdfs:
-    """Figure 8(b) plus the Observation 3 medians and §4.1.2 top-five list."""
-    _, _, uid, is_dir = _unique_rows(ctx)
-    uid_f = uid[~is_dir]
+def file_count_cdfs_from_census(
+    ctx: AnalysisContext,
+    census: RowCensus,
+    exclude_stf_for_top: bool = True,
+) -> FileCountCdfs:
+    """Figure 8(b) from the shared unique-row census."""
+    uid_f = census.uid[~census.is_dir]
     _, user_counts = np.unique(uid_f, return_counts=True)
 
-    # attribute each unique file to its first-seen gid
-    pids, gids = [], []
-    for snap in ctx.collection:
-        mask = snap.is_file
-        pids.append(snap.path_id[mask])
-        gids.append(snap.gid[mask].astype(np.int64))
-    pid_all = np.concatenate(pids)
-    _, first = np.unique(pid_all, return_index=True)
-    gid_first = np.concatenate(gids)[first]
-    proj_ids, proj_counts = np.unique(gid_first, return_counts=True)
+    # each unique file is attributed to its first-seen gid
+    proj_ids, proj_counts = np.unique(census.file_gid, return_counts=True)
 
     # top-five domains by mean files per project (§4.1.2)
     dom_of_proj = ctx.domain_ids_of_gids(proj_ids)
@@ -145,3 +132,11 @@ def file_count_cdfs(ctx: AnalysisContext, exclude_stf_for_top: bool = True) -> F
         max_project_files=int(proj_counts.max()) if proj_counts.size else 0,
         top_domains_by_project_mean=means[:5],
     )
+
+
+def file_count_cdfs(
+    ctx: AnalysisContext, exclude_stf_for_top: bool = True
+) -> FileCountCdfs:
+    """Figure 8(b) plus the Observation 3 medians and §4.1.2 top-five list."""
+    census = ctx.run_kernels([rows_kernel()])[ROWS_KERNEL]
+    return file_count_cdfs_from_census(ctx, census, exclude_stf_for_top)

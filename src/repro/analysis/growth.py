@@ -7,7 +7,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.context import AnalysisContext
+from repro.query.engine import Kernel
 from repro.scan.lustredu import ScanStats
+from repro.scan.snapshot import Snapshot
 
 
 @dataclass
@@ -49,24 +51,33 @@ class GrowthSeries:
         return float(share[-1]) if share.size else 0.0
 
 
+def _map_growth(snapshot: Snapshot) -> tuple[str, int, int]:
+    return snapshot.label, snapshot.n_files, snapshot.n_dirs
+
+
+def growth_kernel(scan_history: list[ScanStats] | None = None) -> Kernel:
+    """Figure 15 as a kernel: per-snapshot file/dir counts."""
+
+    def reduce_growth(rows: list[tuple[str, int, int]]) -> GrowthSeries:
+        labels = [r[0] for r in rows]
+        snapshot_bytes = None
+        if scan_history is not None:
+            by_label = {s.label: s.psv_bytes for s in scan_history}
+            snapshot_bytes = np.array(
+                [by_label.get(label, 0) for label in labels], dtype=np.int64
+            )
+        return GrowthSeries(
+            labels=labels,
+            files=np.array([r[1] for r in rows], dtype=np.int64),
+            directories=np.array([r[2] for r in rows], dtype=np.int64),
+            snapshot_bytes=snapshot_bytes,
+        )
+
+    return Kernel(name="growth", map_fn=_map_growth, reduce_fn=reduce_growth)
+
+
 def growth_series(
     ctx: AnalysisContext, scan_history: list[ScanStats] | None = None
 ) -> GrowthSeries:
     """Figure 15 from the snapshot series (optionally with scan sizes)."""
-    labels, files, dirs = [], [], []
-    for snap in ctx.collection:
-        labels.append(snap.label)
-        files.append(snap.n_files)
-        dirs.append(snap.n_dirs)
-    snapshot_bytes = None
-    if scan_history is not None:
-        by_label = {s.label: s.psv_bytes for s in scan_history}
-        snapshot_bytes = np.array(
-            [by_label.get(label, 0) for label in labels], dtype=np.int64
-        )
-    return GrowthSeries(
-        labels=labels,
-        files=np.array(files, dtype=np.int64),
-        directories=np.array(dirs, dtype=np.int64),
-        snapshot_bytes=snapshot_bytes,
-    )
+    return ctx.run_kernels([growth_kernel(scan_history)])["growth"]

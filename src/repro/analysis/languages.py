@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.context import AnalysisContext
+from repro.analysis.rows import ROWS_KERNEL, RowCensus, rows_kernel
 from repro.synth.languages import LANGUAGES, language_of_extension
 
 
@@ -45,22 +46,21 @@ class LanguageRanking:
         ]
 
 
-def _unique_file_extension_ids(ctx: AnalysisContext) -> tuple[np.ndarray, np.ndarray]:
-    """(ext_id, domain_id) of every unique file across snapshots."""
-    pids, gids = [], []
-    for snap in ctx.collection:
-        mask = snap.is_file
-        pids.append(snap.path_id[mask])
-        gids.append(snap.gid[mask].astype(np.int64))
-    pid = np.concatenate(pids)
-    uniq, first = np.unique(pid, return_index=True)
-    gid = np.concatenate(gids)[first]
-    return ctx.collection.paths.ext_ids_of(uniq), ctx.domain_ids_of_gids(gid)
+def _census_file_extension_ids(
+    ctx: AnalysisContext, census: RowCensus
+) -> tuple[np.ndarray, np.ndarray]:
+    """(ext_id, domain_id) of every unique file, from the shared census."""
+    return (
+        ctx.collection.paths.ext_ids_of(census.file_pid),
+        ctx.domain_ids_of_gids(census.file_gid),
+    )
 
 
-def language_ranking(ctx: AnalysisContext) -> LanguageRanking:
-    """Figure 11: global language popularity by source-file count."""
-    ext_ids, _ = _unique_file_extension_ids(ctx)
+def ranking_from_census(
+    ctx: AnalysisContext, census: RowCensus
+) -> LanguageRanking:
+    """Figure 11 from the shared unique-row census."""
+    ext_ids, _ = _census_file_extension_ids(ctx, census)
     names = ctx.collection.paths.extensions.names
     ids, counts = np.unique(ext_ids, return_counts=True)
     lang_counts: dict[str, int] = {}
@@ -70,6 +70,12 @@ def language_ranking(ctx: AnalysisContext) -> LanguageRanking:
             lang_counts[lang] = lang_counts.get(lang, 0) + int(cnt)
     order = sorted(lang_counts, key=lambda k: lang_counts[k], reverse=True)
     return LanguageRanking(counts=lang_counts, order=order)
+
+
+def language_ranking(ctx: AnalysisContext) -> LanguageRanking:
+    """Figure 11: global language popularity by source-file count."""
+    census = ctx.run_kernels([rows_kernel()])[ROWS_KERNEL]
+    return ranking_from_census(ctx, census)
 
 
 @dataclass
@@ -85,9 +91,11 @@ class DomainLanguages:
         return [lang for lang, _ in ranked[:k]]
 
 
-def languages_by_domain(ctx: AnalysisContext) -> DomainLanguages:
-    """Figure 12: language breakdown per science domain."""
-    ext_ids, dom = _unique_file_extension_ids(ctx)
+def domain_languages_from_census(
+    ctx: AnalysisContext, census: RowCensus
+) -> DomainLanguages:
+    """Figure 12 from the shared unique-row census."""
+    ext_ids, dom = _census_file_extension_ids(ctx, census)
     names = ctx.collection.paths.extensions.names
     shares: dict[str, dict[str, float]] = {}
     for code in ctx.domain_codes:
@@ -104,3 +112,9 @@ def languages_by_domain(ctx: AnalysisContext) -> DomainLanguages:
         if total:
             shares[code] = {k: v / total for k, v in lang_counts.items()}
     return DomainLanguages(shares=shares)
+
+
+def languages_by_domain(ctx: AnalysisContext) -> DomainLanguages:
+    """Figure 12: language breakdown per science domain."""
+    census = ctx.run_kernels([rows_kernel()])[ROWS_KERNEL]
+    return domain_languages_from_census(ctx, census)

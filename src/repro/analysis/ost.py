@@ -7,6 +7,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.context import AnalysisContext
+from repro.query.engine import Kernel
+from repro.scan.snapshot import Snapshot
 
 
 @dataclass
@@ -37,6 +39,40 @@ class StripeStats:
         return max((hi for _, _, hi in self.by_domain.values()), default=0)
 
 
+def _map_stripes(snapshot: Snapshot) -> tuple[np.ndarray, np.ndarray]:
+    mask = snapshot.is_file
+    return (
+        snapshot.gid[mask].astype(np.int64),
+        snapshot.stripe_count[mask],
+    )
+
+
+def stripes_kernel(ctx: AnalysisContext) -> Kernel:
+    """Figure 14 as a kernel: per-snapshot (gid, stripe) file rows."""
+
+    def reduce_stripes(
+        rows: list[tuple[np.ndarray, np.ndarray]],
+    ) -> StripeStats:
+        by_domain: dict[str, list[np.ndarray]] = {
+            c: [] for c in ctx.domain_codes
+        }
+        for gids, stripes in rows:
+            dom = ctx.domain_ids_of_gids(gids)
+            for code in ctx.domain_codes:
+                sel = dom == ctx.domain_index[code]
+                if sel.any():
+                    by_domain[code].append(stripes[sel])
+        out: dict[str, tuple[int, float, int]] = {}
+        for code, chunks in by_domain.items():
+            if not chunks:
+                continue
+            allv = np.concatenate(chunks)
+            out[code] = (int(allv.min()), float(allv.mean()), int(allv.max()))
+        return StripeStats(by_domain=out)
+
+    return Kernel(name="stripes", map_fn=_map_stripes, reduce_fn=reduce_stripes)
+
+
 def stripe_stats(ctx: AnalysisContext) -> StripeStats:
     """Figure 14: min/avg/max OST counts per domain, over all snapshots.
 
@@ -44,19 +80,4 @@ def stripe_stats(ctx: AnalysisContext) -> StripeStats:
     weeks counts each week, like the paper's "OST counts of files from all
     snapshots").
     """
-    by_domain: dict[str, list[np.ndarray]] = {c: [] for c in ctx.domain_codes}
-    for snap in ctx.collection:
-        mask = snap.is_file
-        dom = ctx.domain_ids_of_gids(snap.gid[mask].astype(np.int64))
-        stripes = snap.stripe_count[mask]
-        for code in ctx.domain_codes:
-            sel = dom == ctx.domain_index[code]
-            if sel.any():
-                by_domain[code].append(stripes[sel])
-    out: dict[str, tuple[int, float, int]] = {}
-    for code, chunks in by_domain.items():
-        if not chunks:
-            continue
-        allv = np.concatenate(chunks)
-        out[code] = (int(allv.min()), float(allv.mean()), int(allv.max()))
-    return StripeStats(by_domain=out)
+    return ctx.run_kernels([stripes_kernel(ctx)])["stripes"]

@@ -41,21 +41,24 @@ class Table1Row:
     collab_pct: float
 
 
-def build_table1(
-    ctx: AnalysisContext, burstiness_min_files: int = 10
+def assemble_table1(
+    ctx: AnalysisContext,
+    *,
+    entries,
+    depths,
+    exts,
+    langs,
+    stripes,
+    cv,
+    comp,
+    collab,
 ) -> list[Table1Row]:
-    """Assemble the full Table 1 from the individual analyses."""
-    from repro.synth.domains import DOMAINS
+    """Assemble Table 1 from already-computed section results.
 
-    entries = entries_by_domain(ctx)
-    depths = directory_depths(ctx)
-    exts = extensions_by_domain(ctx)
-    langs = languages_by_domain(ctx)
-    stripes = stripe_stats(ctx)
-    cv = burst_mod.burstiness(ctx, min_files=burstiness_min_files)
-    network = build_network(ctx)
-    comp = component_analysis(ctx, network)
-    collab = collaboration(ctx)
+    The fused registry pass calls this with results it computed once; the
+    legacy :func:`build_table1` computes each input itself.
+    """
+    from repro.synth.domains import DOMAINS
 
     rows: list[Table1Row] = []
     for code in ctx.domain_codes:
@@ -84,3 +87,21 @@ def build_table1(
             )
         )
     return rows
+
+
+def build_table1(
+    ctx: AnalysisContext, burstiness_min_files: int = 10
+) -> list[Table1Row]:
+    """Assemble the full Table 1, computing each input analysis."""
+    network = build_network(ctx)
+    return assemble_table1(
+        ctx,
+        entries=entries_by_domain(ctx),
+        depths=directory_depths(ctx),
+        exts=extensions_by_domain(ctx),
+        langs=languages_by_domain(ctx),
+        stripes=stripe_stats(ctx),
+        cv=burst_mod.burstiness(ctx, min_files=burstiness_min_files),
+        comp=component_analysis(ctx, network),
+        collab=collaboration(ctx),
+    )

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.context import AnalysisContext
+from repro.query.engine import Kernel
+from repro.scan.snapshot import Snapshot
 from repro.stats.cdf import Cdf, ecdf
 from repro.stats.histogram import ratio_breakdown
 
@@ -35,10 +37,32 @@ class UserProfile:
         return 1.0 - self.domain_counts.get("csc", 0) / total
 
 
-def user_profile(ctx: AnalysisContext) -> UserProfile:
-    """Join active snapshot UIDs against the accounts database (Figure 5)."""
+def _map_active(snapshot: Snapshot) -> tuple[np.ndarray, np.ndarray]:
+    return np.unique(snapshot.uid), np.unique(snapshot.gid)
+
+
+def _reduce_active(
+    partials: list[tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray]:
+    if not partials:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    uids = np.unique(np.concatenate([p[0] for p in partials])).astype(np.int64)
+    gids = np.unique(np.concatenate([p[1] for p in partials])).astype(np.int64)
+    return uids, gids
+
+
+def active_ids_kernel() -> Kernel:
+    """UIDs/GIDs owning at least one entry in any snapshot (§4.1.1)."""
+    return Kernel(name="active_ids", map_fn=_map_active, reduce_fn=_reduce_active)
+
+
+def user_profile_from_active(
+    ctx: AnalysisContext, active_uids: np.ndarray
+) -> UserProfile:
+    """Figure 5 from an already-gathered active-UID census."""
     accounts = ctx.population.accounts_table()
-    active = [int(u) for u in ctx.active_uids if int(u) in accounts]
+    active = [int(u) for u in active_uids if int(u) in accounts]
     org_counts: dict[str, int] = {}
     domain_counts: dict[str, int] = {}
     for uid in active:
@@ -53,6 +77,12 @@ def user_profile(ctx: AnalysisContext) -> UserProfile:
         org_fractions=ratio_breakdown(org_counts),
         domain_counts=dict(sorted(domain_counts.items())),
     )
+
+
+def user_profile(ctx: AnalysisContext) -> UserProfile:
+    """Join active snapshot UIDs against the accounts database (Figure 5)."""
+    active_uids, _ = ctx.run_kernels([active_ids_kernel()])["active_ids"]
+    return user_profile_from_active(ctx, active_uids)
 
 
 @dataclass

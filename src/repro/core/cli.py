@@ -63,6 +63,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="write plotting-ready CSVs for every figure series here",
     )
     parser.add_argument(
+        "--analyses",
+        default="all",
+        help="comma-separated analysis names to run (default: all); "
+        "requirements are pulled in automatically.  Available: "
+        "users, participation, census, cdfs, depth, extensions, "
+        "ext_trend, languages, access, ost, growth, ages, burstiness, "
+        "network, collaboration, table1",
+    )
+    parser.add_argument(
+        "--legacy-passes",
+        action="store_true",
+        help="run one snapshot pass per analysis instead of the fused "
+        "kernel pass (ablation / debugging)",
+    )
+    parser.add_argument(
+        "--engine-stats",
+        action="store_true",
+        help="print the execution engine's lifetime stats (per-kernel "
+        "timings, snapshot loads) to stderr after the report",
+    )
+    parser.add_argument(
         "--burstiness-min-files",
         type=int,
         default=10,
@@ -98,6 +119,8 @@ def main(argv: list[str] | None = None) -> int:
             config=config,
             executor=executor,
             burstiness_min_files=args.burstiness_min_files,
+            analyses=args.analyses,
+            fused=not args.legacy_passes,
         )
         print(
             f"# analyzed {pipeline.simulation.n_snapshots} archived "
@@ -124,7 +147,9 @@ def main(argv: list[str] | None = None) -> int:
                 f"{stats.columnar_bytes:,} B ({stats.reduction:.1f}x reduction)",
                 file=sys.stderr,
             )
-        report = pipeline.analyze()
+        report = pipeline.analyze(
+            analyses=args.analyses, fused=not args.legacy_passes
+        )
     if args.export_dir:
         from repro.analysis.export import export_all
 
@@ -132,6 +157,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"# exported {len(written)} CSV series to {args.export_dir}",
               file=sys.stderr)
     print(report.text)
+    if args.engine_stats:
+        from repro.analysis.report import render_execution_stats
+
+        print("\n== EXECUTION ENGINE ==", file=sys.stderr)
+        print(
+            render_execution_stats(pipeline.context.execution_stats),
+            file=sys.stderr,
+        )
     if args.scorecard:
         from repro.analysis.observations import (
             check_observations,

@@ -7,7 +7,9 @@
 2. **archive** (optional) — write PSV snapshots and convert them to the
    columnar format, measuring the footprint reduction the paper attributes
    to Parquet;
-3. **analyze** — run every §4 analysis over the snapshot collection;
+3. **analyze** — run the selected §4 analyses in one fused kernel pass
+   over the snapshot collection (each snapshot loads once, every kernel
+   runs against it — see :mod:`repro.analysis.registry`);
 4. **report** — render the paper's tables and figure series as text.
 """
 
@@ -17,23 +19,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis import report as rpt
-from repro.analysis.access import access_patterns, file_ages
-from repro.analysis.burstiness import burstiness
-from repro.analysis.collaboration import collaboration
 from repro.analysis.context import AnalysisContext
-from repro.analysis.depth import directory_depths
-from repro.analysis.extensions import extension_trend, extensions_by_domain
-from repro.analysis.files import entries_by_domain, file_count_cdfs
-from repro.analysis.growth import growth_series
-from repro.analysis.languages import language_ranking, languages_by_domain
-from repro.analysis.network import (
-    build_network,
-    component_analysis,
-    degree_distribution,
-)
-from repro.analysis.ost import stripe_stats
-from repro.analysis.table1 import build_table1
-from repro.analysis.users import participation, user_profile
+from repro.analysis.registry import AnalyzeOptions, resolve_specs, run_analyses
 from repro.query.parallel import SnapshotExecutor
 from repro.scan.columnar import write_columnar
 from repro.scan.psv import write_psv
@@ -49,32 +36,68 @@ class ArchiveStats:
 
     @property
     def reduction(self) -> float:
-        return self.psv_bytes / self.columnar_bytes if self.columnar_bytes else 0.0
+        """PSV/columnar footprint ratio.
+
+        An empty columnar archive is ``inf`` (or ``nan`` for the 0/0 case),
+        never ``0.0`` — an empty archive must not masquerade as "no
+        reduction".
+        """
+        if self.columnar_bytes:
+            return self.psv_bytes / self.columnar_bytes
+        return float("nan") if self.psv_bytes == 0 else float("inf")
 
 
 @dataclass
 class PaperReport:
-    """Every §4 result object, plus the rendered text report."""
+    """The §4 result objects, plus the rendered text report.
 
-    table1: list = field(repr=False)
-    table2: dict = field(repr=False)
-    table3: object = field(repr=False)
-    fig5: object = field(repr=False)
-    fig6: object = field(repr=False)
-    fig7: object = field(repr=False)
-    fig8: object = field(repr=False)
-    fig8_depth: object = field(repr=False)
-    fig10: object = field(repr=False)
-    fig11: object = field(repr=False)
-    fig12: object = field(repr=False)
-    fig13: object = field(repr=False)
-    fig14: object = field(repr=False)
-    fig15: object = field(repr=False)
-    fig16: object = field(repr=False)
-    fig17: object = field(repr=False)
-    fig18: object = field(repr=False)
-    fig20: object = field(repr=False)
+    A field is None when its analysis was not selected (``analyze(
+    analyses=...)`` / ``repro-pipeline --analyses``); the default full run
+    fills every field.
+    """
+
+    table1: list | None = field(default=None, repr=False)
+    table2: dict | None = field(default=None, repr=False)
+    table3: object = field(default=None, repr=False)
+    fig5: object = field(default=None, repr=False)
+    fig6: object = field(default=None, repr=False)
+    fig7: object = field(default=None, repr=False)
+    fig8: object = field(default=None, repr=False)
+    fig8_depth: object = field(default=None, repr=False)
+    fig10: object = field(default=None, repr=False)
+    fig11: object = field(default=None, repr=False)
+    fig12: object = field(default=None, repr=False)
+    fig13: object = field(default=None, repr=False)
+    fig14: object = field(default=None, repr=False)
+    fig15: object = field(default=None, repr=False)
+    fig16: object = field(default=None, repr=False)
+    fig17: object = field(default=None, repr=False)
+    fig18: object = field(default=None, repr=False)
+    fig20: object = field(default=None, repr=False)
     text: str = ""
+
+
+#: Report layout: (PaperReport field, section title, renderer), in print order.
+_SECTIONS = [
+    ("table1", "TABLE 1 — per-domain summary", rpt.render_table1),
+    ("table2", "TABLE 2 — extension popularity", rpt.render_table2),
+    ("table3", "TABLE 3 — connected components", rpt.render_table3),
+    ("fig5", "FIGURE 5 — user classification", rpt.render_user_profile),
+    ("fig6", "FIGURE 6 — participation", rpt.render_participation),
+    ("fig7", "FIGURE 7 — files/dirs per domain", rpt.render_entry_counts),
+    ("fig8_depth", "FIGURE 8a/9 — directory depth", rpt.render_depths),
+    ("fig8", "FIGURE 8b — file-count CDFs", rpt.render_file_count_cdfs),
+    ("fig10", "FIGURE 10 — extension trend", rpt.render_extension_trend),
+    ("fig11", "FIGURE 11 — language ranking", rpt.render_language_ranking),
+    ("fig12", "FIGURE 12 — languages per domain", rpt.render_domain_languages),
+    ("fig13", "FIGURE 13 — weekly access patterns", rpt.render_access),
+    ("fig14", "FIGURE 14 — OST stripe counts", rpt.render_stripes),
+    ("fig15", "FIGURE 15 — namespace growth", rpt.render_growth),
+    ("fig16", "FIGURE 16 — file age", rpt.render_ages),
+    ("fig17", "FIGURE 17 — burstiness", rpt.render_burstiness),
+    ("fig18", "FIGURE 18 — degree distribution", rpt.render_degree),
+    ("fig20", "FIGURE 20 — collaboration", rpt.render_collaboration),
+]
 
 
 class ReproPipeline:
@@ -122,73 +145,35 @@ class ReproPipeline:
             col_total += col_path.stat().st_size
         return ArchiveStats(psv_bytes=psv_total, columnar_bytes=col_total)
 
-    def analyze(self) -> PaperReport:
-        """Run every analysis and assemble the rendered report."""
+    def analyze(
+        self,
+        analyses: list[str] | str | None = None,
+        fused: bool = True,
+    ) -> PaperReport:
+        """Run the selected analyses and assemble the rendered report.
+
+        ``analyses`` selects registry specs by name (None / ``"all"`` for
+        everything; requirements like Table 1's inputs are pulled in
+        automatically).  ``fused=True`` runs every selected kernel in one
+        pass per snapshot; ``fused=False`` reproduces the legacy
+        one-pass-per-analysis behavior (kept for ablation).
+        """
         if self.context is None or self.simulation is None:
             raise RuntimeError("simulate() first")
-        ctx = self.context
-        table1 = build_table1(ctx, burstiness_min_files=self.burstiness_min_files)
-        table2 = extensions_by_domain(ctx)
-        network = build_network(ctx)
-        table3 = component_analysis(ctx, network)
-        fig5 = user_profile(ctx)
-        fig6 = participation(ctx)
-        fig7 = entries_by_domain(ctx)
-        fig8 = file_count_cdfs(ctx)
-        fig8_depth = directory_depths(ctx)
-        fig10 = extension_trend(ctx)
-        fig11 = language_ranking(ctx)
-        fig12 = languages_by_domain(ctx)
-        fig13 = access_patterns(ctx)
-        fig14 = stripe_stats(ctx)
-        fig15 = growth_series(ctx, self.simulation.scanner.history)
-        fig16 = file_ages(ctx, purge_window_days=self.config.purge_window_days)
-        fig17 = burstiness(ctx, min_files=self.burstiness_min_files)
-        fig18 = degree_distribution(network)
-        fig20 = collaboration(ctx)
-
+        opts = AnalyzeOptions(
+            ctx=self.context,
+            scan_history=self.simulation.scanner.history,
+            purge_window_days=self.config.purge_window_days,
+            burstiness_min_files=self.burstiness_min_files,
+        )
+        values = run_analyses(opts, resolve_specs(analyses), fused=fused)
         sections = [
-            ("TABLE 1 — per-domain summary", rpt.render_table1(table1)),
-            ("TABLE 2 — extension popularity", rpt.render_table2(table2)),
-            ("TABLE 3 — connected components", rpt.render_table3(table3)),
-            ("FIGURE 5 — user classification", rpt.render_user_profile(fig5)),
-            ("FIGURE 6 — participation", rpt.render_participation(fig6)),
-            ("FIGURE 7 — files/dirs per domain", rpt.render_entry_counts(fig7)),
-            ("FIGURE 8a/9 — directory depth", rpt.render_depths(fig8_depth)),
-            ("FIGURE 8b — file-count CDFs", rpt.render_file_count_cdfs(fig8)),
-            ("FIGURE 10 — extension trend", rpt.render_extension_trend(fig10)),
-            ("FIGURE 11 — language ranking", rpt.render_language_ranking(fig11)),
-            ("FIGURE 12 — languages per domain", rpt.render_domain_languages(fig12)),
-            ("FIGURE 13 — weekly access patterns", rpt.render_access(fig13)),
-            ("FIGURE 14 — OST stripe counts", rpt.render_stripes(fig14)),
-            ("FIGURE 15 — namespace growth", rpt.render_growth(fig15)),
-            ("FIGURE 16 — file age", rpt.render_ages(fig16)),
-            ("FIGURE 17 — burstiness", rpt.render_burstiness(fig17)),
-            ("FIGURE 18 — degree distribution", rpt.render_degree(fig18)),
-            ("FIGURE 20 — collaboration", rpt.render_collaboration(fig20)),
+            (title, render(values[fld]))
+            for fld, title, render in _SECTIONS
+            if fld in values
         ]
         text = "\n\n".join(f"== {title} ==\n{body}" for title, body in sections)
-        return PaperReport(
-            table1=table1,
-            table2=table2,
-            table3=table3,
-            fig5=fig5,
-            fig6=fig6,
-            fig7=fig7,
-            fig8=fig8,
-            fig8_depth=fig8_depth,
-            fig10=fig10,
-            fig11=fig11,
-            fig12=fig12,
-            fig13=fig13,
-            fig14=fig14,
-            fig15=fig15,
-            fig16=fig16,
-            fig17=fig17,
-            fig18=fig18,
-            fig20=fig20,
-            text=text,
-        )
+        return PaperReport(**values, text=text)
 
 
 def analyze_archive(
@@ -196,6 +181,8 @@ def analyze_archive(
     config: SimulationConfig | None = None,
     executor: SnapshotExecutor | None = None,
     burstiness_min_files: int = 10,
+    analyses: list[str] | str | None = None,
+    fused: bool = True,
 ) -> tuple[ReproPipeline, PaperReport]:
     """Out-of-core analysis: run every §4 analysis from archived snapshots.
 
@@ -235,7 +222,7 @@ def analyze_archive(
         purge_reports=[],
         week_stats=[],
     )
-    return pipeline, pipeline.analyze()
+    return pipeline, pipeline.analyze(analyses=analyses, fused=fused)
 
 
 def run_paper_report(

@@ -16,6 +16,7 @@ from repro.query.engine import (
     EngineConfig,
     ExecutionEngine,
     ExecutionStats,
+    Kernel,
     TaskError,
 )
 from repro.query.parallel import SnapshotExecutor, snapshot_map
@@ -27,6 +28,7 @@ __all__ = [
     "ExecutionEngine",
     "ExecutionStats",
     "GroupBy",
+    "Kernel",
     "SnapshotExecutor",
     "TaskError",
     "snapshot_map",

@@ -28,6 +28,16 @@ subsystem needs in production:
   :class:`ExecutionStats`, exposed by
   :class:`~repro.query.parallel.SnapshotExecutor` and printed by the bench
   harness.
+* **kernel fusion** — :meth:`ExecutionEngine.run_kernels` executes many
+  analyses in a *single* pass over the collection.  Each :class:`Kernel`
+  contributes a per-snapshot (or per-adjacent-pair) ``map_fn`` whose
+  partials are gathered in the worker while the snapshot is resident, plus
+  a parent-side ``reduce_fn`` folding the ordered partials into the final
+  result.  One fused task per snapshot evaluates every registered kernel
+  before the engine moves on, so a disk-backed collection is loaded once
+  per snapshot instead of once per analysis; kernels that share a
+  ``map_fn`` share one evaluation.  Per-kernel busy time and
+  parent-visible snapshot loads land in the run's :class:`ExecutionStats`.
 
 The chosen start method defaults to ``$REPRO_START_METHOD`` when set
 (``fork`` / ``spawn`` / ``forkserver`` / ``serial``), else ``fork`` where
@@ -54,6 +64,42 @@ START_METHOD_ENV = "REPRO_START_METHOD"
 
 #: Pseudo start method: run everything inline in the calling process.
 SERIAL = "serial"
+
+#: Execution modes used by the worker context (internal).
+_MODE_MAP = "map"
+_MODE_PAIRS = "pairs"
+_MODE_FUSED = "fused"
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One analysis expressed as a map/reduce pair over a snapshot series.
+
+    Parameters
+    ----------
+    name:
+        Unique key within one :meth:`ExecutionEngine.run_kernels` call; the
+        result dict and the per-kernel stats are keyed by it.
+    map_fn:
+        ``snapshot -> partial`` (or ``(prev, cur) -> partial`` when
+        ``pairwise``).  Runs in the workers, so it must be a module-level
+        callable for the spawn transport; kernels passing the *same*
+        function object share a single evaluation per snapshot, and the
+        shared partial must therefore not be mutated by any reducer.
+    reduce_fn:
+        ``list[partial] -> result`` over the partials in snapshot order
+        (pair kernels receive one partial per adjacent pair).  Runs in the
+        parent, so closures — e.g. over an analysis context — are fine.
+    pairwise:
+        When True, ``map_fn`` sees adjacent ``(prev, cur)`` snapshot pairs
+        riding the same sliding two-snapshot window the per-snapshot
+        kernels keep resident.
+    """
+
+    name: str
+    map_fn: Callable[..., Any]
+    reduce_fn: Callable[[list[Any]], Any]
+    pairwise: bool = False
 
 
 class TaskError(RuntimeError):
@@ -107,6 +153,14 @@ class ExecutionStats:
     downgrade_reason: str = ""
     #: per-task wall seconds, in completion order
     task_wall: list[float] = field(default_factory=list)
+    #: fused runs: per-kernel busy seconds in the map phase (worker-side)
+    kernel_map_seconds: dict[str, float] = field(default_factory=dict)
+    #: fused runs: per-kernel reduce seconds (parent-side)
+    kernel_reduce_seconds: dict[str, float] = field(default_factory=dict)
+    #: snapshot loads observed on the collection's ``loads`` counter in the
+    #: parent process during the run (0 for collections without a counter;
+    #: worker-side loads under fork/spawn are not visible here)
+    snapshot_loads: int = 0
 
     @property
     def utilization(self) -> float:
@@ -130,6 +184,22 @@ class ExecutionStats:
         if other.downgrade_reason:
             self.downgrade_reason = other.downgrade_reason
         self.task_wall.extend(other.task_wall)
+        for name, secs in other.kernel_map_seconds.items():
+            self.kernel_map_seconds[name] = (
+                self.kernel_map_seconds.get(name, 0.0) + secs
+            )
+        for name, secs in other.kernel_reduce_seconds.items():
+            self.kernel_reduce_seconds[name] = (
+                self.kernel_reduce_seconds.get(name, 0.0) + secs
+            )
+        self.snapshot_loads += other.snapshot_loads
+
+    def kernel_totals(self) -> dict[str, float]:
+        """Per-kernel busy seconds, map + reduce combined."""
+        totals = dict(self.kernel_map_seconds)
+        for name, secs in self.kernel_reduce_seconds.items():
+            totals[name] = totals.get(name, 0.0) + secs
+        return totals
 
     def summary(self) -> str:
         """One-paragraph human-readable digest (bench harness output)."""
@@ -144,6 +214,16 @@ class ExecutionStats:
             f"bytes touched {self.bytes_touched / 1e6:.1f}MB",
             f"retries {self.retries}  failures {self.failures}",
         ]
+        if self.snapshot_loads:
+            lines.append(f"snapshot loads (parent-visible): {self.snapshot_loads}")
+        if self.kernel_map_seconds or self.kernel_reduce_seconds:
+            totals = self.kernel_totals()
+            cells = []
+            for name in sorted(totals, key=totals.get, reverse=True):
+                m = self.kernel_map_seconds.get(name, 0.0)
+                r = self.kernel_reduce_seconds.get(name, 0.0)
+                cells.append(f"{name} {m * 1e3:.1f}+{r * 1e3:.1f}ms")
+            lines.append("per-kernel map+reduce: " + "  ".join(cells))
         if self.downgraded:
             lines.append(f"DOWNGRADED to serial: {self.downgrade_reason}")
         return "\n".join(lines)
@@ -193,7 +273,7 @@ class EngineConfig:
 class _WorkerContext:
     collection: Any
     fn: Callable[..., Any]
-    pairwise: bool
+    mode: str
     retries: int
     segment: Any = None  # keeps the shm mapping alive for the views
 
@@ -203,7 +283,7 @@ _WORKER: _WorkerContext | None = None
 
 def _init_worker(payload: tuple) -> None:
     global _WORKER
-    fn, pairwise, retries, transport, data = payload
+    fn, mode, retries, transport, data = payload
     segment = None
     if transport == "shm":
         collection, segment = shm_transport.attach_collection(data)
@@ -212,7 +292,7 @@ def _init_worker(payload: tuple) -> None:
     _WORKER = _WorkerContext(
         collection=collection,
         fn=fn,
-        pairwise=pairwise,
+        mode=mode,
         retries=retries,
         segment=segment,
     )
@@ -223,8 +303,49 @@ def _nbytes_of(snapshot: Any) -> int:
     return int(sizer()) if callable(sizer) else 0
 
 
+def _run_fused_task(ctx: _WorkerContext, index: int) -> tuple[Any, int]:
+    """All kernels' map phases against one resident snapshot (+ its
+    predecessor for pair kernels).
+
+    ``ctx.fn`` holds the shipped ``(name, map_fn, pairwise)`` triples.  The
+    previous snapshot is fetched *before* the current one so an LRU-cached
+    disk collection with a two-snapshot window serves the predecessor from
+    cache and loads each snapshot exactly once across the pass.  Kernels
+    sharing a map function share one evaluation; its cost is split evenly
+    among them so per-kernel times still sum to the pass's busy time.
+    """
+    prev = ctx.collection[index - 1] if index > 0 else None
+    cur = ctx.collection[index]
+    groups: dict[tuple[Callable[..., Any], bool], list[str]] = {}
+    for name, map_fn, pairwise in ctx.fn:
+        groups.setdefault((map_fn, pairwise), []).append(name)
+    partials: dict[str, Any] = {}
+    times: dict[str, float] = {}
+    nbytes = _nbytes_of(cur)
+    counted_prev = False
+    for (map_fn, pairwise), names in groups.items():
+        if pairwise:
+            if prev is None:
+                continue
+            if not counted_prev:
+                nbytes += _nbytes_of(prev)
+                counted_prev = True
+            t0 = time.perf_counter()
+            value = map_fn(prev, cur)
+        else:
+            t0 = time.perf_counter()
+            value = map_fn(cur)
+        share = (time.perf_counter() - t0) / len(names)
+        for name in names:
+            partials[name] = value
+            times[name] = share
+    return (partials, times), nbytes
+
+
 def _run_task(ctx: _WorkerContext, index: int) -> tuple[Any, int]:
-    if ctx.pairwise:
+    if ctx.mode == _MODE_FUSED:
+        return _run_fused_task(ctx, index)
+    if ctx.mode == _MODE_PAIRS:
         prev, cur = ctx.collection[index - 1], ctx.collection[index]
         return ctx.fn(prev, cur), _nbytes_of(prev) + _nbytes_of(cur)
     snap = ctx.collection[index]
@@ -274,13 +395,50 @@ class ExecutionEngine:
         self, collection: Any, fn: Callable[[Any], Any]
     ) -> tuple[list[Any], ExecutionStats]:
         """``[fn(s) for s in collection]`` with the configured policy + stats."""
-        return self._run(collection, fn, list(range(len(collection))), pairwise=False)
+        return self._run(collection, fn, list(range(len(collection))), _MODE_MAP)
 
     def map_pairs(
         self, collection: Any, fn: Callable[[Any, Any], Any]
     ) -> tuple[list[Any], ExecutionStats]:
         """``fn`` over adjacent snapshot pairs (weekly diffs), ordered."""
-        return self._run(collection, fn, list(range(1, len(collection))), pairwise=True)
+        return self._run(collection, fn, list(range(1, len(collection))), _MODE_PAIRS)
+
+    def run_kernels(
+        self, collection: Any, kernels: Sequence[Kernel]
+    ) -> tuple[dict[str, Any], ExecutionStats]:
+        """Run every kernel in a single fused pass over the collection.
+
+        Each snapshot is made resident once (loaded from disk once, exported
+        to shared memory once) and every kernel's map phase runs against it
+        before the pass moves on; pair kernels see the sliding
+        ``(prev, cur)`` window.  Returns ``{kernel.name: reduced result}``
+        plus the pass's :class:`ExecutionStats`, including per-kernel
+        map/reduce seconds and the parent-visible snapshot-load count.
+        """
+        kernels = list(kernels)
+        names = [k.name for k in kernels]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate kernel names: {sorted(duplicates)}")
+        n = len(collection)
+        if n == 0 or not kernels:
+            stats = ExecutionStats(runs=1)
+            return {k.name: k.reduce_fn([]) for k in kernels}, stats
+        specs = tuple((k.name, k.map_fn, k.pairwise) for k in kernels)
+        rows, stats = self._run(collection, specs, list(range(n)), _MODE_FUSED)
+        for _, times in rows:
+            for name, secs in times.items():
+                stats.kernel_map_seconds[name] = (
+                    stats.kernel_map_seconds.get(name, 0.0) + secs
+                )
+        results: dict[str, Any] = {}
+        for kernel in kernels:
+            start = 1 if kernel.pairwise else 0
+            partials = [rows[i][0][kernel.name] for i in range(start, n)]
+            t0 = time.perf_counter()
+            results[kernel.name] = kernel.reduce_fn(partials)
+            stats.kernel_reduce_seconds[kernel.name] = time.perf_counter() - t0
+        return results, stats
 
     # -- policy resolution -------------------------------------------------
 
@@ -312,9 +470,28 @@ class ExecutionEngine:
     def _run(
         self,
         collection: Any,
-        fn: Callable[..., Any],
+        fn: Callable[..., Any] | tuple,
         indices: list[int],
-        pairwise: bool,
+        mode: str,
+    ) -> tuple[list[Any], ExecutionStats]:
+        """Dispatch with parent-visible snapshot-load accounting."""
+        loads_before = getattr(collection, "loads", None)
+        try:
+            results, stats = self._dispatch(collection, fn, indices, mode)
+        except TaskError as err:
+            if err.stats is not None and loads_before is not None:
+                err.stats.snapshot_loads += int(collection.loads) - loads_before
+            raise
+        if loads_before is not None:
+            stats.snapshot_loads += int(collection.loads) - loads_before
+        return results, stats
+
+    def _dispatch(
+        self,
+        collection: Any,
+        fn: Callable[..., Any] | tuple,
+        indices: list[int],
+        mode: str,
     ) -> tuple[list[Any], ExecutionStats]:
         stats = ExecutionStats(runs=1)
         n = len(indices)
@@ -323,17 +500,17 @@ class ExecutionEngine:
         stats.n_tasks = n
         processes = self._resolve_processes(n)
         if processes <= 1:
-            return self._run_serial(collection, fn, indices, pairwise, stats)
+            return self._run_serial(collection, fn, indices, mode, stats)
         method = self._resolve_start_method()
         if method == SERIAL:
             # explicit policy choice (config or $REPRO_START_METHOD=serial)
-            return self._run_serial(collection, fn, indices, pairwise, stats)
+            return self._run_serial(collection, fn, indices, mode, stats)
         if mp.current_process().daemon:
             # nested map inside a pool worker: daemonic processes cannot
             # have children, run inline (recorded, not a parent-side warning)
             stats.downgraded = True
             stats.downgrade_reason = "nested map inside a daemonic worker"
-            return self._run_serial(collection, fn, indices, pairwise, stats)
+            return self._run_serial(collection, fn, indices, mode, stats)
 
         export: shm_transport.CollectionExport | None = None
         if method == "fork":
@@ -342,7 +519,7 @@ class ExecutionEngine:
             reason = _unpicklable_reason((fn,))
             if reason is not None:
                 return self._downgrade(
-                    collection, fn, indices, pairwise, stats, method, reason
+                    collection, fn, indices, mode, stats, method, reason
                 )
             export = shm_transport.export_collection(collection)
             transport, data = "shm", export.handle
@@ -350,7 +527,7 @@ class ExecutionEngine:
             reason = _unpicklable_reason((fn, collection))
             if reason is not None:
                 return self._downgrade(
-                    collection, fn, indices, pairwise, stats, method, reason
+                    collection, fn, indices, mode, stats, method, reason
                 )
             transport, data = "pickle", collection
 
@@ -359,7 +536,7 @@ class ExecutionEngine:
         stats.transport = transport
         chunk_size = self.config.chunk_size or max(1, -(-n // (processes * 4)))
         chunks = [indices[i : i + chunk_size] for i in range(0, n, chunk_size)]
-        payload = (fn, pairwise, self.config.retries, transport, data)
+        payload = (fn, mode, self.config.retries, transport, data)
         results: dict[int, Any] = {}
         failure: tuple[int, str] | None = None
         t0 = time.perf_counter()
@@ -416,9 +593,9 @@ class ExecutionEngine:
     def _downgrade(
         self,
         collection: Any,
-        fn: Callable[..., Any],
+        fn: Callable[..., Any] | tuple,
         indices: list[int],
-        pairwise: bool,
+        mode: str,
         stats: ExecutionStats,
         method: str,
         reason: str,
@@ -430,18 +607,18 @@ class ExecutionEngine:
         warnings.warn(message, RuntimeWarning, stacklevel=4)
         stats.downgraded = True
         stats.downgrade_reason = reason
-        return self._run_serial(collection, fn, indices, pairwise, stats)
+        return self._run_serial(collection, fn, indices, mode, stats)
 
     def _run_serial(
         self,
         collection: Any,
-        fn: Callable[..., Any],
+        fn: Callable[..., Any] | tuple,
         indices: list[int],
-        pairwise: bool,
+        mode: str,
         stats: ExecutionStats,
     ) -> tuple[list[Any], ExecutionStats]:
         ctx = _WorkerContext(
-            collection=collection, fn=fn, pairwise=pairwise, retries=self.config.retries
+            collection=collection, fn=fn, mode=mode, retries=self.config.retries
         )
         results: list[Any] = []
         t0 = time.perf_counter()

@@ -18,13 +18,14 @@ silent.  Set ``$REPRO_START_METHOD`` to pin the start method suite-wide
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from typing import Any, TypeVar
 
 from repro.query.engine import (
     EngineConfig,
     ExecutionEngine,
     ExecutionStats,
+    Kernel,
     TaskError,
 )
 from repro.scan.snapshot import Snapshot, SnapshotCollection
@@ -32,6 +33,7 @@ from repro.scan.snapshot import Snapshot, SnapshotCollection
 __all__ = [
     "EngineConfig",
     "ExecutionStats",
+    "Kernel",
     "SnapshotExecutor",
     "TaskError",
     "snapshot_map",
@@ -121,3 +123,23 @@ class SnapshotExecutor:
     ) -> list[T]:
         """Apply ``fn`` to adjacent snapshot pairs (weekly diffs), ordered."""
         return self._collect(lambda: self._engine.map_pairs(collection, fn))
+
+    def run_kernels(
+        self, collection: SnapshotCollection, kernels: Sequence[Kernel]
+    ) -> dict[str, Any]:
+        """Run every kernel against each snapshot in one fused pass.
+
+        Each snapshot is loaded (and, under ``spawn``, exported to shared
+        memory) exactly once; all kernel map functions evaluate against the
+        resident snapshot before the pass moves on.  Returns
+        ``{kernel.name: reduce result}``; per-kernel timings land in
+        ``last_stats``.
+        """
+        try:
+            results, stats = self._engine.run_kernels(collection, kernels)
+        except TaskError as err:
+            if err.stats is not None:
+                self._record(err.stats)
+            raise
+        self._record(stats)
+        return results

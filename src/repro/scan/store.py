@@ -16,12 +16,22 @@ import json
 from collections import OrderedDict
 from collections.abc import Iterator
 from pathlib import Path
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.scan.columnar import MAGIC, read_columnar
 from repro.scan.paths import PathTable
 from repro.scan.snapshot import Snapshot
+
+
+class CacheInfo(NamedTuple):
+    """LRU cache counters, ``functools.lru_cache``-style."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
 
 
 def read_columnar_header(path: str | Path) -> dict:
@@ -71,6 +81,26 @@ class DiskSnapshotCollection:
         #: observability: how many loads hit the disk vs the cache
         self.loads = 0
         self.hits = 0
+
+    # -- cache observability -------------------------------------------------
+
+    @property
+    def misses(self) -> int:
+        """Disk loads — every cache miss is exactly one columnar read."""
+        return self.loads
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters in ``functools.lru_cache`` style.
+
+        The fused-pass tests assert ``misses == len(collection)`` — each
+        snapshot read from disk exactly once across a full ``analyze()``.
+        """
+        return CacheInfo(
+            hits=self.hits,
+            misses=self.loads,
+            maxsize=self._cache_size,
+            currsize=len(self._cache),
+        )
 
     # -- collection interface ------------------------------------------------
 

@@ -89,6 +89,58 @@ def test_analyze_archive_matches_memory(tmp_path):
     assert mem_rows == disk_rows
 
 
+def test_archive_stats_reduction_edge_cases():
+    import math
+
+    from repro.core.pipeline import ArchiveStats
+
+    assert ArchiveStats(psv_bytes=40, columnar_bytes=10).reduction == 4.0
+    # empty columnar output must not report "no reduction" (the old 0.0 bug)
+    assert ArchiveStats(psv_bytes=40, columnar_bytes=0).reduction == float("inf")
+    assert math.isnan(ArchiveStats(psv_bytes=0, columnar_bytes=0).reduction)
+
+
+def test_analyze_selected_subset(pipeline_and_report):
+    pipeline, _ = pipeline_and_report
+    report = pipeline.analyze(analyses="growth,ages")
+    assert report.fig15 is not None and report.fig16 is not None
+    assert report.table1 is None and report.fig17 is None
+    assert "FIGURE 15" in report.text and "FIGURE 16" in report.text
+    assert "TABLE 1" not in report.text
+
+
+def test_analyze_unknown_analysis_raises(pipeline_and_report):
+    pipeline, _ = pipeline_and_report
+    with pytest.raises(ValueError, match="unknown analyses"):
+        pipeline.analyze(analyses="growht")
+
+
+def test_cli_analyses_selection(tmp_path, capsys):
+    from repro.core.cli import main
+
+    rc = main(
+        ["--scale", "1.5e-6", "--weeks", "5", "--seed", "31",
+         "--analyses", "growth", "--engine-stats"]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "FIGURE 15" in captured.out
+    assert "TABLE 1" not in captured.out
+    assert "execution engine" in captured.err or "runs" in captured.err
+
+
+def test_export_all_skips_uncomputed_sections(pipeline_and_report, tmp_path):
+    from repro.analysis.export import export_all
+
+    pipeline, full_report = pipeline_and_report
+    partial = pipeline.analyze(analyses="growth")
+    written = export_all(partial, tmp_path)
+    names = {p.name for p in written}
+    assert names == {"fig15_growth.csv"}
+    full = export_all(full_report, tmp_path)
+    assert len(full) == 9
+
+
 def test_cli_from_archive(tmp_path, capsys):
     from repro.core.cli import main
 

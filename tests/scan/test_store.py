@@ -117,6 +117,62 @@ def test_bad_cache_size(archived):
         DiskSnapshotCollection(directory, cache_size=0)
 
 
+def test_cache_info_counters(archived):
+    directory, _ = archived
+    disk = DiskSnapshotCollection(directory, cache_size=2)
+    info = disk.cache_info()
+    assert info == (0, 0, 2, 0)  # hits, misses, maxsize, currsize
+    disk[0]
+    disk[0]
+    disk[1]
+    info = disk.cache_info()
+    assert info.hits == 1 and info.misses == 2
+    assert info.currsize == 2 and info.maxsize == 2
+    assert disk.misses == disk.loads == 2
+
+
+def test_lru_eviction_is_recency_ordered(archived):
+    """A hit refreshes recency: the *least recently used* entry is evicted,
+    not the oldest-loaded one."""
+    directory, _ = archived
+    disk = DiskSnapshotCollection(directory, cache_size=2)
+    disk[0]
+    disk[1]
+    disk[0]  # hit; 1 is now least recently used
+    disk[2]  # evicts 1, keeps 0
+    assert disk.hits == 1
+    disk[0]  # still resident
+    assert disk.hits == 2 and disk.loads == 3
+    disk[1]  # was evicted: must reload
+    assert disk.loads == 4
+
+
+def test_pairs_loads_each_snapshot_once(archived):
+    """The sliding two-snapshot window serves every predecessor from cache."""
+    directory, _ = archived
+    disk = DiskSnapshotCollection(directory, cache_size=2)
+    n_pairs = sum(1 for _ in disk.pairs())
+    assert n_pairs == len(disk) - 1
+    info = disk.cache_info()
+    assert info.misses == len(disk)
+    # every pair after the first finds its predecessor resident
+    assert info.hits == len(disk) - 2
+
+
+def test_subset_has_fresh_counters_and_same_eviction(archived):
+    directory, _ = archived
+    disk = DiskSnapshotCollection(directory, cache_size=2)
+    disk[0]
+    sub = disk.subset([0, 1, 2])
+    assert sub.cache_info() == (0, 0, 2, 0)
+    for _ in sub.pairs():
+        pass
+    assert sub.cache_info().misses == 3
+    assert sub.cache_info().hits == 1
+    # parent counters untouched by the subset's traffic
+    assert disk.cache_info().misses == 1
+
+
 def test_disk_collection_parallel_executor(archived):
     """The fork-based executor works over the disk-backed collection."""
     from repro.query.parallel import SnapshotExecutor
