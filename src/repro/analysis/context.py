@@ -25,6 +25,14 @@ class AnalysisContext:
     collection: SnapshotCollection
     population: Population
     executor: SnapshotExecutor = field(default_factory=lambda: SnapshotExecutor(1))
+    #: optional checkpoint path (set by ``analyze_archive``'s resumable
+    #: mode): consumed one-shot by the first kernel-bearing pass, so only
+    #: the fused pass — which runs every kernel in one call — should set it
+    checkpoint: object | None = None
+    #: extra identity folded into the checkpoint fingerprint (e.g. the
+    #: archive's config fingerprint); a journal written under a different
+    #: fingerprint is discarded instead of trusted
+    checkpoint_meta: dict = field(default_factory=dict)
 
     # -- kernel execution ------------------------------------------------------
 
@@ -33,9 +41,23 @@ class AnalysisContext:
 
         Every analysis routes its snapshot scans through here, so a single
         executor policy (and its stats) covers both the legacy one-kernel
-        wrappers and the registry's fully fused pass.
+        wrappers and the registry's fully fused pass.  If a ``checkpoint``
+        path is attached, the first non-empty pass consumes it (one-shot)
+        and becomes resumable: completed snapshots are journaled durably
+        and restored on a rerun instead of re-executed.
         """
-        return self.executor.run_kernels(self.collection, kernels)
+        journal = None
+        if kernels and self.checkpoint is not None:
+            from repro.query.journal import KernelJournal
+
+            path, self.checkpoint = self.checkpoint, None
+            journal = KernelJournal(
+                path,
+                kernels=[k.name for k in kernels],
+                labels=list(self.collection.labels),
+                fingerprint=self.checkpoint_meta,
+            )
+        return self.executor.run_kernels(self.collection, kernels, journal=journal)
 
     # -- execution observability ----------------------------------------------
 

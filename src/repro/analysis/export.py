@@ -11,12 +11,15 @@ import csv
 from pathlib import Path
 
 
+from repro.core.durable import atomic_write
 from repro.core.pipeline import PaperReport
 from repro.stats.histogram import log_binned_histogram
 
 
 def _write_rows(path: Path, header: list[str], rows) -> None:
-    with open(path, "w", newline="") as fh:
+    # atomic (tmp + fsync + rename): a crash mid-export never leaves a
+    # half-written CSV that a downstream plotting job would ingest
+    with atomic_write(path, "w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(header)
         writer.writerows(rows)

@@ -3,8 +3,19 @@
 This is the reproduction's "primary contribution" layer — the equivalent of
 the paper's Figure 4 data path plus the full §4 analysis pass, as one
 programmable object and one CLI (``repro-pipeline``).
+
+The convenience re-exports resolve lazily (PEP 562): leaf modules such as
+:mod:`repro.core.durable` are imported by the scan layer, which the
+pipeline itself builds on — an eager ``from .pipeline import ...`` here
+would make that a circular import.
 """
 
-from repro.core.pipeline import PaperReport, ReproPipeline, run_paper_report
-
 __all__ = ["PaperReport", "ReproPipeline", "run_paper_report"]
+
+
+def __getattr__(name):
+    if name in __all__:
+        from repro.core import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

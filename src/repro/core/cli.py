@@ -55,7 +55,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--from-archive",
         default=None,
         help="skip simulation: analyze archived .rpq snapshots out-of-core "
-        "(seed must match the archive's producing run)",
+        "(the config fingerprint is validated against the archive's "
+        "manifest.json)",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=("raise", "skip", "quarantine"),
+        default="raise",
+        help="degradation policy for corrupt .rpq files under "
+        "--from-archive: raise a typed error (default), skip them, or "
+        "move them to the archive's quarantine/ subdirectory; non-raise "
+        "policies deep-verify every file and analyze the surviving window",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="journal completed snapshots here during --from-archive "
+        "analysis; a killed run re-invoked with the same path resumes at "
+        "the first unprocessed snapshot (deleted after a successful run)",
+    )
+    parser.add_argument(
+        "--allow-config-mismatch",
+        action="store_true",
+        help="downgrade an archive-manifest config mismatch (seed, "
+        "n_users, purge window) from a hard error to a warning",
     )
     parser.add_argument(
         "--export-dir",
@@ -121,12 +145,20 @@ def main(argv: list[str] | None = None) -> int:
             burstiness_min_files=args.burstiness_min_files,
             analyses=args.analyses,
             fused=not args.legacy_passes,
+            on_error=args.on_error,
+            checkpoint=args.checkpoint,
+            allow_config_mismatch=args.allow_config_mismatch,
         )
         print(
             f"# analyzed {pipeline.simulation.n_snapshots} archived "
             f"snapshots out-of-core ({time.time() - t0:.1f}s)",
             file=sys.stderr,
         )
+        health = pipeline.context.collection.health_report()
+        if health.degraded:
+            print("# ARCHIVE DEGRADED:", file=sys.stderr)
+            for line in health.summary().splitlines():
+                print(f"#   {line}", file=sys.stderr)
     else:
         pipeline = ReproPipeline(
             config=config,

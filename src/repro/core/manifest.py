@@ -1,0 +1,115 @@
+"""Archive manifest: a config fingerprint written at ``archive()`` time.
+
+``analyze_archive()`` regenerates the population deterministically from the
+caller's :class:`~repro.synth.driver.SimulationConfig`; if that seed (or
+``n_users``, or the purge window an age analysis is judged against) differs
+from the one that produced the archive, every per-domain join is silently
+wrong.  The manifest turns that silent wrong-results mode into a typed
+:class:`~repro.scan.errors.ArchiveConfigError` — with an explicit override
+for intentional mismatches (e.g. re-judging ages against a different purge
+window on purpose).
+
+The manifest is JSON, written atomically next to the snapshots.  Archives
+produced before manifests existed simply have none; validation then warns
+and proceeds (there is nothing to validate against).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from pathlib import Path
+
+from repro.core.durable import atomic_write
+from repro.scan.errors import ArchiveConfigError
+
+MANIFEST_NAME = "manifest.json"
+FORMAT = "repro-archive/1"
+
+#: Config fields whose mismatch makes analysis results silently wrong.
+FINGERPRINT_FIELDS = ("seed", "n_users", "purge_window_days")
+
+
+def config_fingerprint(config) -> dict:
+    """The identity-defining subset of a SimulationConfig, as plain JSON."""
+    return {name: getattr(config, name) for name in FINGERPRINT_FIELDS}
+
+
+def write_manifest(
+    directory: str | Path, config, snapshots: list[dict] | None = None
+) -> Path:
+    """Write (atomically) the archive manifest; returns its path.
+
+    ``snapshots`` is an optional list of ``{"label", "file", "rows"}``
+    records for operator-facing inventory; the fingerprint is what
+    validation consumes.
+    """
+    directory = Path(directory)
+    manifest = {
+        "format": FORMAT,
+        "config": config_fingerprint(config),
+        "scale": config.scale,
+        "weeks": config.weeks,
+        "snapshots": snapshots or [],
+        "created_unix": int(time.time()),
+    }
+    path = directory / MANIFEST_NAME
+    with atomic_write(path, "w") as fh:
+        json.dump(manifest, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def load_manifest(directory: str | Path) -> dict | None:
+    """The parsed manifest, or None when the archive predates manifests."""
+    path = Path(directory) / MANIFEST_NAME
+    if not path.exists():
+        return None
+    try:
+        with open(path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise ArchiveConfigError(
+            path, {"manifest": (f"unreadable ({exc})", "valid JSON")}
+        ) from exc
+    if not isinstance(manifest, dict) or "config" not in manifest:
+        raise ArchiveConfigError(
+            path, {"manifest": ("missing 'config' fingerprint", "present")}
+        )
+    return manifest
+
+
+def validate_manifest(
+    directory: str | Path, config, allow_mismatch: bool = False
+) -> dict | None:
+    """Check the caller's config against the archive's fingerprint.
+
+    Raises :class:`ArchiveConfigError` on mismatch unless
+    ``allow_mismatch`` (then a RuntimeWarning is emitted instead).  A
+    missing manifest warns and returns None — old archives keep working,
+    but without protection.
+    """
+    manifest = load_manifest(directory)
+    if manifest is None:
+        warnings.warn(
+            f"archive {directory} has no {MANIFEST_NAME}: cannot verify the "
+            "config fingerprint (seed/n_users/purge window) — results are "
+            "wrong if they differ from the producing run",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    recorded = manifest["config"]
+    requested = config_fingerprint(config)
+    mismatches = {
+        key: (recorded.get(key), requested[key])
+        for key in FINGERPRINT_FIELDS
+        if recorded.get(key) != requested[key]
+    }
+    if mismatches:
+        err = ArchiveConfigError(Path(directory) / MANIFEST_NAME, mismatches)
+        if not allow_mismatch:
+            raise err
+        warnings.warn(str(err), RuntimeWarning, stacklevel=3)
+    return manifest

@@ -15,6 +15,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -127,9 +128,17 @@ class ReproPipeline:
         return self.simulation
 
     def archive(self, directory: str | Path, max_snapshots: int | None = None) -> ArchiveStats:
-        """Write PSV + columnar snapshot files; returns footprint stats."""
+        """Write PSV + columnar snapshot files; returns footprint stats.
+
+        Every file (snapshots and the ``manifest.json`` config fingerprint)
+        is written atomically — tmp + fsync + rename — so a crash mid-
+        archive leaves only complete files plus, at worst, one stray temp
+        file, never a torn ``.rpq`` that poisons the next analysis run.
+        """
         if self.simulation is None:
             raise RuntimeError("simulate() first")
+        from repro.core.manifest import write_manifest
+
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         psv_total = 0
@@ -137,12 +146,17 @@ class ReproPipeline:
         snaps = list(self.simulation.collection)
         if max_snapshots is not None:
             snaps = snaps[:max_snapshots]
+        records = []
         for snap in snaps:
             psv_path = directory / f"{snap.label}.psv"
             psv_total += write_psv(snap, psv_path, ost_count=self.config.ost_count)
             col_path = directory / f"{snap.label}.rpq"
             write_columnar(snap, col_path)
             col_total += col_path.stat().st_size
+            records.append(
+                {"label": snap.label, "file": col_path.name, "rows": len(snap)}
+            )
+        write_manifest(directory, self.config, snapshots=records)
         return ArchiveStats(psv_bytes=psv_total, columnar_bytes=col_total)
 
     def analyze(
@@ -183,30 +197,70 @@ def analyze_archive(
     burstiness_min_files: int = 10,
     analyses: list[str] | str | None = None,
     fused: bool = True,
+    on_error: str = "raise",
+    verify: str | None = None,
+    checkpoint: str | Path | None = None,
+    allow_config_mismatch: bool = False,
 ) -> tuple[ReproPipeline, PaperReport]:
     """Out-of-core analysis: run every §4 analysis from archived snapshots.
 
     Loads ``.rpq`` files lazily (two resident snapshots at a time), which is
     how a multi-terabyte window — the paper's situation — stays analyzable
     on one node.  The population is regenerated deterministically from the
-    config's seed (it must match the seed the archive was produced with; at
-    a real center this is where the accounts database plugs in instead).
+    config's seed; the archive's ``manifest.json`` fingerprint is validated
+    against it, so a seed mismatch raises a typed
+    :class:`~repro.scan.errors.ArchiveConfigError` instead of silently
+    producing wrong per-domain joins (``allow_config_mismatch=True``
+    downgrades that to a warning for intentional mismatches).
+
+    Failure tolerance:
+
+    * ``on_error`` — degradation policy for corrupt ``.rpq`` files
+      (``"raise"`` / ``"skip"`` / ``"quarantine"``, see
+      :class:`~repro.scan.store.DiskSnapshotCollection`); with a
+      non-raise policy the fused pass runs over the surviving window and
+      the collection's :class:`~repro.scan.store.ArchiveHealthReport` is
+      surfaced with a loud warning;
+    * ``verify`` — ``"header"`` or ``"deep"``; defaults to ``"deep"``
+      whenever a non-raise policy is chosen (a skipped window must be
+      *known* good, so every column block is checked up front) and
+      ``"header"`` otherwise;
+    * ``checkpoint`` — path of a resume journal: completed snapshots are
+      checkpointed durably, a killed run resumes at the first unprocessed
+      snapshot, and the journal is deleted after a successful run.
+      Requires ``fused=True`` (the legacy multi-pass mode has no single
+      pass to journal).
     """
     from repro.analysis.context import AnalysisContext
+    from repro.core.manifest import config_fingerprint, validate_manifest
     from repro.scan.store import DiskSnapshotCollection
     from repro.synth.population import generate_population
 
     config = config if config is not None else SimulationConfig()
+    if checkpoint is not None and not fused:
+        raise ValueError("checkpoint/resume requires the fused pass (fused=True)")
+    validate_manifest(directory, config, allow_mismatch=allow_config_mismatch)
     pipeline = ReproPipeline(
         config=config, executor=executor,
         burstiness_min_files=burstiness_min_files,
     )
-    collection = DiskSnapshotCollection(directory)
+    if verify is None:
+        verify = "deep" if on_error != "raise" else "header"
+    collection = DiskSnapshotCollection(directory, on_error=on_error, verify=verify)
+    if collection.health.degraded:
+        warnings.warn(
+            "analyzing a DEGRADED archive — report covers the surviving "
+            f"window only:\n{collection.health.summary()}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     population = generate_population(seed=config.seed, n_users=config.n_users)
     pipeline.context = AnalysisContext(
         collection=collection,  # type: ignore[arg-type]
         population=population,
         executor=pipeline.executor,
+        checkpoint=Path(checkpoint) if checkpoint is not None else None,
+        checkpoint_meta={"config": config_fingerprint(config)},
     )
 
     # a minimal stand-in simulation record (no scanner history: Figure 15's
@@ -222,7 +276,11 @@ def analyze_archive(
         purge_reports=[],
         week_stats=[],
     )
-    return pipeline, pipeline.analyze(analyses=analyses, fused=fused)
+    report = pipeline.analyze(analyses=analyses, fused=fused)
+    if checkpoint is not None:
+        # the run completed: the journal has served its purpose
+        Path(checkpoint).unlink(missing_ok=True)
+    return pipeline, report
 
 
 def run_paper_report(

@@ -149,6 +149,8 @@ class ExecutionStats:
     bytes_touched: int = 0
     retries: int = 0
     failures: int = 0
+    #: fused runs: tasks restored from a checkpoint journal instead of run
+    restored_tasks: int = 0
     downgraded: bool = False
     downgrade_reason: str = ""
     #: per-task wall seconds, in completion order
@@ -180,6 +182,7 @@ class ExecutionStats:
         self.bytes_touched += other.bytes_touched
         self.retries += other.retries
         self.failures += other.failures
+        self.restored_tasks += other.restored_tasks
         self.downgraded = self.downgraded or other.downgraded
         if other.downgrade_reason:
             self.downgrade_reason = other.downgrade_reason
@@ -214,6 +217,10 @@ class ExecutionStats:
             f"bytes touched {self.bytes_touched / 1e6:.1f}MB",
             f"retries {self.retries}  failures {self.failures}",
         ]
+        if self.restored_tasks:
+            lines.append(
+                f"restored from checkpoint: {self.restored_tasks} tasks"
+            )
         if self.snapshot_loads:
             lines.append(f"snapshot loads (parent-visible): {self.snapshot_loads}")
         if self.kernel_map_seconds or self.kernel_reduce_seconds:
@@ -246,6 +253,12 @@ class EngineConfig:
         Tasks per scheduling unit; None targets ~4 chunks per worker.
     retries:
         Per-task in-worker retry count for raising tasks.
+    retry_backoff:
+        Base seconds for exponential backoff between in-worker retries
+        (sleep ``retry_backoff * 2**attempt``); 0 retries immediately.
+        Transient-I/O failures (EIO under load) are the target: an
+        immediate retry usually hits the same condition, a backed-off one
+        usually clears it.
     task_timeout:
         Watchdog seconds to wait for the *next* chunk result before
         declaring the pool dead (catches hard-crashed workers, which a
@@ -259,6 +272,7 @@ class EngineConfig:
     start_method: str | None = None
     chunk_size: int | None = None
     retries: int = 0
+    retry_backoff: float = 0.0
     task_timeout: float | None = 300.0
 
 
@@ -275,6 +289,7 @@ class _WorkerContext:
     fn: Callable[..., Any]
     mode: str
     retries: int
+    retry_backoff: float = 0.0
     segment: Any = None  # keeps the shm mapping alive for the views
 
 
@@ -283,7 +298,7 @@ _WORKER: _WorkerContext | None = None
 
 def _init_worker(payload: tuple) -> None:
     global _WORKER
-    fn, mode, retries, transport, data = payload
+    fn, mode, retries, retry_backoff, transport, data = payload
     segment = None
     if transport == "shm":
         collection, segment = shm_transport.attach_collection(data)
@@ -294,6 +309,7 @@ def _init_worker(payload: tuple) -> None:
         fn=fn,
         mode=mode,
         retries=retries,
+        retry_backoff=retry_backoff,
         segment=segment,
     )
 
@@ -366,6 +382,8 @@ def _run_chunk(indices: Sequence[int]) -> list[tuple]:
             except Exception:
                 if used < ctx.retries:
                     used += 1
+                    if ctx.retry_backoff > 0:
+                        time.sleep(ctx.retry_backoff * (2 ** (used - 1)))
                     continue
                 out.append(
                     (index, False, traceback.format_exc(), time.perf_counter() - t0, 0, used)
@@ -404,7 +422,10 @@ class ExecutionEngine:
         return self._run(collection, fn, list(range(1, len(collection))), _MODE_PAIRS)
 
     def run_kernels(
-        self, collection: Any, kernels: Sequence[Kernel]
+        self,
+        collection: Any,
+        kernels: Sequence[Kernel],
+        journal: Any = None,
     ) -> tuple[dict[str, Any], ExecutionStats]:
         """Run every kernel in a single fused pass over the collection.
 
@@ -414,6 +435,14 @@ class ExecutionEngine:
         ``(prev, cur)`` window.  Returns ``{kernel.name: reduced result}``
         plus the pass's :class:`ExecutionStats`, including per-kernel
         map/reduce seconds and the parent-visible snapshot-load count.
+
+        ``journal`` (a :class:`~repro.query.journal.KernelJournal`) makes
+        the pass resumable: completed snapshot rows are appended durably as
+        they arrive, and a rerun restores them instead of re-executing —
+        only the first unprocessed snapshot onward runs.  Before restored
+        rows are trusted, the collection's path interning is replayed in
+        index order (``warm_paths``) so path ids inside restored partials
+        stay consistent with live loads.
         """
         kernels = list(kernels)
         names = [k.name for k in kernels]
@@ -425,8 +454,27 @@ class ExecutionEngine:
             stats = ExecutionStats(runs=1)
             return {k.name: k.reduce_fn([]) for k in kernels}, stats
         specs = tuple((k.name, k.map_fn, k.pairwise) for k in kernels)
-        rows, stats = self._run(collection, specs, list(range(n)), _MODE_FUSED)
-        for _, times in rows:
+        restored: dict[int, Any] = {}
+        if journal is not None:
+            restored = journal.load()
+            warm = getattr(collection, "warm_paths", None)
+            if restored and callable(warm):
+                for index in sorted(restored):
+                    warm(index)
+        remaining = [i for i in range(n) if i not in restored]
+        on_result = journal.append if journal is not None else None
+        try:
+            fresh, stats = self._run(
+                collection, specs, remaining, _MODE_FUSED, on_result=on_result
+            )
+        finally:
+            if journal is not None:
+                journal.close()
+        rows: dict[int, Any] = dict(restored)
+        rows.update(zip(remaining, fresh))
+        stats.restored_tasks = len(restored)
+        for i in remaining:
+            _, times = rows[i]
             for name, secs in times.items():
                 stats.kernel_map_seconds[name] = (
                     stats.kernel_map_seconds.get(name, 0.0) + secs
@@ -473,11 +521,18 @@ class ExecutionEngine:
         fn: Callable[..., Any] | tuple,
         indices: list[int],
         mode: str,
+        on_result: Callable[[int, Any], None] | None = None,
     ) -> tuple[list[Any], ExecutionStats]:
-        """Dispatch with parent-visible snapshot-load accounting."""
+        """Dispatch with parent-visible snapshot-load accounting.
+
+        ``on_result(index, value)`` fires in the *parent* as each task's
+        result arrives (completion order) — the checkpoint journal's hook.
+        """
         loads_before = getattr(collection, "loads", None)
         try:
-            results, stats = self._dispatch(collection, fn, indices, mode)
+            results, stats = self._dispatch(
+                collection, fn, indices, mode, on_result
+            )
         except TaskError as err:
             if err.stats is not None and loads_before is not None:
                 err.stats.snapshot_loads += int(collection.loads) - loads_before
@@ -492,6 +547,7 @@ class ExecutionEngine:
         fn: Callable[..., Any] | tuple,
         indices: list[int],
         mode: str,
+        on_result: Callable[[int, Any], None] | None = None,
     ) -> tuple[list[Any], ExecutionStats]:
         stats = ExecutionStats(runs=1)
         n = len(indices)
@@ -500,17 +556,17 @@ class ExecutionEngine:
         stats.n_tasks = n
         processes = self._resolve_processes(n)
         if processes <= 1:
-            return self._run_serial(collection, fn, indices, mode, stats)
+            return self._run_serial(collection, fn, indices, mode, stats, on_result)
         method = self._resolve_start_method()
         if method == SERIAL:
             # explicit policy choice (config or $REPRO_START_METHOD=serial)
-            return self._run_serial(collection, fn, indices, mode, stats)
+            return self._run_serial(collection, fn, indices, mode, stats, on_result)
         if mp.current_process().daemon:
             # nested map inside a pool worker: daemonic processes cannot
             # have children, run inline (recorded, not a parent-side warning)
             stats.downgraded = True
             stats.downgrade_reason = "nested map inside a daemonic worker"
-            return self._run_serial(collection, fn, indices, mode, stats)
+            return self._run_serial(collection, fn, indices, mode, stats, on_result)
 
         export: shm_transport.CollectionExport | None = None
         if method == "fork":
@@ -519,7 +575,7 @@ class ExecutionEngine:
             reason = _unpicklable_reason((fn,))
             if reason is not None:
                 return self._downgrade(
-                    collection, fn, indices, mode, stats, method, reason
+                    collection, fn, indices, mode, stats, method, reason, on_result
                 )
             export = shm_transport.export_collection(collection)
             transport, data = "shm", export.handle
@@ -527,7 +583,7 @@ class ExecutionEngine:
             reason = _unpicklable_reason((fn, collection))
             if reason is not None:
                 return self._downgrade(
-                    collection, fn, indices, mode, stats, method, reason
+                    collection, fn, indices, mode, stats, method, reason, on_result
                 )
             transport, data = "pickle", collection
 
@@ -536,7 +592,10 @@ class ExecutionEngine:
         stats.transport = transport
         chunk_size = self.config.chunk_size or max(1, -(-n // (processes * 4)))
         chunks = [indices[i : i + chunk_size] for i in range(0, n, chunk_size)]
-        payload = (fn, mode, self.config.retries, transport, data)
+        payload = (
+            fn, mode, self.config.retries, self.config.retry_backoff,
+            transport, data,
+        )
         results: dict[int, Any] = {}
         failure: tuple[int, str] | None = None
         t0 = time.perf_counter()
@@ -571,6 +630,8 @@ class ExecutionEngine:
                         if ok:
                             stats.bytes_touched += nbytes
                             results[index] = value
+                            if on_result is not None:
+                                on_result(index, value)
                         else:
                             stats.failures += 1
                             if failure is None:
@@ -599,6 +660,7 @@ class ExecutionEngine:
         stats: ExecutionStats,
         method: str,
         reason: str,
+        on_result: Callable[[int, Any], None] | None = None,
     ) -> tuple[list[Any], ExecutionStats]:
         """Explicit (warned + recorded) fallback to serial execution."""
         message = (
@@ -607,7 +669,7 @@ class ExecutionEngine:
         warnings.warn(message, RuntimeWarning, stacklevel=4)
         stats.downgraded = True
         stats.downgrade_reason = reason
-        return self._run_serial(collection, fn, indices, mode, stats)
+        return self._run_serial(collection, fn, indices, mode, stats, on_result)
 
     def _run_serial(
         self,
@@ -616,9 +678,14 @@ class ExecutionEngine:
         indices: list[int],
         mode: str,
         stats: ExecutionStats,
+        on_result: Callable[[int, Any], None] | None = None,
     ) -> tuple[list[Any], ExecutionStats]:
         ctx = _WorkerContext(
-            collection=collection, fn=fn, mode=mode, retries=self.config.retries
+            collection=collection,
+            fn=fn,
+            mode=mode,
+            retries=self.config.retries,
+            retry_backoff=self.config.retry_backoff,
         )
         results: list[Any] = []
         t0 = time.perf_counter()
@@ -633,6 +700,8 @@ class ExecutionEngine:
                     except Exception as exc:
                         if used < ctx.retries:
                             used += 1
+                            if ctx.retry_backoff > 0:
+                                time.sleep(ctx.retry_backoff * (2 ** (used - 1)))
                             continue
                         stats.retries += used
                         stats.failures += 1
@@ -650,6 +719,8 @@ class ExecutionEngine:
                 stats.retries += used
                 stats.bytes_touched += nbytes
                 results.append(value)
+                if on_result is not None:
+                    on_result(index, value)
         finally:
             stats.wall_seconds = time.perf_counter() - t0
         return results, stats

@@ -1,0 +1,177 @@
+"""Checkpoint journal for fused kernel passes — crash-safe resume.
+
+A killed 72-snapshot ``analyze_archive()`` used to restart from zero.  The
+journal fixes that: as the fused pass completes each snapshot's map phase,
+the per-snapshot partials are appended to a JSONL file (pickle payload,
+base64-encoded, CRC-protected, fsynced per record).  A rerun pointed at the
+same journal replays the completed rows instantly and the engine executes
+only the remaining snapshot indices.
+
+Integrity and invalidation:
+
+* the first line is a fingerprint record (kernel names, snapshot count, a
+  CRC of the snapshot labels, plus an optional caller-supplied config
+  fingerprint); a journal whose fingerprint disagrees with the live run is
+  discarded with a warning — stale checkpoints never feed wrong partials
+  into a reduce;
+* every data record carries a CRC32 of its pickle payload; a torn final
+  line (the crash-mid-append case) or a bit-flipped record is dropped, so
+  its snapshot simply re-runs;
+* appends are flushed + fsynced before the engine moves on, so a SIGKILL
+  between snapshots loses at most the in-flight row.
+
+The payloads are pickles — the journal is local, trusted state (same
+threat model as the ``.rpq`` files themselves), not an interchange format.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import warnings
+import zlib
+from pathlib import Path
+from typing import Any
+
+_VERSION = 1
+
+
+def _labels_crc(labels: list[str]) -> int:
+    return zlib.crc32("\n".join(labels).encode("utf-8"))
+
+
+class KernelJournal:
+    """Append-only per-snapshot checkpoint for one fused kernel pass.
+
+    Parameters
+    ----------
+    path:
+        JSONL journal file; created (with its fingerprint header) on the
+        first append if absent.
+    kernels:
+        Kernel names of the pass (order-insensitive fingerprint input).
+    labels:
+        Snapshot labels of the collection, in index order.
+    fingerprint:
+        Optional extra identity (e.g. the archive config fingerprint); any
+        JSON-serializable mapping.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        kernels: list[str],
+        labels: list[str],
+        fingerprint: dict | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self._meta = {
+            "kind": "repro-kernel-journal",
+            "version": _VERSION,
+            "kernels": sorted(kernels),
+            "n": len(labels),
+            "labels_crc": _labels_crc(list(labels)),
+            "fingerprint": fingerprint or {},
+        }
+        self._fh = None
+        self.restored = 0
+        self.dropped = 0
+
+    # -- read side ----------------------------------------------------------
+
+    def load(self) -> dict[int, Any]:
+        """Completed ``{snapshot index: row}`` from a prior run.
+
+        Returns ``{}`` (and schedules a fresh journal) when the file is
+        absent or its fingerprint does not match this pass.  Records that
+        fail JSON parsing or the payload CRC are dropped individually — a
+        torn tail only costs its own snapshot.
+        """
+        if not self.path.exists():
+            return {}
+        rows: dict[int, Any] = {}
+        with open(self.path, encoding="utf-8") as fh:
+            first = fh.readline()
+            try:
+                meta = json.loads(first)
+            except ValueError:
+                meta = None
+            if not isinstance(meta, dict) or any(
+                meta.get(k) != v for k, v in self._meta.items()
+            ):
+                warnings.warn(
+                    f"checkpoint {self.path} belongs to a different run "
+                    "(kernels, snapshot window, or config changed) — starting fresh",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self.path.unlink()
+                return {}
+            for line in fh:
+                row = self._decode_record(line)
+                if row is None:
+                    self.dropped += 1
+                    continue
+                index, value = row
+                if 0 <= index < self._meta["n"]:
+                    rows[index] = value
+        self.restored = len(rows)
+        return rows
+
+    def _decode_record(self, line: str) -> tuple[int, Any] | None:
+        try:
+            rec = json.loads(line)
+            payload = base64.b64decode(rec["data"])
+            if zlib.crc32(payload) != rec["crc32"]:
+                return None
+            return int(rec["index"]), pickle.loads(payload)
+        except Exception:
+            return None
+
+    # -- write side ---------------------------------------------------------
+
+    def _open(self):
+        if self._fh is None:
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._fh = open(self.path, "a", encoding="utf-8")
+            if fresh:
+                self._fh.write(json.dumps(self._meta) + "\n")
+                self._sync()
+        return self._fh
+
+    def _sync(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def append(self, index: int, value: Any) -> None:
+        """Durably record one completed snapshot row (flush + fsync)."""
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        record = {
+            "index": int(index),
+            "crc32": zlib.crc32(payload),
+            "data": base64.b64encode(payload).decode("ascii"),
+        }
+        fh = self._open()
+        fh.write(json.dumps(record) + "\n")
+        self._sync()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def discard(self) -> None:
+        """Close and delete the journal (the pass completed successfully)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "KernelJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -77,6 +77,7 @@ class SnapshotExecutor:
         processes: int | None = 1,
         start_method: str | None = None,
         retries: int = 0,
+        retry_backoff: float = 0.0,
         chunk_size: int | None = None,
         task_timeout: float | None = None,
     ) -> None:
@@ -87,6 +88,7 @@ class SnapshotExecutor:
                 start_method=start_method,
                 chunk_size=chunk_size,
                 retries=retries,
+                retry_backoff=retry_backoff,
                 task_timeout=task_timeout,
             )
         )
@@ -125,7 +127,10 @@ class SnapshotExecutor:
         return self._collect(lambda: self._engine.map_pairs(collection, fn))
 
     def run_kernels(
-        self, collection: SnapshotCollection, kernels: Sequence[Kernel]
+        self,
+        collection: SnapshotCollection,
+        kernels: Sequence[Kernel],
+        journal: Any = None,
     ) -> dict[str, Any]:
         """Run every kernel against each snapshot in one fused pass.
 
@@ -133,10 +138,14 @@ class SnapshotExecutor:
         memory) exactly once; all kernel map functions evaluate against the
         resident snapshot before the pass moves on.  Returns
         ``{kernel.name: reduce result}``; per-kernel timings land in
-        ``last_stats``.
+        ``last_stats``.  ``journal`` (a
+        :class:`~repro.query.journal.KernelJournal`) checkpoints completed
+        snapshots durably and restores them on a rerun.
         """
         try:
-            results, stats = self._engine.run_kernels(collection, kernels)
+            results, stats = self._engine.run_kernels(
+                collection, kernels, journal=journal
+            )
         except TaskError as err:
             if err.stats is not None:
                 self._record(err.stats)

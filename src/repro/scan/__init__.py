@@ -16,16 +16,23 @@ Mirrors the paper's data path (§2.2, §3, Figure 4):
 """
 
 from repro.scan.extensions import NO_EXTENSION, ExtensionTable, split_extension
+from repro.scan.errors import CorruptSnapshotError
 from repro.scan.paths import PathTable
 from repro.scan.snapshot import Snapshot, SnapshotCollection
 from repro.scan.lustredu import LustreDuScanner
 from repro.scan.psv import read_psv, write_psv
-from repro.scan.columnar import read_columnar, write_columnar
+from repro.scan.columnar import (
+    read_columnar,
+    read_columnar_header,
+    write_columnar,
+)
+from repro.scan.store import ArchiveHealthReport, DiskSnapshotCollection
 
 __all__ = [
     "NO_EXTENSION",
     "ExtensionTable",
     "split_extension",
+    "CorruptSnapshotError",
     "PathTable",
     "Snapshot",
     "SnapshotCollection",
@@ -33,5 +40,8 @@ __all__ = [
     "read_psv",
     "write_psv",
     "read_columnar",
+    "read_columnar_header",
     "write_columnar",
+    "ArchiveHealthReport",
+    "DiskSnapshotCollection",
 ]

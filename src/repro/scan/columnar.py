@@ -11,11 +11,22 @@ pipeline stage with a self-contained format:
   compression (they cluster within the observation window);
 * path strings are stored as a newline-joined, zlib-compressed string table.
 
-Layout::
+Layout (version 2, the write format)::
 
-    magic "RPQ1" | u32 header_len | header JSON | column blocks...
+    magic "RPQ2" | u32 header_len | u32 header_crc32 | header JSON
+    | column blocks... | u64 total_file_len | end magic "RPQE"
 
-The header carries per-block offsets, dtypes, codecs, and checksums.
+The header carries per-block offsets, dtypes, codecs, and CRC32 checksums;
+the header itself is CRC-protected and the trailer records the total file
+length, so *any* truncation or single-byte corruption is detected before a
+single array reaches an analysis.  Version-1 files (``RPQ1``, no header
+CRC, no trailer) remain readable; their per-block checksums still apply.
+
+Every integrity failure raises :class:`~repro.scan.errors.
+CorruptSnapshotError` carrying the file, byte offset, and reason — never a
+cryptic ``JSONDecodeError``, never silently wrong data.  Writes are atomic
+(tmp + fsync + rename via :mod:`repro.core.durable`): a crash mid-write
+cannot leave a torn file behind.
 """
 
 from __future__ import annotations
@@ -23,18 +34,31 @@ from __future__ import annotations
 import json
 import zlib
 from pathlib import Path
+from typing import BinaryIO
 
 import numpy as np
 
+from repro.core.durable import atomic_write
+from repro.scan.errors import CorruptSnapshotError
 from repro.scan.paths import PathTable
 from repro.scan.snapshot import COLUMN_DTYPES, NUMERIC_COLUMNS, Snapshot
 
-MAGIC = b"RPQ1"
+MAGIC_V1 = b"RPQ1"
+MAGIC_V2 = b"RPQ2"
+END_MAGIC = b"RPQE"
+#: Back-compat alias (pre-versioning code imported the single magic).
+MAGIC = MAGIC_V1
+
+#: Trailer size: u64 total length + 4-byte end magic.
+_TRAILER_LEN = 12
 
 #: Columns that benefit from delta-encoding against their minimum.
 _DELTA_COLUMNS = frozenset({"atime", "mtime", "ctime", "ino"})
 
 _COMPRESSION_LEVEL = 6
+
+_HEADER_KEYS = ("label", "timestamp", "rows", "columns")
+_META_KEYS = ("name", "codec", "rows", "stored_bytes", "crc32")
 
 
 def _encode_column(name: str, data: np.ndarray) -> tuple[bytes, dict]:
@@ -55,25 +79,51 @@ def _encode_column(name: str, data: np.ndarray) -> tuple[bytes, dict]:
     return blob, meta
 
 
-def _decode_column(blob: bytes, meta: dict) -> np.ndarray:
+def _decode_column(
+    blob: bytes, meta: dict, source: str | Path, offset: int
+) -> np.ndarray:
+    name = meta["name"]
     if zlib.crc32(blob) != meta["crc32"]:
-        raise IOError(f"column {meta['name']}: checksum mismatch")
-    raw = zlib.decompress(blob)
-    if meta["codec"] == "delta-zlib":
-        delta = np.frombuffer(raw, dtype=np.uint64).astype(np.int64)
-        data = delta + int(meta["base"])
-        return data.astype(np.dtype(meta["dtype"]))
-    if meta["codec"] == "zlib":
-        return np.frombuffer(raw, dtype=np.dtype(meta["dtype"])).copy()
-    raise IOError(f"column {meta['name']}: unknown codec {meta['codec']!r}")
+        raise CorruptSnapshotError(
+            source, f"column {name!r}: checksum mismatch", offset=offset
+        )
+    try:
+        raw = zlib.decompress(blob)
+    except zlib.error as exc:
+        raise CorruptSnapshotError(
+            source, f"column {name!r}: decompression failed ({exc})", offset=offset
+        ) from exc
+    try:
+        if meta["codec"] == "delta-zlib":
+            delta = np.frombuffer(raw, dtype=np.uint64).astype(np.int64)
+            data = (delta + int(meta["base"])).astype(np.dtype(meta["dtype"]))
+        elif meta["codec"] == "zlib":
+            data = np.frombuffer(raw, dtype=np.dtype(meta["dtype"])).copy()
+        else:
+            raise CorruptSnapshotError(
+                source, f"column {name!r}: unknown codec {meta['codec']!r}",
+                offset=offset,
+            )
+    except (ValueError, TypeError, KeyError) as exc:
+        raise CorruptSnapshotError(
+            source, f"column {name!r}: undecodable block ({exc})", offset=offset
+        ) from exc
+    if data.size != int(meta["rows"]):
+        raise CorruptSnapshotError(
+            source,
+            f"column {name!r}: {data.size} values for {meta['rows']} rows",
+            offset=offset,
+        )
+    return data
 
 
 def write_columnar(snapshot: Snapshot, dest: str | Path) -> dict:
-    """Serialize a snapshot; returns size statistics (raw vs stored bytes).
+    """Serialize a snapshot (atomically); returns size statistics.
 
     The snapshot's referenced path strings are embedded (the file must be
     self-contained), dictionary-style: unique local strings plus the row →
-    string index column.
+    string index column.  The write goes through a same-directory temp file
+    with fsync + atomic rename, so a crash never leaves a torn ``.rpq``.
     """
     blocks: list[bytes] = []
     metas: list[dict] = []
@@ -107,14 +157,21 @@ def write_columnar(snapshot: Snapshot, dest: str | Path) -> dict:
         "columns": metas,
     }
     header_bytes = json.dumps(header).encode("utf-8")
-    with open(dest, "wb") as fh:
-        fh.write(MAGIC)
+    preamble = len(MAGIC_V2) + 4 + 4  # magic + header_len + header_crc
+    total_len = (
+        preamble + len(header_bytes) + sum(len(b) for b in blocks) + _TRAILER_LEN
+    )
+    with atomic_write(dest, "wb") as fh:
+        fh.write(MAGIC_V2)
         fh.write(len(header_bytes).to_bytes(4, "little"))
+        fh.write(zlib.crc32(header_bytes).to_bytes(4, "little"))
         fh.write(header_bytes)
         for blob in blocks:
             fh.write(blob)
+        fh.write(total_len.to_bytes(8, "little"))
+        fh.write(END_MAGIC)
     raw_total = sum(m["raw_bytes"] for m in metas)
-    stored_total = sum(m["stored_bytes"] for m in metas) + len(header_bytes) + 8
+    stored_total = total_len
     return {
         "raw_bytes": raw_total,
         "stored_bytes": stored_total,
@@ -122,39 +179,242 @@ def write_columnar(snapshot: Snapshot, dest: str | Path) -> dict:
     }
 
 
+# -- hardened read path -----------------------------------------------------
+
+
+def _read_exact(fh: BinaryIO, n: int, source: str | Path, what: str) -> bytes:
+    offset = fh.tell()
+    data = fh.read(n)
+    if len(data) != n:
+        raise CorruptSnapshotError(
+            source,
+            f"truncated {what}: wanted {n} bytes, file ends after {len(data)}",
+            offset=offset,
+        )
+    return data
+
+
+def _read_header(fh: BinaryIO, source: str | Path) -> tuple[dict, int, int]:
+    """Validate magic/lengths/CRCs; returns (header, data_start, version)."""
+    magic = fh.read(4)
+    if magic == MAGIC_V2:
+        version = 2
+    elif magic == MAGIC_V1:
+        version = 1
+    else:
+        raise CorruptSnapshotError(
+            source, f"not a columnar snapshot (magic {magic!r})", offset=0
+        )
+    fh.seek(0, 2)
+    file_len = fh.tell()
+    fh.seek(4)
+    header_len = int.from_bytes(_read_exact(fh, 4, source, "header length"), "little")
+    preamble = 8
+    header_crc = None
+    if version == 2:
+        header_crc = int.from_bytes(
+            _read_exact(fh, 4, source, "header checksum"), "little"
+        )
+        preamble = 12
+        # the trailer must agree with the real file length before anything
+        # else is trusted — this catches every truncation with one stat
+        if file_len < preamble + _TRAILER_LEN:
+            raise CorruptSnapshotError(
+                source, f"file too short ({file_len} bytes)", offset=file_len
+            )
+        fh.seek(file_len - _TRAILER_LEN)
+        recorded_len = int.from_bytes(
+            _read_exact(fh, 8, source, "length trailer"), "little"
+        )
+        end_magic = _read_exact(fh, 4, source, "end magic")
+        if end_magic != END_MAGIC or recorded_len != file_len:
+            raise CorruptSnapshotError(
+                source,
+                f"trailer mismatch: recorded length {recorded_len}, end magic "
+                f"{end_magic!r}, actual length {file_len} (truncated or torn write)",
+                offset=file_len - _TRAILER_LEN,
+            )
+        fh.seek(preamble)
+    if header_len <= 0 or preamble + header_len > file_len:
+        raise CorruptSnapshotError(
+            source,
+            f"implausible header length {header_len} for a {file_len}-byte file",
+            offset=4,
+        )
+    header_bytes = _read_exact(fh, header_len, source, "header")
+    if header_crc is not None and zlib.crc32(header_bytes) != header_crc:
+        raise CorruptSnapshotError(
+            source, "header checksum mismatch", offset=preamble
+        )
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CorruptSnapshotError(
+            source, f"header is not valid JSON ({exc})", offset=preamble
+        ) from exc
+    if not isinstance(header, dict) or any(k not in header for k in _HEADER_KEYS):
+        raise CorruptSnapshotError(
+            source, f"header missing required keys {_HEADER_KEYS}", offset=preamble
+        )
+    metas = header["columns"]
+    if not isinstance(metas, list) or not all(
+        isinstance(m, dict) and all(k in m for k in _META_KEYS) for m in metas
+    ):
+        raise CorruptSnapshotError(
+            source, "header column table is malformed", offset=preamble
+        )
+    data_start = preamble + header_len
+    if version == 2:
+        data_end = file_len - _TRAILER_LEN
+        blocks_len = sum(int(m["stored_bytes"]) for m in metas)
+        if data_start + blocks_len != data_end:
+            raise CorruptSnapshotError(
+                source,
+                f"block lengths sum to {blocks_len} but data section is "
+                f"{data_end - data_start} bytes",
+                offset=data_start,
+            )
+    return header, data_start, version
+
+
+def read_columnar_header(source: str | Path) -> dict:
+    """Read and fully validate only the header (label, timestamp, rows).
+
+    Cheap (no column block is decompressed) yet strict: magic, length
+    fields, the header CRC, and the total-length trailer are all checked,
+    so truncated and torn files are rejected here — before a
+    :class:`~repro.scan.store.DiskSnapshotCollection` ever indexes them.
+    """
+    with open(source, "rb") as fh:
+        header, _, _ = _read_header(fh, source)
+    try:
+        return {
+            "label": str(header["label"]),
+            "timestamp": int(header["timestamp"]),
+            "rows": int(header["rows"]),
+        }
+    except (TypeError, ValueError) as exc:
+        raise CorruptSnapshotError(
+            source, f"header fields have wrong types ({exc})"
+        ) from exc
+
+
 def read_columnar(source: str | Path, paths: PathTable) -> Snapshot:
     """Load a columnar snapshot, re-interning its paths into ``paths``."""
     with open(source, "rb") as fh:
-        magic = fh.read(4)
-        if magic != MAGIC:
-            raise IOError(f"{source}: not a columnar snapshot (magic {magic!r})")
-        header_len = int.from_bytes(fh.read(4), "little")
-        header = json.loads(fh.read(header_len).decode("utf-8"))
+        header, offset, _ = _read_header(fh, source)
+        fh.seek(offset)
         columns: dict[str, np.ndarray] = {}
         path_strings: list[str] | None = None
         for meta in header["columns"]:
-            blob = fh.read(meta["stored_bytes"])
+            blob = _read_exact(
+                fh, int(meta["stored_bytes"]), source, f"column {meta['name']!r}"
+            )
             if meta["codec"] == "strtab-zlib":
                 if zlib.crc32(blob) != meta["crc32"]:
-                    raise IOError("path table: checksum mismatch")
-                text = zlib.decompress(blob).decode("utf-8")
+                    raise CorruptSnapshotError(
+                        source, "path table: checksum mismatch", offset=offset
+                    )
+                try:
+                    text = zlib.decompress(blob).decode("utf-8")
+                except (zlib.error, UnicodeDecodeError) as exc:
+                    raise CorruptSnapshotError(
+                        source, f"path table: undecodable ({exc})", offset=offset
+                    ) from exc
                 path_strings = text.split("\n") if text else []
             else:
-                columns[meta["name"]] = _decode_column(blob, meta)
+                columns[meta["name"]] = _decode_column(blob, meta, source, offset)
+            offset += int(meta["stored_bytes"])
     if path_strings is None:
-        raise IOError(f"{source}: missing path table block")
-    if len(path_strings) != header["rows"]:
-        raise IOError(
-            f"{source}: {len(path_strings)} paths for {header['rows']} rows"
+        raise CorruptSnapshotError(source, "missing path table block")
+    if len(path_strings) != int(header["rows"]):
+        raise CorruptSnapshotError(
+            source, f"{len(path_strings)} paths for {header['rows']} rows"
         )
+    missing = [
+        name for name in NUMERIC_COLUMNS if name != "path_id" and name not in columns
+    ]
+    if missing:
+        raise CorruptSnapshotError(source, f"missing column blocks {missing}")
     columns["path_id"] = paths.intern_many(path_strings)
     cast = {
         name: np.ascontiguousarray(columns[name], dtype=COLUMN_DTYPES[name])
         for name in NUMERIC_COLUMNS
     }
+    try:
+        timestamp = int(header["timestamp"])
+    except (TypeError, ValueError) as exc:
+        raise CorruptSnapshotError(
+            source, f"timestamp is not an integer ({exc})"
+        ) from exc
     return Snapshot(
         label=header["label"],
-        timestamp=int(header["timestamp"]),
+        timestamp=timestamp,
         paths=paths,
         **cast,
     )
+
+
+def read_columnar_paths(source: str | Path, paths: PathTable) -> np.ndarray:
+    """Intern only a snapshot's path strings; returns the row → id column.
+
+    Reads the header plus the ``__paths__`` block (seeking past the numeric
+    blocks) — the cheap way to reproduce the PathTable state a full
+    :func:`read_columnar` of this file would have produced.  The resume
+    path uses this to replay the interning order of already-journaled
+    snapshots, keeping path ids consistent across a crash boundary.
+    """
+    with open(source, "rb") as fh:
+        header, offset, _ = _read_header(fh, source)
+        for meta in header["columns"]:
+            if meta["codec"] != "strtab-zlib":
+                offset += int(meta["stored_bytes"])
+                continue
+            fh.seek(offset)
+            blob = _read_exact(fh, int(meta["stored_bytes"]), source, "path table")
+            if zlib.crc32(blob) != meta["crc32"]:
+                raise CorruptSnapshotError(
+                    source, "path table: checksum mismatch", offset=offset
+                )
+            try:
+                text = zlib.decompress(blob).decode("utf-8")
+            except (zlib.error, UnicodeDecodeError) as exc:
+                raise CorruptSnapshotError(
+                    source, f"path table: undecodable ({exc})", offset=offset
+                ) from exc
+            strings = text.split("\n") if text else []
+            if len(strings) != int(header["rows"]):
+                raise CorruptSnapshotError(
+                    source, f"{len(strings)} paths for {header['rows']} rows"
+                )
+            return paths.intern_many(strings)
+    raise CorruptSnapshotError(source, "missing path table block")
+
+
+def describe_sections(source: str | Path) -> list[tuple[str, int, int]]:
+    """``(name, offset, length)`` for every section of a valid ``.rpq``.
+
+    The fault-injection harness uses this to enumerate truncation points
+    and per-column corruption targets; it requires a readable file (run it
+    *before* corrupting).
+    """
+    with open(source, "rb") as fh:
+        header, data_start, version = _read_header(fh, source)
+        fh.seek(0, 2)
+        file_len = fh.tell()
+    preamble_crc = 4 if version == 2 else 0
+    sections = [
+        ("magic", 0, 4),
+        ("header_len", 4, 4),
+    ]
+    if version == 2:
+        sections.append(("header_crc", 8, 4))
+    sections.append(("header", 8 + preamble_crc, data_start - 8 - preamble_crc))
+    offset = data_start
+    for meta in header["columns"]:
+        n = int(meta["stored_bytes"])
+        sections.append((f"column:{meta['name']}", offset, n))
+        offset += n
+    if version == 2:
+        sections.append(("trailer", file_len - _TRAILER_LEN, _TRAILER_LEN))
+    return sections

@@ -55,32 +55,42 @@ def format_record(
 
 def write_psv(snapshot: Snapshot, dest: str | Path | io.TextIOBase,
               ost_count: int = 2016) -> int:
-    """Write a snapshot as PSV text; returns the number of bytes written."""
-    own = isinstance(dest, (str, Path))
-    fh: io.TextIOBase = open(dest, "w") if own else dest  # type: ignore[assignment]
+    """Write a snapshot as PSV text; returns the number of bytes written.
+
+    Path destinations are written atomically (tmp + fsync + rename via
+    :mod:`repro.core.durable`) so a crash mid-archive never leaves a torn
+    snapshot file; stream destinations are the caller's responsibility.
+    """
+    if isinstance(dest, (str, Path)):
+        from repro.core.durable import atomic_write
+
+        with atomic_write(dest, "w") as fh:
+            return _write_psv_stream(snapshot, fh, ost_count)
+    return _write_psv_stream(snapshot, dest, ost_count)
+
+
+def _write_psv_stream(
+    snapshot: Snapshot, fh: io.TextIOBase, ost_count: int
+) -> int:
     written = 0
-    try:
-        paths = snapshot.paths.paths
-        is_dir = snapshot.is_dir
-        for row in range(len(snapshot)):
-            line = format_record(
-                paths[snapshot.path_id[row]],
-                int(snapshot.atime[row]),
-                int(snapshot.ctime[row]),
-                int(snapshot.mtime[row]),
-                int(snapshot.uid[row]),
-                int(snapshot.gid[row]),
-                int(snapshot.mode[row]),
-                int(snapshot.ino[row]),
-                int(snapshot.stripe_start[row]),
-                int(snapshot.stripe_count[row]),
-                ost_count,
-                bool(is_dir[row]),
-            )
-            written += fh.write(line + "\n")
-    finally:
-        if own:
-            fh.close()
+    paths = snapshot.paths.paths
+    is_dir = snapshot.is_dir
+    for row in range(len(snapshot)):
+        line = format_record(
+            paths[snapshot.path_id[row]],
+            int(snapshot.atime[row]),
+            int(snapshot.ctime[row]),
+            int(snapshot.mtime[row]),
+            int(snapshot.uid[row]),
+            int(snapshot.gid[row]),
+            int(snapshot.mode[row]),
+            int(snapshot.ino[row]),
+            int(snapshot.stripe_start[row]),
+            int(snapshot.stripe_count[row]),
+            ost_count,
+            bool(is_dir[row]),
+        )
+        written += fh.write(line + "\n")
     return written
 
 

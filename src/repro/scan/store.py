@@ -8,21 +8,53 @@ over a :class:`DiskSnapshotCollection`, which exposes the same interface as
 the in-memory :class:`~repro.scan.snapshot.SnapshotCollection` but loads
 snapshots lazily with a small LRU cache (adjacent-pair analyses like
 Figure 13 need exactly two resident snapshots at a time).
+
+Failure tolerance
+-----------------
+At production scale, truncated dumps and partial writes are facts of life.
+The store therefore carries an explicit degradation policy:
+
+* ``on_error="raise"`` (default) — the first corrupt file raises a typed
+  :class:`~repro.scan.errors.CorruptSnapshotError`;
+* ``on_error="skip"`` — corrupt files are excluded from the window and
+  recorded in the collection's :class:`ArchiveHealthReport`;
+* ``on_error="quarantine"`` — like ``skip``, but the file is also moved to
+  a ``quarantine/`` subdirectory so the next run starts clean.
+
+Construction validates every header (magic, lengths, header CRC, total-
+length trailer — all cheap); ``verify="deep"`` additionally decodes every
+column block up front, catching mid-file bit flips before an analysis
+starts.  Transient ``OSError`` loads (the EIO-under-load case) are retried
+with exponential backoff; corruption is never retried.
 """
 
 from __future__ import annotations
 
-import json
+import shutil
+import time
+import warnings
 from collections import OrderedDict
 from collections.abc import Iterator
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import NamedTuple
 
 import numpy as np
 
-from repro.scan.columnar import MAGIC, read_columnar
+from repro.scan.columnar import (
+    read_columnar,
+    read_columnar_header,
+    read_columnar_paths,
+)
+from repro.scan.errors import CorruptSnapshotError
 from repro.scan.paths import PathTable
 from repro.scan.snapshot import Snapshot
+
+#: Valid degradation policies for :class:`DiskSnapshotCollection`.
+ON_ERROR_POLICIES = ("raise", "skip", "quarantine")
+
+#: Subdirectory (under the archive) where quarantined files are moved.
+QUARANTINE_DIRNAME = "quarantine"
 
 
 class CacheInfo(NamedTuple):
@@ -34,19 +66,48 @@ class CacheInfo(NamedTuple):
     currsize: int
 
 
-def read_columnar_header(path: str | Path) -> dict:
-    """Read only the header (label, timestamp, rows) of a columnar file."""
-    with open(path, "rb") as fh:
-        magic = fh.read(4)
-        if magic != MAGIC:
-            raise IOError(f"{path}: not a columnar snapshot (magic {magic!r})")
-        header_len = int.from_bytes(fh.read(4), "little")
-        header = json.loads(fh.read(header_len).decode("utf-8"))
-    return {
-        "label": header["label"],
-        "timestamp": int(header["timestamp"]),
-        "rows": int(header["rows"]),
-    }
+@dataclass(frozen=True)
+class SnapshotFault:
+    """One bad snapshot file and what the policy did about it."""
+
+    path: str
+    reason: str
+    offset: int | None
+    action: str  # "skipped" | "quarantined"
+
+
+@dataclass
+class ArchiveHealthReport:
+    """Structured record of what construction/verification found.
+
+    Surfaced ``cache_info()``-style via
+    :meth:`DiskSnapshotCollection.health_report` and printed by the CLI
+    when an archive is degraded.
+    """
+
+    scanned: int = 0
+    ok: int = 0
+    faults: list[SnapshotFault] = field(default_factory=list)
+    io_retries: int = 0
+    quarantine_dir: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.faults)
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.ok}/{self.scanned} snapshots healthy, "
+            f"{len(self.faults)} faulted, {self.io_retries} transient I/O retries"
+        ]
+        for f in self.faults:
+            where = f" @{f.offset}" if f.offset is not None else ""
+            lines.append(f"  {f.action}: {f.path}{where} — {f.reason}")
+        if self.quarantine_dir and any(
+            f.action == "quarantined" for f in self.faults
+        ):
+            lines.append(f"  quarantine dir: {self.quarantine_dir}")
+        return "\n".join(lines)
 
 
 class DiskSnapshotCollection:
@@ -57,6 +118,20 @@ class DiskSnapshotCollection:
     ``union_path_ids()``, ``subset()``, and a shared ``paths`` table (paths
     are interned on first load, so path ids stay consistent across
     snapshots within one session).
+
+    Parameters
+    ----------
+    on_error:
+        Degradation policy for corrupt files (see module docstring).
+    verify:
+        ``"header"`` (default) validates headers + trailers at
+        construction; ``"deep"`` additionally decodes every column block
+        (catches mid-file bit flips up front; costs one extra full read
+        per file).
+    io_retries / io_backoff:
+        Transient ``OSError`` loads are retried ``io_retries`` times with
+        ``io_backoff * 2**attempt`` sleeps.  :class:`CorruptSnapshotError`
+        is permanent and never retried.
     """
 
     def __init__(
@@ -64,16 +139,53 @@ class DiskSnapshotCollection:
         directory: str | Path,
         paths: PathTable | None = None,
         cache_size: int = 2,
+        on_error: str = "raise",
+        verify: str = "header",
+        io_retries: int = 2,
+        io_backoff: float = 0.05,
     ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
+        if on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, got {on_error!r}"
+            )
+        if verify not in ("header", "deep"):
+            raise ValueError(f"verify must be 'header' or 'deep', got {verify!r}")
         self.directory = Path(directory)
+        self.on_error = on_error
+        self.io_retries = max(0, int(io_retries))
+        self.io_backoff = float(io_backoff)
+        self.health = ArchiveHealthReport(
+            quarantine_dir=str(self.directory / QUARANTINE_DIRNAME)
+        )
         files = sorted(self.directory.glob("*.rpq"))
         if not files:
             raise FileNotFoundError(f"no .rpq snapshots under {self.directory}")
-        headers = [read_columnar_header(f) for f in files]
+        survivors: list[Path] = []
+        headers: list[dict] = []
+        self.health.scanned = len(files)
+        for f in files:
+            try:
+                header = read_columnar_header(f)
+                if verify == "deep":
+                    # throwaway table: paths of a file that may later be
+                    # dropped must not pollute the shared interning
+                    read_columnar(f, PathTable())
+            except CorruptSnapshotError as exc:
+                self._handle_fault(f, exc)
+                continue
+            survivors.append(f)
+            headers.append(header)
+        self.health.ok = len(survivors)
+        if not survivors:
+            raise CorruptSnapshotError(
+                self.directory,
+                f"all {len(files)} snapshot files are corrupt "
+                f"(policy {self.on_error!r} left an empty window)",
+            )
         order = np.argsort([h["timestamp"] for h in headers], kind="stable")
-        self._files = [files[i] for i in order]
+        self._files = [survivors[i] for i in order]
         self._headers = [headers[i] for i in order]
         self.paths = paths if paths is not None else PathTable()
         self._cache: OrderedDict[int, Snapshot] = OrderedDict()
@@ -81,6 +193,32 @@ class DiskSnapshotCollection:
         #: observability: how many loads hit the disk vs the cache
         self.loads = 0
         self.hits = 0
+
+    # -- degradation policy --------------------------------------------------
+
+    def _handle_fault(self, path: Path, exc: CorruptSnapshotError) -> None:
+        """Apply the on_error policy to one corrupt file."""
+        if self.on_error == "raise":
+            raise exc
+        action = "skipped"
+        if self.on_error == "quarantine":
+            qdir = self.directory / QUARANTINE_DIRNAME
+            qdir.mkdir(exist_ok=True)
+            try:
+                shutil.move(str(path), str(qdir / path.name))
+                action = "quarantined"
+            except OSError as move_exc:  # pragma: no cover - exotic fs state
+                action = f"skipped (quarantine failed: {move_exc})"
+        self.health.faults.append(
+            SnapshotFault(
+                path=str(path), reason=exc.reason, offset=exc.offset, action=action
+            )
+        )
+        warnings.warn(
+            f"corrupt snapshot {path}: {exc.reason} — {action}",
+            RuntimeWarning,
+            stacklevel=4,
+        )
 
     # -- cache observability -------------------------------------------------
 
@@ -102,10 +240,43 @@ class DiskSnapshotCollection:
             currsize=len(self._cache),
         )
 
+    def health_report(self) -> ArchiveHealthReport:
+        """The archive's :class:`ArchiveHealthReport` (``cache_info`` style)."""
+        return self.health
+
     # -- collection interface ------------------------------------------------
 
     def __len__(self) -> int:
         return len(self._files)
+
+    def _load(self, path: Path) -> Snapshot:
+        """One columnar read with transient-I/O retry + exponential backoff.
+
+        A flaky read (``OSError``/EIO under load) gets ``io_retries``
+        chances with ``io_backoff * 2**attempt`` sleeps; a failed integrity
+        check (:class:`CorruptSnapshotError`) is permanent — under the
+        ``quarantine`` policy the file is moved aside so the *next*
+        construction sees a clean window, and the error is re-raised either
+        way (a fused pass cannot drop an index mid-run).
+        """
+        for attempt in range(self.io_retries + 1):
+            try:
+                return read_columnar(path, self.paths)
+            except CorruptSnapshotError:
+                if self.on_error == "quarantine":
+                    qdir = self.directory / QUARANTINE_DIRNAME
+                    qdir.mkdir(exist_ok=True)
+                    try:
+                        shutil.move(str(path), str(qdir / path.name))
+                    except OSError:  # pragma: no cover - exotic fs state
+                        pass
+                raise
+            except OSError:
+                if attempt >= self.io_retries:
+                    raise
+                self.health.io_retries += 1
+                time.sleep(self.io_backoff * (2 ** attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def __getitem__(self, idx: int) -> Snapshot:
         if idx < 0:
@@ -117,12 +288,24 @@ class DiskSnapshotCollection:
             self.hits += 1
             self._cache.move_to_end(idx)
             return cached
-        snap = read_columnar(self._files[idx], self.paths)
+        snap = self._load(self._files[idx])
         self.loads += 1
         self._cache[idx] = snap
         while len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
         return snap
+
+    def warm_paths(self, idx: int) -> None:
+        """Intern snapshot ``idx``'s path strings without a full load.
+
+        Reproduces exactly the PathTable mutation ``self[idx]`` would make,
+        at the cost of reading only the path-table block.  The resume path
+        calls this for already-journaled snapshots, in index order, so path
+        ids in restored kernel partials match the live interning.
+        """
+        if not 0 <= idx < len(self):
+            raise IndexError(idx)
+        read_columnar_paths(self._files[idx], self.paths)
 
     def __iter__(self) -> Iterator[Snapshot]:
         for i in range(len(self)):
@@ -154,8 +337,23 @@ class DiskSnapshotCollection:
         return seen if seen is not None else np.empty(0, dtype=np.int64)
 
     def subset(self, indices) -> "DiskSnapshotCollection":
+        """A view over ``indices``, sharing the parent's PathTable.
+
+        Sharing contract: ``subset().paths`` **is** the parent's mutable
+        table — loads through either view intern into the same table, so a
+        path string resolves to the same id no matter which view loaded it
+        first (including after partial parent loads).  Cache and hit/miss
+        counters are per-view and start fresh; the health report and the
+        transient-I/O retry policy are inherited by reference/value
+        respectively, so faults observed through a subset still land in the
+        parent's :class:`ArchiveHealthReport`.
+        """
         out = DiskSnapshotCollection.__new__(DiskSnapshotCollection)
         out.directory = self.directory
+        out.on_error = self.on_error
+        out.io_retries = self.io_retries
+        out.io_backoff = self.io_backoff
+        out.health = self.health
         out._files = [self._files[i] for i in indices]
         out._headers = [self._headers[i] for i in indices]
         out.paths = self.paths

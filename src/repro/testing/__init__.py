@@ -1,0 +1,23 @@
+"""Reusable test instrumentation for the reproduction.
+
+:mod:`repro.testing.faults` is the fault-injection harness: file
+corruption (truncation, bit flips), transient I/O errors, and process-kill
+wrappers that drive both the corruption-sweep test suites and the
+``scripts/chaos_soak.py`` ablation.
+"""
+
+from repro.testing.faults import (
+    FlakyReader,
+    bit_flip,
+    corruption_points,
+    sigkill_after,
+    truncate_at,
+)
+
+__all__ = [
+    "FlakyReader",
+    "bit_flip",
+    "corruption_points",
+    "sigkill_after",
+    "truncate_at",
+]

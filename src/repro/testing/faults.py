@@ -1,0 +1,118 @@
+"""Fault-injection harness for the archive→analyze path.
+
+Robinhood and Icicle exist because namespace scans over billions of
+entries fail partway; this module makes those failures *reproducible* so
+the data path's tolerance can be tested instead of hoped for.  It provides:
+
+* **file corruption** — :func:`truncate_at` and :func:`bit_flip` damage a
+  snapshot file in place; :func:`corruption_points` enumerates every
+  section boundary of a ``.rpq`` so a sweep can hit them all;
+* **transient I/O errors** — :class:`FlakyReader` wraps a loader so the
+  first N calls raise ``OSError(EIO)`` and later ones succeed, exercising
+  the store's retry-with-backoff;
+* **process kills** — :func:`sigkill_after` wraps a loader so the process
+  SIGKILLs itself after N successful loads, exercising checkpoint/resume
+  with a *real* kill (no cooperative exception).
+
+Both the pytest corruption suites and ``scripts/chaos_soak.py`` are built
+on these primitives.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+from pathlib import Path
+from typing import Any, Callable
+
+
+def truncate_at(path: str | Path, offset: int) -> None:
+    """Truncate ``path`` to ``offset`` bytes in place (a partial write)."""
+    size = os.path.getsize(path)
+    if not 0 <= offset <= size:
+        raise ValueError(f"offset {offset} outside file of {size} bytes")
+    with open(path, "r+b") as fh:
+        fh.truncate(offset)
+
+
+def bit_flip(path: str | Path, offset: int, bit: int = 0) -> None:
+    """Flip one bit of the byte at ``offset`` in place (silent corruption)."""
+    if not 0 <= bit < 8:
+        raise ValueError("bit must be in 0..7")
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)
+        if len(byte) != 1:
+            raise ValueError(f"offset {offset} beyond end of {path}")
+        fh.seek(offset)
+        fh.write(bytes([byte[0] ^ (1 << bit)]))
+
+
+def corruption_points(path: str | Path) -> list[tuple[str, int, int]]:
+    """``(section, offset, length)`` for every section of a valid ``.rpq``.
+
+    Truncating at any returned offset, or flipping any byte inside any
+    returned span, must surface as a typed
+    :class:`~repro.scan.errors.CorruptSnapshotError` — never as silently
+    wrong data.  Enumerate *before* corrupting (the file must be valid).
+    """
+    from repro.scan.columnar import describe_sections
+
+    return describe_sections(path)
+
+
+class FlakyReader:
+    """Wrap a loader: the first ``failures`` calls raise a transient error.
+
+    The default exception is ``OSError(EIO)`` — the transient-media-error
+    case the store's retry-with-backoff exists for.  Thread-unsafe by
+    design (deterministic call counting).
+
+    Example::
+
+        flaky = FlakyReader(read_columnar, failures=2)
+        collection._reader = flaky      # or monkeypatch the module function
+        collection[0]                   # succeeds on the 3rd attempt
+        assert flaky.calls == 3
+    """
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        failures: int,
+        exc_factory: Callable[[], BaseException] | None = None,
+    ) -> None:
+        self.fn = fn
+        self.failures = failures
+        self.exc_factory = exc_factory or (
+            lambda: OSError(errno.EIO, "injected transient I/O error")
+        )
+        self.calls = 0
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc_factory()
+        return self.fn(*args, **kwargs)
+
+
+def sigkill_after(
+    fn: Callable[..., Any], successes: int
+) -> Callable[..., Any]:
+    """Wrap a loader so the process SIGKILLs itself after N successes.
+
+    A *real* ``SIGKILL`` — no atexit handlers, no finally blocks — which is
+    exactly the crash the checkpoint journal must survive.  Use inside a
+    sacrificial subprocess, not the test runner itself.
+    """
+    state = {"done": 0}
+
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        if state["done"] >= successes:
+            os.kill(os.getpid(), signal.SIGKILL)
+        result = fn(*args, **kwargs)
+        state["done"] += 1
+        return result
+
+    return wrapper

@@ -1,0 +1,271 @@
+"""Exhaustive corruption sweep over the columnar format.
+
+The hardened read path's contract: *any* truncation and *any* single-byte
+corruption of a ``.rpq`` file surfaces as a typed
+:class:`~repro.scan.errors.CorruptSnapshotError` carrying the file, offset,
+and reason — never a cryptic decoder exception, never silently wrong
+arrays.  This suite sweeps every section boundary (truncation) and every
+section (bit flips) enumerated by the fault harness, plus the legacy
+version-1 layout, which must stay readable.
+"""
+
+import json
+import shutil
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.scan.columnar import (
+    MAGIC_V1,
+    MAGIC_V2,
+    _encode_column,
+    describe_sections,
+    read_columnar,
+    read_columnar_header,
+    write_columnar,
+)
+from repro.scan.errors import CorruptSnapshotError
+from repro.scan.paths import PathTable
+from repro.scan.snapshot import COLUMN_DTYPES, NUMERIC_COLUMNS, Snapshot
+from repro.testing.faults import (
+    FlakyReader,
+    bit_flip,
+    corruption_points,
+    truncate_at,
+)
+
+
+def _row(pid, **over):
+    base = {
+        "path_id": pid,
+        "ino": 7,
+        "mode": 0o100664,
+        "uid": 1,
+        "gid": 2,
+        "atime": 1_420_000_000,
+        "mtime": 1_420_000_500,
+        "ctime": 1_420_000_900,
+        "stripe_count": 4,
+        "stripe_start": 0,
+    }
+    base.update(over)
+    return base
+
+
+def _make_snapshot(n_rows: int = 5) -> Snapshot:
+    paths = PathTable()
+    rows = [
+        _row(
+            paths.intern(f"/lustre/atlas1/phy/p1/run.{i}"),
+            ino=100 + i,
+            atime=1_420_000_000 + i * 3600,
+        )
+        for i in range(n_rows)
+    ]
+    columns = {
+        name: np.array([r[name] for r in rows], dtype=COLUMN_DTYPES[name])
+        for name in NUMERIC_COLUMNS
+    }
+    return Snapshot(label="w0", timestamp=1000, paths=paths, **columns)
+
+
+@pytest.fixture()
+def valid_rpq(tmp_path):
+    snap = _make_snapshot()
+    dest = tmp_path / "w0.rpq"
+    write_columnar(snap, dest)
+    return dest, snap
+
+
+# -- sweep: truncation at every boundary ------------------------------------
+
+
+def test_truncation_sweep_every_boundary(valid_rpq, tmp_path):
+    """Truncating at (or inside) every section always raises typed."""
+    dest, _ = valid_rpq
+    points = set()
+    for _, offset, length in corruption_points(dest):
+        points.add(offset)                      # section start
+        points.add(offset + max(1, length) // 2)  # mid-section
+    points.add(0)  # empty file
+    size = dest.stat().st_size
+    for offset in sorted(p for p in points if p < size):
+        victim = tmp_path / "trunc.rpq"
+        shutil.copy(dest, victim)
+        truncate_at(victim, offset)
+        with pytest.raises(CorruptSnapshotError) as err:
+            read_columnar_header(victim)
+        assert err.value.path == str(victim)
+        assert err.value.reason
+        # the full read must fail identically-typed, never return data
+        with pytest.raises(CorruptSnapshotError):
+            read_columnar(victim, PathTable())
+
+
+def test_bitflip_sweep_every_section(valid_rpq, tmp_path):
+    """One flipped bit anywhere in the file always raises typed."""
+    dest, _ = valid_rpq
+    for name, offset, length in corruption_points(dest):
+        for point in {offset, offset + max(1, length) // 2,
+                      offset + max(1, length) - 1}:
+            victim = tmp_path / "flip.rpq"
+            shutil.copy(dest, victim)
+            bit_flip(victim, point, bit=3)
+            with pytest.raises(CorruptSnapshotError) as err:
+                read_columnar(victim, PathTable())
+            assert err.value.path == str(victim), f"section {name} @{point}"
+            assert err.value.reason
+
+
+def test_header_level_faults_caught_before_data(valid_rpq, tmp_path):
+    """Header/trailer corruption is rejected by the cheap header read alone
+    (what DiskSnapshotCollection's construction-time verify relies on)."""
+    dest, _ = valid_rpq
+    for name, offset, length in corruption_points(dest):
+        if name.startswith("column:"):
+            continue
+        victim = tmp_path / "hdr.rpq"
+        shutil.copy(dest, victim)
+        bit_flip(victim, offset + max(1, length) // 2)
+        with pytest.raises(CorruptSnapshotError):
+            read_columnar_header(victim)
+
+
+def test_empty_and_tiny_files_raise_typed(tmp_path):
+    """Satellite: truncated/empty files give a typed error with the path,
+    not a struct-unpack or JSON traceback."""
+    empty = tmp_path / "empty.rpq"
+    empty.write_bytes(b"")
+    with pytest.raises(CorruptSnapshotError) as err:
+        read_columnar_header(empty)
+    assert str(empty) in str(err.value)
+
+    stub = tmp_path / "stub.rpq"
+    stub.write_bytes(MAGIC_V2 + b"\x20")  # magic + 1 byte of header_len
+    with pytest.raises(CorruptSnapshotError) as err:
+        read_columnar_header(stub)
+    assert str(stub) in str(err.value)
+
+    junk = tmp_path / "junk.rpq"
+    junk.write_bytes(b"not a snapshot at all, just some text padding")
+    with pytest.raises(CorruptSnapshotError, match="magic"):
+        read_columnar_header(junk)
+
+
+def test_describe_sections_tile_the_file(valid_rpq):
+    """Sections are contiguous and cover the whole file — the sweep has no
+    blind spots."""
+    dest, _ = valid_rpq
+    sections = describe_sections(dest)
+    offset = 0
+    for _, start, length in sections:
+        assert start == offset
+        offset += length
+    assert offset == dest.stat().st_size
+
+
+# -- legacy v1 files ---------------------------------------------------------
+
+
+def _write_v1(snapshot: Snapshot, dest) -> None:
+    """Hand-write the pre-trailer RPQ1 layout (what old archives hold)."""
+    blocks, metas = [], []
+    for name in NUMERIC_COLUMNS:
+        if name == "path_id":
+            continue
+        blob, meta = _encode_column(name, getattr(snapshot, name))
+        blocks.append(blob)
+        metas.append(meta)
+    strings = "\n".join(
+        snapshot.paths.paths[pid] for pid in snapshot.path_id
+    )
+    str_blob = zlib.compress(strings.encode("utf-8"), 6)
+    metas.append(
+        {
+            "name": "__paths__", "codec": "strtab-zlib",
+            "rows": int(snapshot.path_id.size), "raw_bytes": len(strings),
+            "stored_bytes": len(str_blob), "crc32": zlib.crc32(str_blob),
+        }
+    )
+    blocks.append(str_blob)
+    header = json.dumps(
+        {
+            "label": snapshot.label, "timestamp": snapshot.timestamp,
+            "rows": len(snapshot), "columns": metas,
+        }
+    ).encode("utf-8")
+    with open(dest, "wb") as fh:
+        fh.write(MAGIC_V1)
+        fh.write(len(header).to_bytes(4, "little"))
+        fh.write(header)
+        for blob in blocks:
+            fh.write(blob)
+
+
+def test_legacy_v1_file_still_reads(tmp_path):
+    snap = _make_snapshot()
+    dest = tmp_path / "legacy.rpq"
+    _write_v1(snap, dest)
+    header = read_columnar_header(dest)
+    assert header == {"label": "w0", "timestamp": 1000, "rows": len(snap)}
+    loaded = read_columnar(dest, PathTable())
+    assert len(loaded) == len(snap)
+    np.testing.assert_array_equal(loaded.atime, snap.atime)
+    assert loaded.path_strings() == [
+        snap.paths.paths[p] for p in snap.path_id
+    ]
+
+
+def test_legacy_v1_block_corruption_still_detected(tmp_path):
+    """v1 has no trailer, but its per-block CRCs still catch bit flips."""
+    snap = _make_snapshot()
+    dest = tmp_path / "legacy.rpq"
+    _write_v1(snap, dest)
+    sections = describe_sections(dest)
+    col = next(s for s in sections if s[0].startswith("column:"))
+    bit_flip(dest, col[1] + col[2] // 2)
+    with pytest.raises(CorruptSnapshotError, match="checksum"):
+        read_columnar(dest, PathTable())
+
+
+def test_new_writes_are_v2(valid_rpq):
+    dest, _ = valid_rpq
+    assert dest.read_bytes()[:4] == MAGIC_V2
+
+
+# -- harness self-tests ------------------------------------------------------
+
+
+def test_truncate_at_validates_offset(valid_rpq):
+    dest, _ = valid_rpq
+    with pytest.raises(ValueError):
+        truncate_at(dest, dest.stat().st_size + 1)
+    with pytest.raises(ValueError):
+        truncate_at(dest, -1)
+
+
+def test_bit_flip_validates_args(valid_rpq):
+    dest, _ = valid_rpq
+    with pytest.raises(ValueError):
+        bit_flip(dest, 0, bit=8)
+    with pytest.raises(ValueError):
+        bit_flip(dest, dest.stat().st_size)
+
+
+def test_bit_flip_is_self_inverse(valid_rpq):
+    dest, _ = valid_rpq
+    before = dest.read_bytes()
+    bit_flip(dest, 10, bit=5)
+    assert dest.read_bytes() != before
+    bit_flip(dest, 10, bit=5)
+    assert dest.read_bytes() == before
+
+
+def test_flaky_reader_counts_and_recovers():
+    flaky = FlakyReader(lambda x: x * 2, failures=2)
+    for _ in range(2):
+        with pytest.raises(OSError):
+            flaky(21)
+    assert flaky(21) == 42
+    assert flaky.calls == 3
