@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import random
 import shutil
+import signal
 import sys
 import tempfile
 import time
@@ -221,6 +222,66 @@ def soak_transient(archive: Path, workdir: Path, rng: random.Random,
     return errors
 
 
+def soak_deadline(archive: Path, workdir: Path, rng: random.Random,
+                  baseline: str) -> list[str]:
+    """Run-control contract: deadlines/cancels stop gracefully and resume
+    byte-identically from the flushed checkpoint."""
+    import repro.scan.store as store_mod
+
+    from repro.core.runcontrol import RunController, RunInterrupted
+
+    errors: list[str] = []
+    target = fresh_copy(archive, workdir)
+    # contract 1: a pre-expired deadline interrupts before snapshot work,
+    # with a typed error naming the deadline
+    try:
+        analyze(target, controller=RunController(max_seconds=0))
+        errors.append("pre-expired deadline did not interrupt the run")
+    except RunInterrupted as exc:
+        if "deadline" not in str(exc):
+            errors.append(f"interrupt without a deadline reason: {exc}")
+    # contract 2: a cancel mid-pass leaves a flushed journal, and resuming
+    # from it reproduces the uninterrupted baseline byte-for-byte
+    journal = workdir / "deadline.journal"
+    journal.unlink(missing_ok=True)
+    n_files = len(list(target.glob("*.rpq")))
+    cancel_after = rng.randrange(1, max(2, n_files - 1))
+    controller = RunController()
+    real_read = store_mod.read_columnar
+    state = {"loads": 0}
+
+    def cancelling_read(path, paths):
+        state["loads"] += 1
+        if state["loads"] > cancel_after:
+            controller.token.cancel("soak-injected cancel")
+        return real_read(path, paths)
+
+    store_mod.read_columnar = cancelling_read
+    try:
+        analyze(target, checkpoint=journal, controller=controller)
+        errors.append(
+            f"cancel after {cancel_after} loads never interrupted the pass"
+        )
+    except RunInterrupted:
+        pass
+    finally:
+        store_mod.read_columnar = real_read
+    if not journal.exists():
+        errors.append(
+            f"no journal survived a cancel after {cancel_after} loads"
+        )
+        return errors
+    resumed = analyze(target, checkpoint=journal)
+    if resumed != baseline:
+        errors.append(
+            f"resumed report (cancel after {cancel_after} loads) differs "
+            "from the uninterrupted baseline"
+        )
+    if journal.exists():
+        errors.append("journal not cleaned up after a successful resumed run")
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=3)
@@ -228,32 +289,70 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     rng = random.Random(args.seed)
     failures: list[str] = []
-    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
-        tmp = Path(tmp)
-        archive = tmp / "archive"
-        t0 = time.time()
-        print("building baseline archive...", flush=True)
-        baseline = build_archive(archive)
-        print(f"  {len(list(archive.glob('*.rpq')))} snapshots "
-              f"({time.time() - t0:.1f}s)")
-        suites = [
-            ("corruption", soak_corruption),
-            ("resume", soak_resume),
-            ("transient-io", soak_transient),
-        ]
-        for round_no in range(1, args.rounds + 1):
-            for name, suite in suites:
-                t0 = time.time()
-                errs = suite(archive, tmp, rng, baseline)
-                status = "ok" if not errs else "FAIL"
-                print(f"round {round_no} {name:<12} {status} "
-                      f"({time.time() - t0:.1f}s)", flush=True)
-                failures.extend(f"round {round_no} [{name}] {e}" for e in errs)
+    suites_run = 0
+    rounds_done = 0
+
+    # an interrupted soak must still report what it learned: the first
+    # SIGINT requests a stop at the next suite boundary (the summary and
+    # the TemporaryDirectory cleanup both still run); a second aborts hard
+    interrupted = {"hit": False}
+
+    def _on_sigint(signum, frame):
+        if interrupted["hit"]:
+            raise KeyboardInterrupt
+        interrupted["hit"] = True
+        print(
+            "\nSIGINT — finishing the current suite, then summarizing "
+            "(press Ctrl-C again to abort hard)",
+            flush=True,
+        )
+
+    previous_sigint = signal.signal(signal.SIGINT, _on_sigint)
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            tmp = Path(tmp)
+            archive = tmp / "archive"
+            t0 = time.time()
+            print("building baseline archive...", flush=True)
+            baseline = build_archive(archive)
+            print(f"  {len(list(archive.glob('*.rpq')))} snapshots "
+                  f"({time.time() - t0:.1f}s)")
+            suites = [
+                ("corruption", soak_corruption),
+                ("resume", soak_resume),
+                ("transient-io", soak_transient),
+                ("deadline", soak_deadline),
+            ]
+            for round_no in range(1, args.rounds + 1):
+                if interrupted["hit"]:
+                    break
+                for name, suite in suites:
+                    if interrupted["hit"]:
+                        break
+                    t0 = time.time()
+                    errs = suite(archive, tmp, rng, baseline)
+                    suites_run += 1
+                    status = "ok" if not errs else "FAIL"
+                    print(f"round {round_no} {name:<12} {status} "
+                          f"({time.time() - t0:.1f}s)", flush=True)
+                    failures.extend(
+                        f"round {round_no} [{name}] {e}" for e in errs
+                    )
+                else:
+                    rounds_done += 1
+    finally:
+        signal.signal(signal.SIGINT, previous_sigint)
+    if interrupted["hit"]:
+        print(f"\ninterrupted after {rounds_done} full round(s), "
+              f"{suites_run} suite run(s)")
     if failures:
         print(f"\n{len(failures)} contract violation(s):", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
+    if interrupted["hit"]:
+        print("no contract violations before the interrupt")
+        return 130
     print("\nall chaos rounds passed: no silent wrong data, resume exact")
     return 0
 

@@ -33,6 +33,12 @@ class AnalysisContext:
     #: archive's config fingerprint); a journal written under a different
     #: fingerprint is discarded instead of trusted
     checkpoint_meta: dict = field(default_factory=dict)
+    #: optional :class:`~repro.core.runcontrol.RunController` — threaded
+    #: into every kernel pass so deadlines/signals interrupt gracefully
+    controller: object | None = None
+    #: per-snapshot circuit-breaker threshold (see
+    #: :meth:`~repro.query.engine.ExecutionEngine.run_kernels`)
+    max_task_failures: int | None = None
 
     # -- kernel execution ------------------------------------------------------
 
@@ -57,7 +63,13 @@ class AnalysisContext:
                 labels=list(self.collection.labels),
                 fingerprint=self.checkpoint_meta,
             )
-        return self.executor.run_kernels(self.collection, kernels, journal=journal)
+        return self.executor.run_kernels(
+            self.collection,
+            kernels,
+            journal=journal,
+            controller=self.controller,
+            max_task_failures=self.max_task_failures,
+        )
 
     # -- execution observability ----------------------------------------------
 

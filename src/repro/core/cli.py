@@ -11,8 +11,14 @@ import sys
 import time
 
 from repro.core.pipeline import ReproPipeline
+from repro.core.runcontrol import RunController, RunInterrupted
 from repro.query.parallel import SnapshotExecutor
 from repro.synth.driver import SimulationConfig
+
+#: Exit codes for interrupted runs: 130 = stopped by signal (128+SIGINT,
+#: shell convention), 124 = deadline expired (same as timeout(1)).
+EXIT_SIGNAL = 130
+EXIT_DEADLINE = 124
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,6 +82,42 @@ def build_parser() -> argparse.ArgumentParser:
         "the first unprocessed snapshot (deleted after a successful run)",
     )
     parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget for the whole run; on expiry the pipeline "
+        "stops gracefully at the next boundary (week / snapshot / dispatch "
+        "wave), flushes any --checkpoint journal, prints the resume hint, "
+        f"and exits {EXIT_DEADLINE}",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="BYTES",
+        help="byte ceiling for the run's working set (accepts 512M / 2G / "
+        "plain bytes); half caps the snapshot cache (byte-denominated "
+        "eviction), the rest caps in-flight dispatch waves",
+    )
+    parser.add_argument(
+        "--max-task-failures",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-snapshot circuit breaker: a snapshot whose analysis task "
+        "fails N times across retries is quarantined into the archive "
+        "health report instead of failing the run (requires a non-raise "
+        "--on-error policy; defaults to retries+1 under skip/quarantine)",
+    )
+    parser.add_argument(
+        "--grace-seconds",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="how long in-flight workers may drain after a stop is "
+        "requested before the pool is terminated (default: 5)",
+    )
+    parser.add_argument(
         "--allow-config-mismatch",
         action="store_true",
         help="downgrade an archive-manifest config mismatch (seed, "
@@ -123,7 +165,33 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    """CLI entry point: the only place signal handlers are installed.
+
+    Library callers construct a :class:`RunController` and pass it down
+    explicitly; the CLI owns the process, so it routes SIGINT/SIGTERM into
+    the controller's token and converts a graceful
+    :class:`RunInterrupted` stop into conventional exit codes
+    (130 signal, 124 deadline — like ``timeout(1)``).
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        controller = RunController(
+            max_seconds=args.max_seconds,
+            memory_budget=args.memory_budget,
+            grace_seconds=args.grace_seconds,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    with controller.install_signal_handlers():
+        try:
+            return _run(args, controller)
+        except RunInterrupted as err:
+            print(f"# interrupted: {err}", file=sys.stderr)
+            return EXIT_SIGNAL if "SIG" in err.reason else EXIT_DEADLINE
+
+
+def _run(args: argparse.Namespace, controller: RunController) -> int:
     config = SimulationConfig(
         seed=args.seed,
         scale=args.scale,
@@ -148,6 +216,8 @@ def main(argv: list[str] | None = None) -> int:
             on_error=args.on_error,
             checkpoint=args.checkpoint,
             allow_config_mismatch=args.allow_config_mismatch,
+            controller=controller,
+            max_task_failures=args.max_task_failures,
         )
         print(
             f"# analyzed {pipeline.simulation.n_snapshots} archived "
@@ -164,6 +234,7 @@ def main(argv: list[str] | None = None) -> int:
             config=config,
             executor=executor,
             burstiness_min_files=args.burstiness_min_files,
+            controller=controller,
         )
         sim = pipeline.simulate(verbose=args.verbose)
         print(

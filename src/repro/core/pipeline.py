@@ -22,6 +22,7 @@ from pathlib import Path
 from repro.analysis import report as rpt
 from repro.analysis.context import AnalysisContext
 from repro.analysis.registry import AnalyzeOptions, resolve_specs, run_analyses
+from repro.core.runcontrol import RunController, RunInterrupted
 from repro.query.parallel import SnapshotExecutor
 from repro.scan.columnar import write_columnar
 from repro.scan.psv import write_psv
@@ -109,21 +110,26 @@ class ReproPipeline:
         config: SimulationConfig | None = None,
         executor: SnapshotExecutor | None = None,
         burstiness_min_files: int = 10,
+        controller: RunController | None = None,
     ) -> None:
         self.config = config if config is not None else SimulationConfig()
         self.executor = executor if executor is not None else SnapshotExecutor(1)
         self.burstiness_min_files = burstiness_min_files
+        self.controller = controller
         self.simulation: SimulationResult | None = None
         self.context: AnalysisContext | None = None
 
     # -- stages -----------------------------------------------------------
 
     def simulate(self, verbose: bool = False) -> SimulationResult:
-        self.simulation = run_simulation(self.config, verbose=verbose)
+        self.simulation = run_simulation(
+            self.config, verbose=verbose, controller=self.controller
+        )
         self.context = AnalysisContext(
             collection=self.simulation.collection,
             population=self.simulation.population,
             executor=self.executor,
+            controller=self.controller,
         )
         return self.simulation
 
@@ -148,6 +154,21 @@ class ReproPipeline:
             snaps = snaps[:max_snapshots]
         records = []
         for snap in snaps:
+            if self.controller is not None:
+                reason = self.controller.should_stop()
+                if reason is not None:
+                    raise RunInterrupted(
+                        f"archive interrupted ({reason}) after "
+                        f"{len(records)}/{len(snaps)} snapshots",
+                        reason=reason,
+                        partial=records,
+                        resume_hint=(
+                            "every archived file is complete (atomic "
+                            "writes); re-run the same command to finish — "
+                            "already-written snapshots are overwritten "
+                            "in place"
+                        ),
+                    )
             psv_path = directory / f"{snap.label}.psv"
             psv_total += write_psv(snap, psv_path, ost_count=self.config.ost_count)
             col_path = directory / f"{snap.label}.rpq"
@@ -201,6 +222,8 @@ def analyze_archive(
     verify: str | None = None,
     checkpoint: str | Path | None = None,
     allow_config_mismatch: bool = False,
+    controller: RunController | None = None,
+    max_task_failures: int | None = None,
 ) -> tuple[ReproPipeline, PaperReport]:
     """Out-of-core analysis: run every §4 analysis from archived snapshots.
 
@@ -230,6 +253,22 @@ def analyze_archive(
       snapshot, and the journal is deleted after a successful run.
       Requires ``fused=True`` (the legacy multi-pass mode has no single
       pass to journal).
+
+    Run control:
+
+    * ``controller`` — a :class:`~repro.core.runcontrol.RunController`;
+      its deadline/signals interrupt the kernel pass gracefully (flushed
+      checkpoint, typed :class:`~repro.core.runcontrol.RunInterrupted`
+      with a resume hint), and its
+      :class:`~repro.core.runcontrol.MemoryBudget` caps the snapshot
+      cache (``cache_bytes`` share, byte-denominated eviction) and the
+      engine's dispatch waves (``wave_bytes`` share);
+    * ``max_task_failures`` — per-snapshot circuit breaker: a snapshot
+      whose task fails this many times across retries is quarantined into
+      the :class:`~repro.scan.store.ArchiveHealthReport` instead of
+      sinking the run.  Defaults to ``executor retries + 1`` whenever a
+      non-raise ``on_error`` policy is chosen (degraded-mode runs keep
+      going); under ``on_error="raise"`` the breaker stays disarmed.
     """
     from repro.analysis.context import AnalysisContext
     from repro.core.manifest import config_fingerprint, validate_manifest
@@ -244,9 +283,15 @@ def analyze_archive(
         config=config, executor=executor,
         burstiness_min_files=burstiness_min_files,
     )
+    pipeline.controller = controller
     if verify is None:
         verify = "deep" if on_error != "raise" else "header"
-    collection = DiskSnapshotCollection(directory, on_error=on_error, verify=verify)
+    cache_bytes = None
+    if controller is not None and controller.memory_budget is not None:
+        cache_bytes = controller.memory_budget.cache_bytes
+    collection = DiskSnapshotCollection(
+        directory, on_error=on_error, verify=verify, cache_bytes=cache_bytes
+    )
     if collection.health.degraded:
         warnings.warn(
             "analyzing a DEGRADED archive — report covers the surviving "
@@ -255,12 +300,17 @@ def analyze_archive(
             stacklevel=2,
         )
     population = generate_population(seed=config.seed, n_users=config.n_users)
+    if max_task_failures is None and on_error != "raise":
+        # degraded-mode default: one full retry cycle, then quarantine
+        max_task_failures = pipeline.executor.config.retries + 1
     pipeline.context = AnalysisContext(
         collection=collection,  # type: ignore[arg-type]
         population=population,
         executor=pipeline.executor,
         checkpoint=Path(checkpoint) if checkpoint is not None else None,
         checkpoint_meta={"config": config_fingerprint(config)},
+        controller=controller,
+        max_task_failures=max_task_failures,
     )
 
     # a minimal stand-in simulation record (no scanner history: Figure 15's

@@ -39,7 +39,16 @@ class QuotaManager:
         return entry
 
     def charge(self, gid: int, count: int) -> None:
-        """Account ``count`` new inodes to ``gid``; raises when over limit."""
+        """Account ``count`` new inodes to ``gid``; raises when over limit.
+
+        ``count`` must be non-negative: a negative charge would silently
+        bypass enforcement (``used + count`` shrinks below the limit) and
+        skew ``peak``; a refund is an explicit :meth:`refund`.
+        """
+        if count < 0:
+            raise ValueError(
+                f"charge count must be >= 0, got {count} (use refund())"
+            )
         entry = self._entry(gid)
         if (
             self.enforcing
@@ -55,6 +64,10 @@ class QuotaManager:
             entry.peak = entry.used
 
     def refund(self, gid: int, count: int) -> None:
+        if count < 0:
+            raise ValueError(
+                f"refund count must be >= 0, got {count} (use charge())"
+            )
         entry = self._entry(gid)
         entry.used = max(0, entry.used - count)
 

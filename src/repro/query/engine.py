@@ -39,6 +39,21 @@ subsystem needs in production:
   ``map_fn`` share one evaluation.  Per-kernel busy time and
   parent-visible snapshot loads land in the run's :class:`ExecutionStats`.
 
+* **run control** — tasks are dispatched in bounded *waves* (one chunk per
+  worker in flight) and a :class:`~repro.core.runcontrol.RunController` is
+  polled between deliveries: an expired deadline or a received
+  SIGINT/SIGTERM stops dispatch, lets in-flight workers drain for a
+  bounded grace period (journaling every result that arrives), terminates
+  the pool, and raises a typed
+  :class:`~repro.core.runcontrol.RunInterrupted` whose message names the
+  exact ``--checkpoint`` invocation that resumes byte-identically.  A
+  :class:`~repro.core.runcontrol.MemoryBudget` caps the wave size so the
+  decoded snapshots resident in workers never exceed the byte ceiling,
+  and a per-snapshot **circuit breaker** (``max_task_failures``) can
+  quarantine a persistently failing snapshot into the collection's
+  :class:`~repro.scan.store.ArchiveHealthReport` instead of sinking the
+  whole run.
+
 The chosen start method defaults to ``$REPRO_START_METHOD`` when set
 (``fork`` / ``spawn`` / ``forkserver`` / ``serial``), else ``fork`` where
 available, else ``spawn``.
@@ -49,6 +64,8 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import pickle
+import queue
+import signal
 import time
 import traceback
 import warnings
@@ -56,6 +73,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core.runcontrol import RunController, RunInterrupted
 from repro.query import shm as shm_transport
 from repro.scan.snapshot import SnapshotCollection
 
@@ -151,6 +169,16 @@ class ExecutionStats:
     failures: int = 0
     #: fused runs: tasks restored from a checkpoint journal instead of run
     restored_tasks: int = 0
+    #: tasks never run because the run was interrupted (deadline/signal)
+    cancelled_tasks: int = 0
+    #: snapshots quarantined by the per-snapshot circuit breaker
+    quarantined_snapshots: int = 0
+    #: high-water mark of the collection's snapshot cache, in bytes
+    #: (parent-visible; 0 for collections without byte accounting)
+    peak_cache_bytes: int = 0
+    #: seconds left on the controller's deadline when the run ended
+    #: (None when the run had no deadline)
+    deadline_remaining_s: float | None = None
     downgraded: bool = False
     downgrade_reason: str = ""
     #: per-task wall seconds, in completion order
@@ -183,6 +211,15 @@ class ExecutionStats:
         self.retries += other.retries
         self.failures += other.failures
         self.restored_tasks += other.restored_tasks
+        self.cancelled_tasks += other.cancelled_tasks
+        self.quarantined_snapshots += other.quarantined_snapshots
+        self.peak_cache_bytes = max(self.peak_cache_bytes, other.peak_cache_bytes)
+        if other.deadline_remaining_s is not None:
+            self.deadline_remaining_s = (
+                other.deadline_remaining_s
+                if self.deadline_remaining_s is None
+                else min(self.deadline_remaining_s, other.deadline_remaining_s)
+            )
         self.downgraded = self.downgraded or other.downgraded
         if other.downgrade_reason:
             self.downgrade_reason = other.downgrade_reason
@@ -220,6 +257,23 @@ class ExecutionStats:
         if self.restored_tasks:
             lines.append(
                 f"restored from checkpoint: {self.restored_tasks} tasks"
+            )
+        if self.cancelled_tasks:
+            lines.append(
+                f"cancelled (graceful stop): {self.cancelled_tasks} tasks not run"
+            )
+        if self.quarantined_snapshots:
+            lines.append(
+                f"quarantined snapshots: {self.quarantined_snapshots} "
+                "(circuit breaker)"
+            )
+        if self.peak_cache_bytes:
+            lines.append(
+                f"peak snapshot cache {self.peak_cache_bytes / 1e6:.1f}MB"
+            )
+        if self.deadline_remaining_s is not None:
+            lines.append(
+                f"deadline remaining {self.deadline_remaining_s:.1f}s at finish"
             )
         if self.snapshot_loads:
             lines.append(f"snapshot loads (parent-visible): {self.snapshot_loads}")
@@ -276,6 +330,29 @@ class EngineConfig:
     task_timeout: float | None = 300.0
 
 
+class QuarantinedRow:
+    """Placeholder row for a snapshot the circuit breaker quarantined.
+
+    Lives at module level (and pickles cleanly) so quarantine decisions
+    journal and restore like any other row — a resumed run skips the bad
+    snapshot instead of tripping over it again.  Kernel reduces never see
+    one: :meth:`ExecutionEngine.run_kernels` filters quarantined indices
+    out of every kernel's partials, exactly like a snapshot the
+    degradation policy dropped at construction.
+    """
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+
+    def __getstate__(self) -> str:
+        return self.reason
+
+    def __setstate__(self, state: str) -> None:
+        self.reason = state
+
+
 # -- worker side -----------------------------------------------------------
 #
 # Each worker process gets its context exactly once, via the pool
@@ -298,6 +375,15 @@ _WORKER: _WorkerContext | None = None
 
 def _init_worker(payload: tuple) -> None:
     global _WORKER
+    # Ctrl-C is the *parent's* stop signal: the parent converts it into a
+    # graceful drain (journal flushed, bounded grace, pool terminated).  A
+    # terminal delivers SIGINT to the whole process group, so workers must
+    # ignore it or they die mid-task and the drain collects nothing.
+    # SIGTERM stays at its default — ``Pool.terminate()`` relies on it.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
     fn, mode, retries, retry_backoff, transport, data = payload
     segment = None
     if transport == "shm":
@@ -426,6 +512,8 @@ class ExecutionEngine:
         collection: Any,
         kernels: Sequence[Kernel],
         journal: Any = None,
+        controller: RunController | None = None,
+        max_task_failures: int | None = None,
     ) -> tuple[dict[str, Any], ExecutionStats]:
         """Run every kernel in a single fused pass over the collection.
 
@@ -443,6 +531,21 @@ class ExecutionEngine:
         rows are trusted, the collection's path interning is replayed in
         index order (``warm_paths``) so path ids inside restored partials
         stay consistent with live loads.
+
+        ``controller`` (a :class:`~repro.core.runcontrol.RunController`) is
+        polled between dispatch waves; on an expired deadline or a
+        cancelled token the pass stops gracefully — checkpoint flushed,
+        in-flight workers drained within the grace period, pool terminated
+        — and raises :class:`~repro.core.runcontrol.RunInterrupted` with
+        the resume invocation in its message.  ``max_task_failures``
+        enables the per-snapshot circuit breaker: a snapshot whose task
+        fails that many times across retries is quarantined via the
+        collection's ``quarantine_task_failure`` hook (recorded in its
+        :class:`~repro.scan.store.ArchiveHealthReport` under the existing
+        ``on_error`` policy) and excluded from every kernel's reduce, like
+        a corrupt file dropped at construction.  The breaker requires a
+        non-``raise`` policy on the collection; otherwise failures raise a
+        :class:`TaskError` exactly as before.
         """
         kernels = list(kernels)
         names = [k.name for k in kernels]
@@ -463,17 +566,49 @@ class ExecutionEngine:
                     warm(index)
         remaining = [i for i in range(n) if i not in restored]
         on_result = journal.append if journal is not None else None
+        quarantine = self._resolve_quarantine(collection, max_task_failures)
         try:
             fresh, stats = self._run(
-                collection, specs, remaining, _MODE_FUSED, on_result=on_result
+                collection,
+                specs,
+                remaining,
+                _MODE_FUSED,
+                on_result=on_result,
+                controller=controller,
+                quarantine=quarantine,
+                max_task_failures=max_task_failures,
             )
+        except RunInterrupted as err:
+            if err.resume_hint is None:
+                if journal is not None:
+                    err.resume_hint = (
+                        "re-run the same command with --checkpoint "
+                        f"{journal.path} — completed snapshots are journaled "
+                        "and the resumed report is byte-identical"
+                    )
+                else:
+                    err.resume_hint = (
+                        "no checkpoint journal was configured; pass "
+                        "--checkpoint PATH to make runs resumable"
+                    )
+            if err.stats is not None:
+                err.stats.restored_tasks = len(restored)
+            raise
         finally:
+            # flush the checkpoint: every journaled row is already fsynced,
+            # this releases the file handle even on an interrupt/failure
             if journal is not None:
                 journal.close()
         rows: dict[int, Any] = dict(restored)
         rows.update(zip(remaining, fresh))
         stats.restored_tasks = len(restored)
+        quarantined_idx = {
+            i for i, row in rows.items() if isinstance(row, QuarantinedRow)
+        }
+        stats.quarantined_snapshots = len(quarantined_idx)
         for i in remaining:
+            if i in quarantined_idx:
+                continue
             _, times = rows[i]
             for name, secs in times.items():
                 stats.kernel_map_seconds[name] = (
@@ -482,11 +617,37 @@ class ExecutionEngine:
         results: dict[str, Any] = {}
         for kernel in kernels:
             start = 1 if kernel.pairwise else 0
-            partials = [rows[i][0][kernel.name] for i in range(start, n)]
+            partials = [
+                rows[i][0][kernel.name]
+                for i in range(start, n)
+                if i not in quarantined_idx
+            ]
             t0 = time.perf_counter()
             results[kernel.name] = kernel.reduce_fn(partials)
             stats.kernel_reduce_seconds[kernel.name] = time.perf_counter() - t0
         return results, stats
+
+    @staticmethod
+    def _resolve_quarantine(
+        collection: Any, max_task_failures: int | None
+    ) -> Callable[[int, str], str] | None:
+        """The circuit breaker's quarantine hook, when armed.
+
+        Requires an explicit ``max_task_failures`` *and* a collection that
+        both exposes ``quarantine_task_failure`` and carries a non-raise
+        ``on_error`` policy — quarantining a snapshot behind the back of an
+        ``on_error="raise"`` caller would be a silent partial result.
+        """
+        if max_task_failures is None:
+            return None
+        if max_task_failures < 1:
+            raise ValueError("max_task_failures must be >= 1")
+        hook = getattr(collection, "quarantine_task_failure", None)
+        if not callable(hook):
+            return None
+        if getattr(collection, "on_error", "raise") == "raise":
+            return None
+        return hook
 
     # -- policy resolution -------------------------------------------------
 
@@ -522,6 +683,9 @@ class ExecutionEngine:
         indices: list[int],
         mode: str,
         on_result: Callable[[int, Any], None] | None = None,
+        controller: RunController | None = None,
+        quarantine: Callable[[int, str], str] | None = None,
+        max_task_failures: int | None = None,
     ) -> tuple[list[Any], ExecutionStats]:
         """Dispatch with parent-visible snapshot-load accounting.
 
@@ -529,16 +693,32 @@ class ExecutionEngine:
         result arrives (completion order) — the checkpoint journal's hook.
         """
         loads_before = getattr(collection, "loads", None)
+
+        def finish(stats: ExecutionStats) -> None:
+            if loads_before is not None:
+                stats.snapshot_loads += int(collection.loads) - loads_before
+            peak = getattr(collection, "peak_cache_bytes", 0)
+            if peak:
+                stats.peak_cache_bytes = max(stats.peak_cache_bytes, int(peak))
+            if controller is not None and controller.deadline is not None:
+                stats.deadline_remaining_s = controller.remaining()
+
         try:
             results, stats = self._dispatch(
-                collection, fn, indices, mode, on_result
+                collection,
+                fn,
+                indices,
+                mode,
+                on_result,
+                controller=controller,
+                quarantine=quarantine,
+                max_task_failures=max_task_failures,
             )
-        except TaskError as err:
-            if err.stats is not None and loads_before is not None:
-                err.stats.snapshot_loads += int(collection.loads) - loads_before
+        except (TaskError, RunInterrupted) as err:
+            if err.stats is not None:
+                finish(err.stats)
             raise
-        if loads_before is not None:
-            stats.snapshot_loads += int(collection.loads) - loads_before
+        finish(stats)
         return results, stats
 
     def _dispatch(
@@ -548,6 +728,9 @@ class ExecutionEngine:
         indices: list[int],
         mode: str,
         on_result: Callable[[int, Any], None] | None = None,
+        controller: RunController | None = None,
+        quarantine: Callable[[int, str], str] | None = None,
+        max_task_failures: int | None = None,
     ) -> tuple[list[Any], ExecutionStats]:
         stats = ExecutionStats(runs=1)
         n = len(indices)
@@ -555,18 +738,39 @@ class ExecutionEngine:
             return [], stats
         stats.n_tasks = n
         processes = self._resolve_processes(n)
+        budget = controller.memory_budget if controller is not None else None
+        if budget is not None:
+            # memory pressure: shrink the dispatch wave so the decoded
+            # snapshots resident in workers fit the budget's wave share —
+            # degrade throughput, never OOM.  cap == 1 falls back to serial.
+            per_task = _estimate_task_nbytes(collection)
+            if per_task > 0:
+                cap = max(1, budget.wave_bytes // per_task)
+                processes = min(processes, int(cap))
+        serial_kwargs = dict(
+            on_result=on_result,
+            controller=controller,
+            quarantine=quarantine,
+            max_task_failures=max_task_failures,
+        )
         if processes <= 1:
-            return self._run_serial(collection, fn, indices, mode, stats, on_result)
+            return self._run_serial(
+                collection, fn, indices, mode, stats, **serial_kwargs
+            )
         method = self._resolve_start_method()
         if method == SERIAL:
             # explicit policy choice (config or $REPRO_START_METHOD=serial)
-            return self._run_serial(collection, fn, indices, mode, stats, on_result)
+            return self._run_serial(
+                collection, fn, indices, mode, stats, **serial_kwargs
+            )
         if mp.current_process().daemon:
             # nested map inside a pool worker: daemonic processes cannot
             # have children, run inline (recorded, not a parent-side warning)
             stats.downgraded = True
             stats.downgrade_reason = "nested map inside a daemonic worker"
-            return self._run_serial(collection, fn, indices, mode, stats, on_result)
+            return self._run_serial(
+                collection, fn, indices, mode, stats, **serial_kwargs
+            )
 
         export: shm_transport.CollectionExport | None = None
         if method == "fork":
@@ -575,7 +779,8 @@ class ExecutionEngine:
             reason = _unpicklable_reason((fn,))
             if reason is not None:
                 return self._downgrade(
-                    collection, fn, indices, mode, stats, method, reason, on_result
+                    collection, fn, indices, mode, stats, method, reason,
+                    **serial_kwargs,
                 )
             export = shm_transport.export_collection(collection)
             transport, data = "shm", export.handle
@@ -583,21 +788,33 @@ class ExecutionEngine:
             reason = _unpicklable_reason((fn, collection))
             if reason is not None:
                 return self._downgrade(
-                    collection, fn, indices, mode, stats, method, reason, on_result
+                    collection, fn, indices, mode, stats, method, reason,
+                    **serial_kwargs,
                 )
             transport, data = "pickle", collection
 
         stats.processes = processes
         stats.start_method = method
         stats.transport = transport
+        retries = self._effective_retries(quarantine, max_task_failures)
         chunk_size = self.config.chunk_size or max(1, -(-n // (processes * 4)))
         chunks = [indices[i : i + chunk_size] for i in range(0, n, chunk_size)]
         payload = (
-            fn, mode, self.config.retries, self.config.retry_backoff,
+            fn, mode, retries, self.config.retry_backoff,
             transport, data,
         )
+        # Dispatch in bounded waves — at most ``wave`` chunks in flight,
+        # the next submitted only as one completes.  Waves are what make
+        # run control enforceable: a stop request halts *submission*
+        # immediately (only in-flight chunks drain during the grace
+        # period), and under a memory budget in-flight decoded snapshots
+        # never exceed wave × window bytes.  Without a budget each worker
+        # keeps one chunk queued behind the one it is executing.
+        wave = min(len(chunks), processes if budget is not None else processes * 2)
+        poll = 0.2  # controller polling cadence while waiting for results
         results: dict[int, Any] = {}
-        failure: tuple[int, str] | None = None
+        failure: tuple[int | None, str] | None = None
+        cancel_reason: str | None = None
         t0 = time.perf_counter()
         try:
             ctx = mp.get_context(method)
@@ -606,24 +823,68 @@ class ExecutionEngine:
                 initializer=_init_worker,
                 initargs=(payload,),
             ) as pool:
-                it = pool.imap_unordered(_run_chunk, chunks, chunksize=1)
-                for _ in range(len(chunks)):
+                inbox: queue.SimpleQueue = queue.SimpleQueue()
+
+                def submit(chunk: Sequence[int]) -> None:
+                    pool.apply_async(
+                        _run_chunk,
+                        (chunk,),
+                        callback=lambda entries: inbox.put(("ok", entries)),
+                        error_callback=lambda exc: inbox.put(("err", exc)),
+                    )
+
+                next_chunk = 0
+                while next_chunk < wave:
+                    submit(chunks[next_chunk])
+                    next_chunk += 1
+                inflight = next_chunk
+                waited = 0.0
+                drain_deadline: float | None = None
+                while inflight:
+                    if controller is not None and cancel_reason is None:
+                        cancel_reason = controller.should_stop()
+                        if cancel_reason is not None:
+                            drain_deadline = (
+                                time.monotonic() + controller.grace_seconds
+                            )
+                    if (
+                        drain_deadline is not None
+                        and time.monotonic() >= drain_deadline
+                    ):
+                        break  # grace expired: abandon in-flight chunks
+                    timeout = self.config.task_timeout
+                    if controller is not None:
+                        timeout = poll if timeout is None else min(poll, timeout)
                     try:
-                        if self.config.task_timeout is not None:
-                            entries = it.next(self.config.task_timeout)
+                        if timeout is None:
+                            kind, item = inbox.get()
                         else:
-                            entries = it.next()
-                    except mp.TimeoutError:
-                        pending = sorted(set(indices) - set(results))
+                            kind, item = inbox.get(timeout=timeout)
+                    except queue.Empty:
+                        waited += timeout
+                        if (
+                            self.config.task_timeout is not None
+                            and waited >= self.config.task_timeout
+                        ):
+                            pending = sorted(set(indices) - set(results))
+                            stats.failures += 1
+                            raise TaskError(
+                                f"no result within {self.config.task_timeout}s — a worker "
+                                f"crashed or a task is stuck; pending snapshot indices "
+                                f"{pending[:8]}{'…' if len(pending) > 8 else ''}",
+                                index=pending[0] if pending else None,
+                                stats=stats,
+                            ) from None
+                        continue
+                    waited = 0.0
+                    inflight -= 1
+                    if kind == "err":
                         stats.failures += 1
                         raise TaskError(
-                            f"no result within {self.config.task_timeout}s — a worker "
-                            f"crashed or a task is stuck; pending snapshot indices "
-                            f"{pending[:8]}{'…' if len(pending) > 8 else ''}",
-                            index=pending[0] if pending else None,
+                            f"chunk execution failed in the pool: {item!r}",
                             stats=stats,
-                        ) from None
-                    for index, ok, value, secs, nbytes, used in entries:
+                        ) from item
+                    for index, ok, value, secs, nbytes, used in item:
                         stats.task_seconds += secs
                         stats.task_wall.append(secs)
                         stats.retries += used
@@ -632,24 +893,57 @@ class ExecutionEngine:
                             results[index] = value
                             if on_result is not None:
                                 on_result(index, value)
+                        elif quarantine is not None:
+                            # circuit breaker: the task burned through its
+                            # allowed attempts — quarantine the snapshot
+                            # instead of sinking the run
+                            stats.failures += 1
+                            row = QuarantinedRow(_failure_digest(value))
+                            quarantine(index, row.reason)
+                            results[index] = row
+                            if on_result is not None:
+                                on_result(index, row)
                         else:
                             stats.failures += 1
                             if failure is None:
                                 failure = (index, value)
+                    if cancel_reason is None and next_chunk < len(chunks):
+                        submit(chunks[next_chunk])
+                        next_chunk += 1
+                        inflight += 1
         finally:
             stats.wall_seconds = time.perf_counter() - t0
             if export is not None:
                 export.destroy()
+        if cancel_reason is not None:
+            stats.cancelled_tasks = sum(1 for i in indices if i not in results)
+            done = n - stats.cancelled_tasks
+            raise RunInterrupted(
+                f"run interrupted ({cancel_reason}) after {done}/{n} tasks; "
+                "in-flight workers drained, pool terminated",
+                reason=cancel_reason,
+                stats=stats,
+            )
         if failure is not None:
             index, tb_text = failure
             raise TaskError(
                 f"snapshot task {index} failed in a worker "
-                f"(after {self.config.retries} retries)",
+                f"(after {retries} retries)",
                 index=index,
                 traceback_text=tb_text,
                 stats=stats,
             )
         return [results[i] for i in indices], stats
+
+    def _effective_retries(
+        self,
+        quarantine: Callable[[int, str], str] | None,
+        max_task_failures: int | None,
+    ) -> int:
+        """In-worker retry count; the circuit breaker caps total attempts."""
+        if quarantine is not None and max_task_failures is not None:
+            return min(self.config.retries, max_task_failures - 1)
+        return self.config.retries
 
     def _downgrade(
         self,
@@ -660,7 +954,7 @@ class ExecutionEngine:
         stats: ExecutionStats,
         method: str,
         reason: str,
-        on_result: Callable[[int, Any], None] | None = None,
+        **serial_kwargs: Any,
     ) -> tuple[list[Any], ExecutionStats]:
         """Explicit (warned + recorded) fallback to serial execution."""
         message = (
@@ -669,7 +963,7 @@ class ExecutionEngine:
         warnings.warn(message, RuntimeWarning, stacklevel=4)
         stats.downgraded = True
         stats.downgrade_reason = reason
-        return self._run_serial(collection, fn, indices, mode, stats, on_result)
+        return self._run_serial(collection, fn, indices, mode, stats, **serial_kwargs)
 
     def _run_serial(
         self,
@@ -679,18 +973,31 @@ class ExecutionEngine:
         mode: str,
         stats: ExecutionStats,
         on_result: Callable[[int, Any], None] | None = None,
+        controller: RunController | None = None,
+        quarantine: Callable[[int, str], str] | None = None,
+        max_task_failures: int | None = None,
     ) -> tuple[list[Any], ExecutionStats]:
         ctx = _WorkerContext(
             collection=collection,
             fn=fn,
             mode=mode,
-            retries=self.config.retries,
+            retries=self._effective_retries(quarantine, max_task_failures),
             retry_backoff=self.config.retry_backoff,
         )
         results: list[Any] = []
         t0 = time.perf_counter()
         try:
-            for index in indices:
+            for pos, index in enumerate(indices):
+                if controller is not None:
+                    reason = controller.should_stop()
+                    if reason is not None:
+                        stats.cancelled_tasks = len(indices) - pos
+                        raise RunInterrupted(
+                            f"run interrupted ({reason}) after {pos}/"
+                            f"{len(indices)} tasks; completed work journaled",
+                            reason=reason,
+                            stats=stats,
+                        )
                 t_task = time.perf_counter()
                 used = 0
                 while True:
@@ -706,6 +1013,12 @@ class ExecutionEngine:
                         stats.retries += used
                         stats.failures += 1
                         stats.task_wall.append(time.perf_counter() - t_task)
+                        if quarantine is not None:
+                            # circuit breaker (see the parallel path)
+                            value = QuarantinedRow(_failure_digest(repr(exc)))
+                            quarantine(index, value.reason)
+                            nbytes = 0
+                            break
                         raise TaskError(
                             f"snapshot task {index} failed "
                             f"(after {used} retries): {exc!r}",
@@ -713,17 +1026,43 @@ class ExecutionEngine:
                             traceback_text=traceback.format_exc(),
                             stats=stats,
                         ) from exc
-                secs = time.perf_counter() - t_task
-                stats.task_seconds += secs
-                stats.task_wall.append(secs)
-                stats.retries += used
-                stats.bytes_touched += nbytes
+                if not isinstance(value, QuarantinedRow):
+                    secs = time.perf_counter() - t_task
+                    stats.task_seconds += secs
+                    stats.task_wall.append(secs)
+                    stats.retries += used
+                    stats.bytes_touched += nbytes
                 results.append(value)
                 if on_result is not None:
                     on_result(index, value)
         finally:
             stats.wall_seconds = time.perf_counter() - t0
         return results, stats
+
+
+def _failure_digest(tb_text: str) -> str:
+    """One-line reason for a quarantine record (last traceback line)."""
+    lines = [ln.strip() for ln in str(tb_text).strip().splitlines() if ln.strip()]
+    return lines[-1] if lines else "task failed"
+
+
+def _estimate_task_nbytes(collection: Any) -> int:
+    """Decoded bytes one in-flight task keeps resident (2-snapshot window).
+
+    Collections expose ``max_snapshot_nbytes()`` when they can estimate a
+    snapshot's decoded size without loading it (the disk store derives it
+    from headers).  Returns 0 — "no adjustment" — when no estimate exists:
+    an in-memory collection is already resident, so capping waves cannot
+    reduce its footprint.
+    """
+    sizer = getattr(collection, "max_snapshot_nbytes", None)
+    if not callable(sizer):
+        return 0
+    try:
+        per_snap = int(sizer())
+    except Exception:  # pragma: no cover - estimation must never sink a run
+        return 0
+    return 2 * max(0, per_snap)
 
 
 def _unpicklable_reason(objs: tuple) -> str | None:

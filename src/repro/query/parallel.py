@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from typing import Any, TypeVar
 
+from repro.core.runcontrol import RunController, RunInterrupted
 from repro.query.engine import (
     EngineConfig,
     ExecutionEngine,
@@ -34,6 +35,8 @@ __all__ = [
     "EngineConfig",
     "ExecutionStats",
     "Kernel",
+    "RunController",
+    "RunInterrupted",
     "SnapshotExecutor",
     "TaskError",
     "snapshot_map",
@@ -131,6 +134,8 @@ class SnapshotExecutor:
         collection: SnapshotCollection,
         kernels: Sequence[Kernel],
         journal: Any = None,
+        controller: RunController | None = None,
+        max_task_failures: int | None = None,
     ) -> dict[str, Any]:
         """Run every kernel against each snapshot in one fused pass.
 
@@ -140,13 +145,21 @@ class SnapshotExecutor:
         ``{kernel.name: reduce result}``; per-kernel timings land in
         ``last_stats``.  ``journal`` (a
         :class:`~repro.query.journal.KernelJournal`) checkpoints completed
-        snapshots durably and restores them on a rerun.
+        snapshots durably and restores them on a rerun.  ``controller``
+        makes the pass interruptible (deadline / signals → graceful
+        :class:`RunInterrupted` with a flushed checkpoint);
+        ``max_task_failures`` arms the per-snapshot circuit breaker (see
+        :meth:`~repro.query.engine.ExecutionEngine.run_kernels`).
         """
         try:
             results, stats = self._engine.run_kernels(
-                collection, kernels, journal=journal
+                collection,
+                kernels,
+                journal=journal,
+                controller=controller,
+                max_task_failures=max_task_failures,
             )
-        except TaskError as err:
+        except (TaskError, RunInterrupted) as err:
             if err.stats is not None:
                 self._record(err.stats)
             raise

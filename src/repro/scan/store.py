@@ -48,7 +48,7 @@ from repro.scan.columnar import (
 )
 from repro.scan.errors import CorruptSnapshotError
 from repro.scan.paths import PathTable
-from repro.scan.snapshot import Snapshot
+from repro.scan.snapshot import NUMERIC_COLUMNS, Snapshot
 
 #: Valid degradation policies for :class:`DiskSnapshotCollection`.
 ON_ERROR_POLICIES = ("raise", "skip", "quarantine")
@@ -58,12 +58,20 @@ QUARANTINE_DIRNAME = "quarantine"
 
 
 class CacheInfo(NamedTuple):
-    """LRU cache counters, ``functools.lru_cache``-style."""
+    """LRU cache counters, ``functools.lru_cache``-style.
+
+    ``bytes``/``bytes_limit`` extend the classic counters with byte
+    accounting: ``bytes`` is the decoded size of the resident snapshots
+    (per-snapshot ``column_nbytes``), ``bytes_limit`` the eviction ceiling
+    (``None`` when the cache is bounded by entry count only).
+    """
 
     hits: int
     misses: int
     maxsize: int
     currsize: int
+    bytes: int = 0
+    bytes_limit: int | None = None
 
 
 @dataclass(frozen=True)
@@ -132,6 +140,14 @@ class DiskSnapshotCollection:
         Transient ``OSError`` loads are retried ``io_retries`` times with
         ``io_backoff * 2**attempt`` sleeps.  :class:`CorruptSnapshotError`
         is permanent and never retried.
+    cache_bytes:
+        Optional byte ceiling for the resident snapshots (decoded
+        ``column_nbytes``).  When set, eviction is byte-denominated: the
+        LRU entry goes whenever the total exceeds the ceiling, down to a
+        floor of one entry (a single snapshot larger than the ceiling is
+        still served — the run degrades rather than refusing).  A
+        :class:`~repro.core.runcontrol.MemoryBudget` supplies this as its
+        ``cache_bytes`` share.
     """
 
     def __init__(
@@ -143,9 +159,12 @@ class DiskSnapshotCollection:
         verify: str = "header",
         io_retries: int = 2,
         io_backoff: float = 0.05,
+        cache_bytes: int | None = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
+        if cache_bytes is not None and cache_bytes < 1:
+            raise ValueError("cache_bytes must be >= 1 (or None for unlimited)")
         if on_error not in ON_ERROR_POLICIES:
             raise ValueError(
                 f"on_error must be one of {ON_ERROR_POLICIES}, got {on_error!r}"
@@ -190,9 +209,14 @@ class DiskSnapshotCollection:
         self.paths = paths if paths is not None else PathTable()
         self._cache: OrderedDict[int, Snapshot] = OrderedDict()
         self._cache_size = cache_size
+        self._cache_bytes_limit = cache_bytes
+        self._cache_nbytes: dict[int, int] = {}
         #: observability: how many loads hit the disk vs the cache
         self.loads = 0
         self.hits = 0
+        #: decoded bytes currently resident / high-water mark across the run
+        self.cache_bytes_used = 0
+        self.peak_cache_bytes = 0
 
     # -- degradation policy --------------------------------------------------
 
@@ -238,6 +262,8 @@ class DiskSnapshotCollection:
             misses=self.loads,
             maxsize=self._cache_size,
             currsize=len(self._cache),
+            bytes=self.cache_bytes_used,
+            bytes_limit=self._cache_bytes_limit,
         )
 
     def health_report(self) -> ArchiveHealthReport:
@@ -291,9 +317,28 @@ class DiskSnapshotCollection:
         snap = self._load(self._files[idx])
         self.loads += 1
         self._cache[idx] = snap
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+        self._cache_nbytes[idx] = nbytes = int(snap.column_nbytes())
+        self.cache_bytes_used += nbytes
+        self._evict()
+        self.peak_cache_bytes = max(self.peak_cache_bytes, self.cache_bytes_used)
         return snap
+
+    def _evict(self) -> None:
+        """Drop LRU entries until both the entry and byte ceilings hold.
+
+        Byte eviction floors at one resident entry: a single snapshot
+        larger than ``cache_bytes`` is still served (degrade, don't
+        refuse), which is why ``cache_info().bytes`` can exceed the limit
+        only in that one-oversized-snapshot case.
+        """
+        limit = self._cache_bytes_limit
+        while len(self._cache) > self._cache_size or (
+            limit is not None
+            and self.cache_bytes_used > limit
+            and len(self._cache) > 1
+        ):
+            evicted, _ = self._cache.popitem(last=False)
+            self.cache_bytes_used -= self._cache_nbytes.pop(evicted, 0)
 
     def warm_paths(self, idx: int) -> None:
         """Intern snapshot ``idx``'s path strings without a full load.
@@ -323,6 +368,64 @@ class DiskSnapshotCollection:
     def row_counts(self) -> np.ndarray:
         """Entry counts per snapshot, from headers alone (no data load)."""
         return np.array([h["rows"] for h in self._headers], dtype=np.int64)
+
+    def max_snapshot_nbytes(self) -> int:
+        """Upper-bound decoded size of the largest snapshot, headers only.
+
+        ``rows * len(NUMERIC_COLUMNS) * 8`` — every numeric column decodes
+        to int64/float64, so this bounds ``column_nbytes`` without loading
+        anything.  The engine sizes memory-budgeted dispatch waves with it.
+        """
+        if not self._headers:
+            return 0
+        rows = max(int(h["rows"]) for h in self._headers)
+        return rows * len(NUMERIC_COLUMNS) * 8
+
+    def quarantine_task_failure(self, idx: int, reason: str) -> None:
+        """Record snapshot ``idx`` as quarantined by the engine's breaker.
+
+        The circuit breaker calls this when a snapshot's *task* (not its
+        bytes) failed ``max_task_failures`` times — e.g. a kernel that
+        keeps crashing the worker on one input.  The existing ``on_error``
+        policy applies: ``skip`` records the fault in the
+        :class:`ArchiveHealthReport`; ``quarantine`` also moves the file
+        aside so the next construction starts clean.  Under
+        ``on_error="raise"`` the breaker is never armed, so this raises.
+        """
+        if self.on_error == "raise":
+            raise RuntimeError(
+                "quarantine_task_failure requires on_error='skip' or "
+                "'quarantine' (breaker must not be armed under 'raise')"
+            )
+        if not 0 <= idx < len(self):
+            raise IndexError(idx)
+        path = self._files[idx]
+        action = "skipped"
+        if self.on_error == "quarantine":
+            qdir = self.directory / QUARANTINE_DIRNAME
+            qdir.mkdir(exist_ok=True)
+            try:
+                shutil.move(str(path), str(qdir / path.name))
+                action = "quarantined"
+            except OSError as move_exc:  # pragma: no cover - exotic fs state
+                action = f"skipped (quarantine failed: {move_exc})"
+        self.health.faults.append(
+            SnapshotFault(
+                path=str(path),
+                reason=f"task failures exhausted: {reason}",
+                offset=None,
+                action=action,
+            )
+        )
+        if idx in self._cache:
+            del self._cache[idx]
+            self.cache_bytes_used -= self._cache_nbytes.pop(idx, 0)
+        warnings.warn(
+            f"snapshot {path.name} quarantined after repeated task "
+            f"failures: {reason}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def pairs(self) -> Iterator[tuple[Snapshot, Snapshot]]:
         for i in range(1, len(self)):
@@ -359,6 +462,10 @@ class DiskSnapshotCollection:
         out.paths = self.paths
         out._cache = OrderedDict()
         out._cache_size = self._cache_size
+        out._cache_bytes_limit = self._cache_bytes_limit
+        out._cache_nbytes = {}
         out.loads = 0
         out.hits = 0
+        out.cache_bytes_used = 0
+        out.peak_cache_bytes = 0
         return out

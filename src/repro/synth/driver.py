@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.runcontrol import RunController, RunInterrupted
 from repro.fs.clock import SimClock
 from repro.fs.filesystem import FileSystem
 from repro.fs.purge import PurgePolicy, PurgeReport
@@ -111,7 +112,20 @@ class SimulationDriver:
     def __init__(self, config: SimulationConfig | None = None) -> None:
         self.config = config if config is not None else SimulationConfig()
 
-    def run(self, verbose: bool = False) -> SimulationResult:
+    def run(
+        self,
+        verbose: bool = False,
+        controller: RunController | None = None,
+    ) -> SimulationResult:
+        """Run the full window; ``controller`` makes it interruptible.
+
+        The cancellation point is the week boundary: a deadline expiry or
+        signal raises :class:`RunInterrupted` before the next week starts,
+        with the completed weeks' :class:`WeekStats` as ``partial``.  The
+        simulation is deterministic from the seed, so the resume story is
+        simply re-running (there is nothing durable to checkpoint here —
+        the expensive, resumable stages are archive/analyze).
+        """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         population = generate_population(seed=cfg.seed, n_users=cfg.n_users)
@@ -159,6 +173,20 @@ class SimulationDriver:
         week_stats: list[WeekStats] = []
 
         for week in range(cfg.weeks):
+            if controller is not None:
+                reason = controller.should_stop()
+                if reason is not None:
+                    raise RunInterrupted(
+                        f"simulation interrupted ({reason}) after "
+                        f"{week}/{cfg.weeks} weeks",
+                        reason=reason,
+                        partial=week_stats,
+                        resume_hint=(
+                            "the simulation is deterministic from the seed; "
+                            "re-run the same command (raise --max-seconds to "
+                            "let it finish)"
+                        ),
+                    )
             week_start = clock.now
             totals = {"created": 0, "updated": 0, "read": 0, "deleted": 0,
                       "kept_alive": 0}
@@ -207,10 +235,12 @@ class SimulationDriver:
 
 
 def run_simulation(
-    config: SimulationConfig | None = None, verbose: bool = False
+    config: SimulationConfig | None = None,
+    verbose: bool = False,
+    controller: RunController | None = None,
 ) -> SimulationResult:
     """One-call convenience wrapper used by examples and benches."""
-    return SimulationDriver(config).run(verbose=verbose)
+    return SimulationDriver(config).run(verbose=verbose, controller=controller)
 
 
 def default_executor(parallel: bool = False) -> SnapshotExecutor:

@@ -1,0 +1,195 @@
+"""Unit tests for the run-control plane (repro.core.runcontrol).
+
+Deadline behavior is tested with an injected clock — no sleeps, fully
+deterministic.  Signal-handler installation is tested in-process on the
+main thread (pytest runs tests there), asserting both the routing into the
+token and the restoration of previous handlers.
+"""
+
+import signal
+import threading
+
+import pytest
+
+from repro.core.runcontrol import (
+    CancelToken,
+    MemoryBudget,
+    RunController,
+    RunInterrupted,
+    parse_bytes,
+)
+
+
+# -- parse_bytes --------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("text", "expected"),
+    [
+        ("1048576", 1 << 20),
+        (1048576, 1 << 20),
+        ("512K", 512 << 10),
+        ("512k", 512 << 10),
+        ("256M", 256 << 20),
+        ("256MiB", 256 << 20),
+        ("256mb", 256 << 20),
+        ("2G", 2 << 30),
+        ("1.5G", int(1.5 * (1 << 30))),
+        ("1T", 1 << 40),
+        ("  64m  ", 64 << 20),
+    ],
+)
+def test_parse_bytes_accepts_binary_suffixes(text, expected):
+    assert parse_bytes(text) == expected
+
+
+@pytest.mark.parametrize("bad", ["", "M", "-5", "-1G", "1..5G", "12X", 0, -3, "0"])
+def test_parse_bytes_rejects_garbage_and_nonpositive(bad):
+    with pytest.raises(ValueError):
+        parse_bytes(bad)
+
+
+# -- CancelToken --------------------------------------------------------------
+
+
+def test_cancel_token_first_reason_sticks():
+    token = CancelToken()
+    assert not token.cancelled
+    assert token.reason is None
+    token.cancel("received SIGTERM")
+    token.cancel("received SIGINT")
+    assert token.cancelled
+    assert token.reason == "received SIGTERM"
+
+
+# -- MemoryBudget -------------------------------------------------------------
+
+
+def test_memory_budget_splits_cache_and_wave_shares():
+    budget = MemoryBudget("1M")
+    assert budget.limit_bytes == 1 << 20
+    assert budget.cache_bytes == (1 << 20) // 2
+    assert budget.wave_bytes == (1 << 20) - budget.cache_bytes
+    assert budget.cache_bytes + budget.wave_bytes == budget.limit_bytes
+
+
+def test_memory_budget_odd_limit_loses_nothing():
+    budget = MemoryBudget(101)
+    assert budget.cache_bytes + budget.wave_bytes == 101
+
+
+# -- RunController ------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def test_no_deadline_never_stops():
+    ctl = RunController()
+    assert ctl.remaining() is None
+    assert ctl.should_stop() is None
+
+
+def test_deadline_expiry_with_injected_clock():
+    clock = FakeClock(100.0)
+    ctl = RunController(max_seconds=10, clock=clock)
+    assert ctl.remaining() == pytest.approx(10.0)
+    assert ctl.should_stop() is None
+    clock.now = 109.9
+    assert ctl.should_stop() is None
+    clock.now = 110.0
+    reason = ctl.should_stop()
+    assert reason is not None and "deadline expired" in reason
+    assert "--max-seconds 10" in reason
+    assert ctl.remaining() == 0.0
+
+
+def test_cancellation_outranks_deadline():
+    clock = FakeClock(0.0)
+    ctl = RunController(max_seconds=1, clock=clock)
+    clock.now = 5.0  # deadline long gone
+    ctl.token.cancel("received SIGTERM")
+    assert ctl.should_stop() == "received SIGTERM"
+
+
+def test_controller_validates_arguments():
+    with pytest.raises(ValueError):
+        RunController(max_seconds=-1)
+    with pytest.raises(ValueError):
+        RunController(grace_seconds=-0.1)
+    with pytest.raises(ValueError):
+        RunController(memory_budget="banana")
+
+
+def test_controller_coerces_memory_budget():
+    ctl = RunController(memory_budget="4M")
+    assert isinstance(ctl.memory_budget, MemoryBudget)
+    assert ctl.memory_budget.limit_bytes == 4 << 20
+    budget = MemoryBudget(1024)
+    assert RunController(memory_budget=budget).memory_budget is budget
+    assert RunController().memory_budget is None
+
+
+# -- RunInterrupted -----------------------------------------------------------
+
+
+def test_run_interrupted_message_includes_resume_hint():
+    err = RunInterrupted(
+        "analysis interrupted (received SIGTERM) after 3/8 tasks",
+        reason="received SIGTERM",
+        resume_hint="re-run with --checkpoint /tmp/ck.jsonl",
+    )
+    text = str(err)
+    assert "after 3/8 tasks" in text
+    assert "resume: re-run with --checkpoint /tmp/ck.jsonl" in text
+    assert err.reason == "received SIGTERM"
+
+
+def test_run_interrupted_without_hint_is_plain():
+    err = RunInterrupted("stopped", reason="deadline expired")
+    assert str(err) == "stopped"
+    assert err.partial is None and err.stats is None
+
+
+# -- signal handlers ----------------------------------------------------------
+
+
+def test_install_signal_handlers_routes_and_restores():
+    ctl = RunController()
+    before_int = signal.getsignal(signal.SIGINT)
+    before_term = signal.getsignal(signal.SIGTERM)
+    with ctl.install_signal_handlers():
+        assert signal.getsignal(signal.SIGINT) is not before_int
+        signal.raise_signal(signal.SIGTERM)
+        assert ctl.token.reason == "received SIGTERM"
+    assert signal.getsignal(signal.SIGINT) is before_int
+    assert signal.getsignal(signal.SIGTERM) is before_term
+
+
+def test_second_sigint_raises_keyboard_interrupt():
+    ctl = RunController()
+    with ctl.install_signal_handlers():
+        signal.raise_signal(signal.SIGINT)
+        assert ctl.token.reason == "received SIGINT"
+        with pytest.raises(KeyboardInterrupt):
+            signal.raise_signal(signal.SIGINT)
+
+
+def test_install_is_noop_off_main_thread():
+    ctl = RunController()
+    before = signal.getsignal(signal.SIGINT)
+    seen = {}
+
+    def worker():
+        with ctl.install_signal_handlers():
+            seen["inside"] = signal.getsignal(signal.SIGINT)
+
+    t = threading.Thread(target=worker)
+    t.start()
+    t.join()
+    assert seen["inside"] is before  # unchanged: no-op off main thread

@@ -74,3 +74,33 @@ def test_unknown_gid_reads_as_zero():
     assert q.usage(42) == 0
     assert q.peak(42) == 0
     assert q.headroom(42) is None
+
+
+def test_negative_charge_rejected():
+    """Regression: ``charge(gid, -n)`` used to silently shrink usage,
+    bypassing enforcement and skewing the peak high-water mark."""
+    q = QuotaManager()
+    q.set_limit(1, 10)
+    q.charge(1, 10)
+    with pytest.raises(ValueError, match="charge count"):
+        q.charge(1, -5)
+    # usage untouched: the limit still binds
+    assert q.usage(1) == 10
+    with pytest.raises(QuotaExceeded):
+        q.charge(1, 1)
+
+
+def test_negative_refund_rejected():
+    q = QuotaManager()
+    q.charge(1, 5)
+    with pytest.raises(ValueError, match="refund count"):
+        q.refund(1, -3)
+    assert q.usage(1) == 5
+
+
+def test_zero_charge_and_refund_are_noops():
+    q = QuotaManager()
+    q.charge(1, 0)
+    q.refund(1, 0)
+    assert q.usage(1) == 0
+    assert q.peak(1) == 0
