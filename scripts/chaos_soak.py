@@ -10,7 +10,10 @@ asserts the hardened data path's contract every time:
 * transient EIO during loads is retried and the report comes out identical
   to the fault-free baseline;
 * a run killed mid-pass (simulated via an aborting reader) resumes from its
-  checkpoint journal to a report byte-identical to an uninterrupted run.
+  checkpoint journal to a report byte-identical to an uninterrupted run;
+* a randomly byte-mutated foreign PSV dump either ingests with per-record
+  typed quarantine or fails with one typed file-level fault — and does the
+  same thing, byte-identically, on a second attempt.
 
 Exit status is non-zero on any contract violation.  Runtime is kept short
 (~tens of seconds at the default ``--rounds``) so CI can run it on every
@@ -282,6 +285,74 @@ def soak_deadline(archive: Path, workdir: Path, rng: random.Random,
     return errors
 
 
+def soak_ingest(archive: Path, workdir: Path, rng: random.Random,
+                baseline: str) -> list[str]:
+    """Untrusted-trace front door: random byte mutations may cost records
+    (quarantined, with machine-readable reasons) or the whole file (one
+    typed fault) — never a crash, never silent loss, and the damaged dump
+    must ingest to the identical archive twice."""
+    from repro.ingest import IngestConfig, ingest_file
+    from repro.testing.faults import mutate_bytes
+
+    errors: list[str] = []
+    src_dir = workdir / "ingest-src"
+    if src_dir.exists():
+        shutil.rmtree(src_dir)
+    src_dir.mkdir()
+    n = 400
+    lines = []
+    for i in range(n):
+        uid = rng.randrange(1000, 1400)
+        ts = 1420000000 + rng.randrange(0, 7 * 86400)
+        lines.append(
+            f"/soak/p{uid % 23}/u{uid}/f{i:05d}.dat"
+            f"|{ts}|{ts - 600}|{ts - 300}|{uid}|{7000 + uid % 23}"
+            f"|100644|{i + 1}|{i % 16}:{i:x}"
+        )
+    clean = ("\n".join(lines) + "\n").encode()
+
+    source = src_dir / "20150105.psv"
+    source.write_bytes(clean)
+    stats = ingest_file(source, src_dir / "clean-out", IngestConfig())
+    if (stats.rows, stats.rejected) != (n, 0):
+        errors.append(
+            f"clean corpus lost records: {stats.rows}/{n} rows, "
+            f"{stats.rejected} rejected"
+        )
+
+    mutated = mutate_bytes(clean, rng, mutations=rng.randrange(1, 60))
+    source.write_bytes(mutated)
+
+    def one_run(name: str):
+        out = src_dir / name
+        try:
+            s = ingest_file(source, out, IngestConfig())
+        except CorruptSnapshotError as exc:
+            return ("fault", str(exc))
+        except Exception as exc:  # noqa: BLE001 - contract check
+            errors.append(
+                f"mutated dump escaped the typed boundary: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            return ("crash", repr(exc))
+        if s.rows + s.rejected > s.lines:
+            errors.append(
+                f"conservation violated: {s.rows}+{s.rejected} > {s.lines}"
+            )
+        sidecar = out / "20150105.bad"
+        if s.rejected and len(sidecar.read_text().splitlines()) != s.rejected + 1:
+            errors.append("sidecar entry count does not match rejected count")
+        return ("ok", {
+            p.name: p.read_bytes() for p in sorted(out.iterdir())
+            if p.suffix in (".rpq", ".bad")
+        })
+
+    first, second = one_run("a"), one_run("b")
+    if first != second:
+        errors.append("mutated dump did not ingest deterministically")
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=3)
@@ -322,6 +393,7 @@ def main(argv: list[str] | None = None) -> int:
                 ("resume", soak_resume),
                 ("transient-io", soak_transient),
                 ("deadline", soak_deadline),
+                ("ingest", soak_ingest),
             ]
             for round_no in range(1, args.rounds + 1):
                 if interrupted["hit"]:

@@ -1,7 +1,10 @@
-"""``repro-pipeline`` command-line entry point.
+"""``repro-pipeline`` / ``repro`` command-line entry point.
 
 Runs the full reproduction at a chosen scale and prints the paper-style
-report; optionally archives PSV/columnar snapshot files.
+report; optionally archives PSV/columnar snapshot files.  The ``ingest``
+verb (``repro ingest TRACE... --out DIR``) instead imports foreign
+LustreDU/PSV trace dumps into an analyzable archive through the hardened
+:mod:`repro.ingest` path.
 """
 
 from __future__ import annotations
@@ -164,6 +167,134 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_ingest_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro ingest",
+        description=(
+            "Ingest foreign LustreDU/PSV trace dumps (plain or gzip, any "
+            "size, untrusted content) into a validated .rpq archive "
+            "directory that analyze/--from-archive consumes unchanged."
+        ),
+    )
+    parser.add_argument(
+        "sources",
+        nargs="+",
+        metavar="TRACE",
+        help="trace files (.psv/.psv.gz/.txt/.txt.gz) or one directory "
+        "containing them; one snapshot is produced per file, labeled and "
+        "date-stamped from its name (YYYYMMDD prefix) when possible",
+    )
+    parser.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="archive directory to produce (.rpq files + manifest.json "
+        "+ .bad quarantine sidecars)",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=("raise", "skip", "quarantine"),
+        default="quarantine",
+        help="per-record degradation policy: raise stops at the first bad "
+        "record, skip drops-and-counts, quarantine (default) also writes "
+        "each bad line with a machine-readable reason to a .bad sidecar "
+        "next to the snapshot; source files are never modified or moved",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="journal completed source files here; a killed ingest "
+        "re-invoked with the same path skips them and converges on "
+        "byte-identical outputs (deleted after a successful run)",
+    )
+    parser.add_argument(
+        "--chunk-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="records per streaming chunk (default 65536; shrunk "
+        "automatically under --memory-budget)",
+    )
+    parser.add_argument(
+        "--max-bad-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort a source file (file-level fault) after N bad records",
+    )
+    parser.add_argument(
+        "--max-bad-ratio",
+        type=float,
+        default=None,
+        metavar="R",
+        help="abort a source file when more than fraction R of its "
+        "records are bad (checked once a full chunk has been seen)",
+    )
+    parser.add_argument(
+        "--ost-count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="OST count of the source file system; enables the stripe-"
+        "index range check (indices must fall in [0, N))",
+    )
+    parser.add_argument(
+        "--allow-relative",
+        action="store_true",
+        help="accept relative paths (default: a namespace dump is rooted, "
+        "non-absolute paths are rejected)",
+    )
+    parser.add_argument(
+        "--keep-duplicate-paths",
+        action="store_true",
+        help="accept records whose path repeats an earlier record's "
+        "(default: duplicates are rejected — they break the analyses' "
+        "unique-path set algebra)",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget; on expiry the ingest stops gracefully "
+        "between chunks, prints the resume hint, and exits "
+        f"{EXIT_DEADLINE}",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="BYTES",
+        help="byte ceiling for resident ingest state (accepts 512M / 2G "
+        "/ plain bytes); the record chunk size is shrunk to fit, so a "
+        "multi-GB dump ingests in far less memory than its size",
+    )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="after ingesting, run the paper analyses over the produced "
+        "archive (the ingest health report is folded into the archive "
+        "health report)",
+    )
+    parser.add_argument(
+        "--analyses",
+        default="all",
+        help="analyses to run with --analyze (comma-separated; default all)",
+    )
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument(
+        "--purge-window", type=int, default=90, help="purge window in days"
+    )
+    parser.add_argument(
+        "--allow-config-mismatch",
+        action="store_true",
+        help="with --analyze: downgrade a manifest config mismatch to a "
+        "warning",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    return parser
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: the only place signal handlers are installed.
 
@@ -172,7 +303,13 @@ def main(argv: list[str] | None = None) -> int:
     the controller's token and converts a graceful
     :class:`RunInterrupted` stop into conventional exit codes
     (130 signal, 124 deadline — like ``timeout(1)``).
+
+    ``repro ingest ...`` dispatches to the trace-ingestion verb; anything
+    else is the classic simulate/analyze pipeline.
     """
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["ingest"]:
+        return ingest_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -189,6 +326,85 @@ def main(argv: list[str] | None = None) -> int:
         except RunInterrupted as err:
             print(f"# interrupted: {err}", file=sys.stderr)
             return EXIT_SIGNAL if "SIG" in err.reason else EXIT_DEADLINE
+
+
+def ingest_main(argv: list[str]) -> int:
+    """The ``repro ingest`` verb (same signal/exit-code conventions)."""
+    parser = build_ingest_parser()
+    args = parser.parse_args(argv)
+    try:
+        controller = RunController(
+            max_seconds=args.max_seconds,
+            memory_budget=args.memory_budget,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    with controller.install_signal_handlers():
+        try:
+            return _run_ingest(args, controller)
+        except RunInterrupted as err:
+            print(f"# interrupted: {err}", file=sys.stderr)
+            return EXIT_SIGNAL if "SIG" in err.reason else EXIT_DEADLINE
+
+
+def _run_ingest(args: argparse.Namespace, controller: RunController) -> int:
+    from repro.ingest import IngestConfig, ValidationLimits, ingest_trace
+
+    limits = ValidationLimits(
+        require_absolute=not args.allow_relative,
+        ost_count=args.ost_count,
+        reject_duplicate_paths=not args.keep_duplicate_paths,
+    )
+    kwargs = {"on_error": args.on_error, "limits": limits}
+    if args.chunk_records is not None:
+        kwargs["chunk_records"] = args.chunk_records
+    ingest_config = IngestConfig(
+        max_bad_records=args.max_bad_records,
+        max_bad_ratio=args.max_bad_ratio,
+        **kwargs,
+    )
+    manifest_config = SimulationConfig(
+        seed=args.seed, purge_window_days=args.purge_window
+    )
+    sources = args.sources[0] if len(args.sources) == 1 else args.sources
+    t0 = time.time()
+    result = ingest_trace(
+        sources,
+        args.out,
+        ingest_config,
+        checkpoint=args.checkpoint,
+        controller=controller,
+        manifest_config=manifest_config,
+    )
+    report = result.report
+    print(
+        f"# ingested {report.rows:,}/{report.records:,} records from "
+        f"{len(report.files)} trace file(s) into {len(result.outputs)} "
+        f"snapshot(s) ({time.time() - t0:.1f}s)",
+        file=sys.stderr,
+    )
+    if report.degraded:
+        print("# INGEST DEGRADED:", file=sys.stderr)
+        for line in report.summary().splitlines():
+            print(f"#   {line}", file=sys.stderr)
+    if args.analyze:
+        from repro.core.pipeline import analyze_archive
+
+        pipeline, paper = analyze_archive(
+            result.out_dir,
+            config=manifest_config,
+            analyses=args.analyses,
+            allow_config_mismatch=args.allow_config_mismatch,
+            controller=controller,
+            ingest_report=report,
+        )
+        print(paper.text)
+        health = pipeline.context.collection.health_report()
+        if health.degraded:
+            print("# ARCHIVE DEGRADED:", file=sys.stderr)
+            for line in health.summary().splitlines():
+                print(f"#   {line}", file=sys.stderr)
+    return 0
 
 
 def _run(args: argparse.Namespace, controller: RunController) -> int:

@@ -37,13 +37,18 @@ def config_fingerprint(config) -> dict:
 
 
 def write_manifest(
-    directory: str | Path, config, snapshots: list[dict] | None = None
+    directory: str | Path,
+    config,
+    snapshots: list[dict] | None = None,
+    extra: dict | None = None,
 ) -> Path:
     """Write (atomically) the archive manifest; returns its path.
 
     ``snapshots`` is an optional list of ``{"label", "file", "rows"}``
     records for operator-facing inventory; the fingerprint is what
-    validation consumes.
+    validation consumes.  ``extra`` merges additional provenance sections
+    into the manifest (e.g. the ``ingest`` summary for archives built from
+    foreign traces); it may not shadow the reserved keys.
     """
     directory = Path(directory)
     manifest = {
@@ -54,6 +59,13 @@ def write_manifest(
         "snapshots": snapshots or [],
         "created_unix": int(time.time()),
     }
+    if extra:
+        clash = set(extra) & set(manifest)
+        if clash:
+            raise ValueError(
+                f"manifest extra section(s) {sorted(clash)} shadow reserved keys"
+            )
+        manifest.update(extra)
     path = directory / MANIFEST_NAME
     with atomic_write(path, "w") as fh:
         json.dump(manifest, fh, indent=2)

@@ -224,6 +224,7 @@ def analyze_archive(
     allow_config_mismatch: bool = False,
     controller: RunController | None = None,
     max_task_failures: int | None = None,
+    ingest_report=None,
 ) -> tuple[ReproPipeline, PaperReport]:
     """Out-of-core analysis: run every §4 analysis from archived snapshots.
 
@@ -292,6 +293,10 @@ def analyze_archive(
     collection = DiskSnapshotCollection(
         directory, on_error=on_error, verify=verify, cache_bytes=cache_bytes
     )
+    if ingest_report is not None:
+        # archive built from foreign traces: one health report spans the
+        # whole trace → archive → analysis chain
+        ingest_report.fold_into(collection.health)
     if collection.health.degraded:
         warnings.warn(
             "analyzing a DEGRADED archive — report covers the surviving "

@@ -246,6 +246,28 @@ class RunController:
             return f"deadline expired (--max-seconds {self.max_seconds:g})"
         return None
 
+    def cancellation_point(
+        self,
+        context: str,
+        partial: object = None,
+        resume_hint: str | None = None,
+    ) -> None:
+        """Raise :class:`RunInterrupted` here if a stop was requested.
+
+        Sugar over :meth:`should_stop` for layers that have nothing to
+        drain at their boundary (the ingest path checks between record
+        chunks and between source files): ``context`` names where the run
+        stopped, ``partial``/``resume_hint`` ride on the raised error.
+        """
+        reason = self.should_stop()
+        if reason is not None:
+            raise RunInterrupted(
+                f"{context}: stopping ({reason})",
+                reason=reason,
+                partial=partial,
+                resume_hint=resume_hint,
+            )
+
     # -- signal handling (process entry points only) -------------------------
 
     @contextmanager

@@ -1,0 +1,322 @@
+"""Per-record validation: the trust boundary for foreign trace records.
+
+:func:`repro.scan.psv.parse_record` answers "is this line *syntactically* a
+PSV record"; this module answers "is the parsed record *plausible enough to
+analyze*".  Every rejection is a typed
+:class:`~repro.scan.errors.IngestRecordError` naming the file, line, and
+field, so the degradation policy upstream can quarantine it with a
+machine-readable reason.
+
+The checks (all limits configurable via :class:`ValidationLimits`):
+
+* **path** — non-empty, absolute (configurable), no embedded control
+  characters (the columnar string table is newline-framed, so a control
+  byte would corrupt the archive), bounded length, no duplicate of an
+  earlier record (duplicate paths silently break the analyses'
+  ``assume_unique`` set algebra);
+* **encoding** — strict UTF-8; a latin-1 line in a "UTF-8" dump is a
+  quarantined record, not a crash;
+* **numeric ranges** — uid/gid/stripe fields must fit their archive column
+  dtypes (int32), inode must be positive int64;
+* **octal mode sanity** — the file-type bits must name a real type
+  (regular/directory/symlink by default) and the mode must fit uint32;
+* **timestamp window/ordering** — atime/ctime/mtime inside a configurable
+  window (defaults: epoch .. 2100), so a scrambled field that still parses
+  as an integer cannot plant a year-30000 file in an age analysis;
+* **OST-list consistency** — stripe indices unique, inside ``[0,
+  ost_count)`` when the OST count is known, list length bounded by
+  Lustre's stripe-count limit, and directories must not claim objects.
+
+Duplicate detection uses a 64-bit BLAKE2b digest set rather than the path
+strings themselves (a few hundred MB of a multi-GB dump would otherwise
+live in the dedup set); the false-positive odds for even 10⁸ records are
+~10⁻⁴, and a false positive merely quarantines one valid line with an
+explicit reason.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import stat as stat_mod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ingest.reader import RawRecord
+from repro.scan.errors import IngestRecordError
+from repro.scan.psv import ParsedRecord, parse_record
+
+#: Lustre's historical maximum stripe count for one file.
+LUSTRE_MAX_STRIPES = 2000
+
+#: File types present in a namespace scan.  LustreDU reports everything the
+#: MDS knows; sockets/FIFOs/devices on a scratch FS are almost always
+#: scanner bugs, so the default admits only the types the paper analyzes.
+DEFAULT_ALLOWED_TYPES = (
+    stat_mod.S_IFREG,
+    stat_mod.S_IFDIR,
+    stat_mod.S_IFLNK,
+)
+
+#: 2100-01-01T00:00:00Z — far beyond any plausible scan date.
+_YEAR_2100 = 4102444800
+
+
+@dataclass(frozen=True)
+class ValidationLimits:
+    """Tunable bounds for one ingest run (defaults fit real LustreDU)."""
+
+    #: longest accepted raw line; longer lines are quarantined unparsed
+    max_line_bytes: int = 1 << 16
+    #: PATH_MAX on Lustre clients
+    max_path_len: int = 4096
+    #: reject relative paths (a namespace dump is rooted)
+    require_absolute: bool = True
+    #: inclusive timestamp window for atime/ctime/mtime
+    min_timestamp: int = 0
+    max_timestamp: int = _YEAR_2100
+    #: file-type bits (``mode & S_IFMT``) accepted
+    allowed_types: tuple[int, ...] = DEFAULT_ALLOWED_TYPES
+    #: OSTs in the source file system; None disables the index range check
+    ost_count: int | None = None
+    max_stripe_count: int = LUSTRE_MAX_STRIPES
+    #: quarantine records whose path repeats an earlier record's
+    reject_duplicate_paths: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_line_bytes < 16:
+            raise ValueError("max_line_bytes must be >= 16")
+        if self.min_timestamp > self.max_timestamp:
+            raise ValueError("min_timestamp must be <= max_timestamp")
+        if self.ost_count is not None and self.ost_count < 1:
+            raise ValueError("ost_count must be >= 1 (or None)")
+
+
+_INT32_MAX = 2**31 - 1
+_INT64_MAX = 2**63 - 1
+_UINT32_MAX = 2**32 - 1
+
+
+class _DigestSet:
+    """Open-addressing uint64 hash set over a flat NumPy table.
+
+    A Python ``set`` of 64-bit digest ints costs ~60 B per key (boxed int
+    + hash-table slot); this table costs ~11 B per key at its 70% load
+    ceiling, which over a 10⁸-record dump is the difference between
+    fitting a memory budget and tripling it.  Keys are BLAKE2b digests —
+    already uniform — so the probe start is just ``key & mask``.
+    """
+
+    __slots__ = ("_table", "_mask", "_n")
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        self._table = np.zeros(capacity, dtype=np.uint64)  # 0 = empty slot
+        self._mask = capacity - 1
+        self._n = 0
+
+    def add(self, key: int) -> bool:
+        """Insert ``key``; True when it was not already present."""
+        if key == 0:
+            key = 1  # 0 is the empty-slot sentinel
+        table, mask = self._table, self._mask
+        i = key & mask
+        while True:
+            cur = int(table[i])
+            if cur == 0:
+                table[i] = key
+                self._n += 1
+                if self._n * 10 > (mask + 1) * 7:
+                    self._grow()
+                return True
+            if cur == key:
+                return False
+            i = (i + 1) & mask
+
+    def _grow(self) -> None:
+        old = self._table[self._table != 0]
+        self._table = np.zeros((self._mask + 1) * 2, dtype=np.uint64)
+        self._mask = self._table.size - 1
+        self._n = 0
+        for key in old.tolist():
+            self.add(key)
+
+    @property
+    def nbytes(self) -> int:
+        return self._table.nbytes
+
+
+@dataclass
+class ValidationStats:
+    """Counters kept by one validator (one source file)."""
+
+    records: int = 0
+    ok: int = 0
+    rejected: int = 0
+    by_field: dict[str, int] = field(default_factory=dict)
+
+    def count(self, err: IngestRecordError) -> None:
+        self.rejected += 1
+        self.by_field[err.field] = self.by_field.get(err.field, 0) + 1
+
+
+class RecordValidator:
+    """Decode + parse + semantically validate raw records of one file."""
+
+    def __init__(self, source: str, limits: ValidationLimits | None = None) -> None:
+        self.source = str(source)
+        self.limits = limits if limits is not None else ValidationLimits()
+        self.stats = ValidationStats()
+        self._seen_digests = _DigestSet()
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of validator state resident right now (the dedup table)."""
+        return self._seen_digests.nbytes
+
+    def validate(self, rec: RawRecord) -> ParsedRecord:
+        """Return the validated record or raise a typed error."""
+        self.stats.records += 1
+        try:
+            parsed = self._validate(rec)
+        except IngestRecordError as err:
+            self.stats.count(err)
+            raise
+        self.stats.ok += 1
+        return parsed
+
+    # -- checks, in cheap-first order ---------------------------------------
+
+    def _validate(self, rec: RawRecord) -> ParsedRecord:
+        lim = self.limits
+        if len(rec.raw) > lim.max_line_bytes:
+            raise IngestRecordError(
+                self.source, rec.lineno, "record",
+                f"line of {len(rec.raw)} bytes exceeds the "
+                f"{lim.max_line_bytes}-byte limit",
+            )
+        try:
+            line = rec.raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise IngestRecordError(
+                self.source, rec.lineno, "encoding",
+                f"not valid UTF-8 at byte {exc.start} "
+                f"({rec.raw[exc.start:exc.start + 4]!r})",
+            ) from None
+        parsed = parse_record(line, self.source, rec.lineno)
+        self._check_path(parsed.path, rec.lineno)
+        self._check_numeric(parsed, rec.lineno)
+        self._check_mode(parsed.mode, rec.lineno)
+        self._check_timestamps(parsed, rec.lineno)
+        self._check_ost(parsed, rec.lineno)
+        if lim.reject_duplicate_paths:
+            digest = int.from_bytes(
+                hashlib.blake2b(
+                    parsed.path.encode("utf-8"), digest_size=8
+                ).digest(),
+                "little",
+            )
+            if not self._seen_digests.add(digest):
+                raise IngestRecordError(
+                    self.source, rec.lineno, "path",
+                    f"duplicate path {parsed.path!r} (an earlier record "
+                    "already claimed it)",
+                )
+        return parsed
+
+    def _check_path(self, path: str, lineno: int) -> None:
+        lim = self.limits
+        if len(path) > lim.max_path_len:
+            raise IngestRecordError(
+                self.source, lineno, "path",
+                f"path of {len(path)} chars exceeds the "
+                f"{lim.max_path_len}-char limit",
+            )
+        if lim.require_absolute and not path.startswith("/"):
+            raise IngestRecordError(
+                self.source, lineno, "path", f"not absolute: {path[:80]!r}"
+            )
+        for ch in path:
+            if ord(ch) < 0x20 or ch == "\x7f":
+                raise IngestRecordError(
+                    self.source, lineno, "path",
+                    f"control character {ch!r} in path (would corrupt the "
+                    "newline-framed archive string table)",
+                )
+
+    def _check_numeric(self, rec: ParsedRecord, lineno: int) -> None:
+        for name, value, hi in (
+            ("uid", rec.uid, _INT32_MAX),
+            ("gid", rec.gid, _INT32_MAX),
+        ):
+            if not 0 <= value <= hi:
+                raise IngestRecordError(
+                    self.source, lineno, name,
+                    f"{value} outside [0, {hi}] (archive column is int32)",
+                )
+        if not 0 < rec.ino <= _INT64_MAX:
+            raise IngestRecordError(
+                self.source, lineno, "ino",
+                f"inode {rec.ino} outside (0, 2^63)",
+            )
+
+    def _check_mode(self, mode: int, lineno: int) -> None:
+        if not 0 <= mode <= _UINT32_MAX:
+            raise IngestRecordError(
+                self.source, lineno, "mode",
+                f"mode {mode:o} does not fit uint32",
+            )
+        ftype = stat_mod.S_IFMT(mode)
+        if ftype not in self.limits.allowed_types:
+            names = "/".join(f"{t:o}" for t in self.limits.allowed_types)
+            raise IngestRecordError(
+                self.source, lineno, "mode",
+                f"file-type bits {ftype:o} not an accepted type ({names})",
+            )
+
+    def _check_timestamps(self, rec: ParsedRecord, lineno: int) -> None:
+        lim = self.limits
+        for name, value in (
+            ("atime", rec.atime), ("ctime", rec.ctime), ("mtime", rec.mtime)
+        ):
+            if not lim.min_timestamp <= value <= lim.max_timestamp:
+                raise IngestRecordError(
+                    self.source, lineno, name,
+                    f"{value} outside the accepted window "
+                    f"[{lim.min_timestamp}, {lim.max_timestamp}]",
+                )
+
+    def _check_ost(self, rec: ParsedRecord, lineno: int) -> None:
+        lim = self.limits
+        if not rec.ost:
+            return
+        if stat_mod.S_IFMT(rec.mode) == stat_mod.S_IFDIR:
+            raise IngestRecordError(
+                self.source, lineno, "ost",
+                f"directory claims {len(rec.ost)} OST objects "
+                "(directories have no stripes)",
+            )
+        if len(rec.ost) > lim.max_stripe_count:
+            raise IngestRecordError(
+                self.source, lineno, "ost",
+                f"{len(rec.ost)} stripes exceed the "
+                f"{lim.max_stripe_count}-stripe limit",
+            )
+        seen: set[int] = set()
+        for idx, _objid in rec.ost:
+            if idx < 0 or (lim.ost_count is not None and idx >= lim.ost_count):
+                hi = lim.ost_count if lim.ost_count is not None else "inf"
+                raise IngestRecordError(
+                    self.source, lineno, "ost",
+                    f"stripe index {idx} outside [0, {hi})",
+                )
+            if idx > _INT32_MAX:
+                raise IngestRecordError(
+                    self.source, lineno, "ost",
+                    f"stripe index {idx} does not fit int32",
+                )
+            if idx in seen:
+                raise IngestRecordError(
+                    self.source, lineno, "ost",
+                    f"stripe index {idx} listed twice (inconsistent layout)",
+                )
+            seen.add(idx)

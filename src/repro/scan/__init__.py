@@ -16,15 +16,23 @@ Mirrors the paper's data path (§2.2, §3, Figure 4):
 """
 
 from repro.scan.extensions import NO_EXTENSION, ExtensionTable, split_extension
-from repro.scan.errors import CorruptSnapshotError
+from repro.scan.errors import CorruptSnapshotError, IngestRecordError
 from repro.scan.paths import PathTable
 from repro.scan.snapshot import Snapshot, SnapshotCollection
 from repro.scan.lustredu import LustreDuScanner
-from repro.scan.psv import read_psv, write_psv
+from repro.scan.psv import (
+    ParsedRecord,
+    escape_path,
+    parse_record,
+    read_psv,
+    unescape_path,
+    write_psv,
+)
 from repro.scan.columnar import (
     read_columnar,
     read_columnar_header,
     write_columnar,
+    write_columnar_blocks,
 )
 from repro.scan.store import ArchiveHealthReport, DiskSnapshotCollection
 
@@ -33,15 +41,21 @@ __all__ = [
     "ExtensionTable",
     "split_extension",
     "CorruptSnapshotError",
+    "IngestRecordError",
+    "ParsedRecord",
     "PathTable",
     "Snapshot",
     "SnapshotCollection",
     "LustreDuScanner",
+    "escape_path",
+    "parse_record",
     "read_psv",
+    "unescape_path",
     "write_psv",
     "read_columnar",
     "read_columnar_header",
     "write_columnar",
+    "write_columnar_blocks",
     "ArchiveHealthReport",
     "DiskSnapshotCollection",
 ]

@@ -117,6 +117,99 @@ def _decode_column(
     return data
 
 
+def encode_column(name: str, data: np.ndarray) -> tuple[bytes, dict]:
+    """Encode one numeric column into a ``(blob, meta)`` v2 block.
+
+    Public entry for external producers (the :mod:`repro.ingest` streaming
+    assembler); :func:`write_columnar` uses the same encoding internally.
+    """
+    return _encode_column(name, data)
+
+
+def column_block_meta(
+    name: str, dtype, rows: int, blob: bytes, raw_bytes: int
+) -> dict:
+    """Block meta for an externally compressed plain-``zlib`` column.
+
+    ``blob`` must be one zlib stream over the concatenated little-endian
+    array bytes of the column — exactly what feeding per-chunk
+    ``np.asarray(..., dtype).tobytes()`` through an incremental
+    ``zlib.compressobj`` produces.  Streaming producers use this instead
+    of :func:`encode_column` so a column never has to exist in memory
+    uncompressed; the trade is that the ``delta-zlib`` codec (which needs
+    the global minimum up front) is unavailable to them.
+    """
+    return {
+        "name": name,
+        "dtype": str(np.dtype(dtype)),
+        "codec": "zlib",
+        "rows": int(rows),
+        "raw_bytes": int(raw_bytes),
+        "stored_bytes": len(blob),
+        "crc32": zlib.crc32(blob),
+    }
+
+
+def path_block_meta(blob: bytes, rows: int, raw_bytes: int) -> dict:
+    """Block meta for an externally compressed ``__paths__`` string table.
+
+    ``blob`` must be the zlib stream of the newline-joined UTF-8 path
+    strings (``rows`` of them, ``raw_bytes`` before compression) — exactly
+    what an incremental ``zlib.compressobj`` over row chunks produces.
+    """
+    return {
+        "name": "__paths__",
+        "codec": "strtab-zlib",
+        "rows": int(rows),
+        "raw_bytes": int(raw_bytes),
+        "stored_bytes": len(blob),
+        "crc32": zlib.crc32(blob),
+    }
+
+
+def write_columnar_blocks(
+    dest: str | Path,
+    label: str,
+    timestamp: int,
+    rows: int,
+    blocks: list[tuple[bytes, dict]],
+) -> int:
+    """Assemble a v2 ``.rpq`` from pre-encoded blocks; returns stored bytes.
+
+    The streaming-ingest path builds blocks incrementally (numeric columns
+    and the path table each fed chunk-by-chunk through an incremental
+    compressor) precisely so a multi-GB source file never has to exist in
+    memory as one :class:`~repro.scan.snapshot.Snapshot`.  The write is
+    atomic (tmp + fsync + rename); row order is preserved as given —
+    :func:`read_columnar` re-sorts by interned path id on load.
+    """
+    metas = [meta for _, meta in blocks]
+    header = {
+        "label": label,
+        "timestamp": int(timestamp),
+        "rows": int(rows),
+        "columns": metas,
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    preamble = len(MAGIC_V2) + 4 + 4  # magic + header_len + header_crc
+    total_len = (
+        preamble
+        + len(header_bytes)
+        + sum(len(blob) for blob, _ in blocks)
+        + _TRAILER_LEN
+    )
+    with atomic_write(dest, "wb") as fh:
+        fh.write(MAGIC_V2)
+        fh.write(len(header_bytes).to_bytes(4, "little"))
+        fh.write(zlib.crc32(header_bytes).to_bytes(4, "little"))
+        fh.write(header_bytes)
+        for blob, _ in blocks:
+            fh.write(blob)
+        fh.write(total_len.to_bytes(8, "little"))
+        fh.write(END_MAGIC)
+    return total_len
+
+
 def write_columnar(snapshot: Snapshot, dest: str | Path) -> dict:
     """Serialize a snapshot (atomically); returns size statistics.
 
@@ -125,53 +218,24 @@ def write_columnar(snapshot: Snapshot, dest: str | Path) -> dict:
     string index column.  The write goes through a same-directory temp file
     with fsync + atomic rename, so a crash never leaves a torn ``.rpq``.
     """
-    blocks: list[bytes] = []
-    metas: list[dict] = []
+    blocks: list[tuple[bytes, dict]] = []
     # numeric columns
     for name in NUMERIC_COLUMNS:
         if name == "path_id":
             continue  # replaced by the local string-table index below
-        blob, meta = _encode_column(name, getattr(snapshot, name))
-        blocks.append(blob)
-        metas.append(meta)
+        blocks.append(_encode_column(name, getattr(snapshot, name)))
     # path strings: local dictionary (ids remapped to 0..k-1)
     pids = snapshot.path_id
     table = snapshot.paths.paths
     strings = "\n".join(table[pid] for pid in pids)
     str_blob = zlib.compress(strings.encode("utf-8"), _COMPRESSION_LEVEL)
-    metas.append(
-        {
-            "name": "__paths__",
-            "codec": "strtab-zlib",
-            "rows": int(pids.size),
-            "raw_bytes": len(strings),
-            "stored_bytes": len(str_blob),
-            "crc32": zlib.crc32(str_blob),
-        }
+    blocks.append(
+        (str_blob, path_block_meta(str_blob, int(pids.size), len(strings)))
     )
-    blocks.append(str_blob)
-    header = {
-        "label": snapshot.label,
-        "timestamp": snapshot.timestamp,
-        "rows": len(snapshot),
-        "columns": metas,
-    }
-    header_bytes = json.dumps(header).encode("utf-8")
-    preamble = len(MAGIC_V2) + 4 + 4  # magic + header_len + header_crc
-    total_len = (
-        preamble + len(header_bytes) + sum(len(b) for b in blocks) + _TRAILER_LEN
+    stored_total = write_columnar_blocks(
+        dest, snapshot.label, snapshot.timestamp, len(snapshot), blocks
     )
-    with atomic_write(dest, "wb") as fh:
-        fh.write(MAGIC_V2)
-        fh.write(len(header_bytes).to_bytes(4, "little"))
-        fh.write(zlib.crc32(header_bytes).to_bytes(4, "little"))
-        fh.write(header_bytes)
-        for blob in blocks:
-            fh.write(blob)
-        fh.write(total_len.to_bytes(8, "little"))
-        fh.write(END_MAGIC)
-    raw_total = sum(m["raw_bytes"] for m in metas)
-    stored_total = total_len
+    raw_total = sum(meta["raw_bytes"] for _, meta in blocks)
     return {
         "raw_bytes": raw_total,
         "stored_bytes": stored_total,

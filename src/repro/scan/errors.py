@@ -37,6 +37,38 @@ class CorruptSnapshotError(OSError):
         super().__init__(f"{self.path}{where}: {reason}")
 
 
+class IngestRecordError(ValueError):
+    """One untrusted trace record failed parsing or validation.
+
+    The PSV parser and the :mod:`repro.ingest` validation layer both raise
+    this instead of a bare ``ValueError``/unpack crash, so a malformed line
+    in a multi-GB foreign dump is attributable to an exact file, line
+    number, and field.  Subclasses :class:`ValueError` so pre-existing
+    ``except ValueError`` call sites keep working.
+
+    Attributes
+    ----------
+    file:
+        The offending source file (or ``"<stream>"``).
+    line:
+        1-based line number of the record.
+    field:
+        The field that failed (``"path"``, ``"mode"``, ``"ost"``, ... or
+        ``"record"`` for line-level failures like a wrong field count).
+    reason:
+        Human-readable description of the check that failed.
+    """
+
+    def __init__(self, file, line: int, field: str, reason: str) -> None:
+        self.file = str(file)
+        self.line = int(line)
+        self.field = str(field)
+        self.reason = str(reason)
+        super().__init__(
+            f"{self.file}:{self.line}: field {self.field!r}: {self.reason}"
+        )
+
+
 class ArchiveConfigError(ValueError):
     """The archive's recorded config fingerprint contradicts the caller's.
 

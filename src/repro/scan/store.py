@@ -98,9 +98,15 @@ class ArchiveHealthReport:
     faults: list[SnapshotFault] = field(default_factory=list)
     io_retries: int = 0
     quarantine_dir: str | None = None
+    #: :class:`~repro.ingest.ingestor.IngestHealthReport` when the archive
+    #: was built from foreign traces — one report then spans the whole
+    #: trace → archive → analysis chain
+    ingest: object | None = None
 
     @property
     def degraded(self) -> bool:
+        if self.ingest is not None and self.ingest.degraded:
+            return True
         return bool(self.faults)
 
     def summary(self) -> str:
@@ -115,6 +121,8 @@ class ArchiveHealthReport:
             f.action == "quarantined" for f in self.faults
         ):
             lines.append(f"  quarantine dir: {self.quarantine_dir}")
+        if self.ingest is not None:
+            lines.append("ingest: " + self.ingest.summary())
         return "\n".join(lines)
 
 

@@ -62,6 +62,35 @@ def corruption_points(path: str | Path) -> list[tuple[str, int, int]]:
     return describe_sections(path)
 
 
+def mutate_bytes(data: bytes, rng, mutations: int = 1) -> bytes:
+    """Return ``data`` with ``mutations`` random byte-level edits.
+
+    Each edit is one of: flip a bit, delete a byte, insert a random byte,
+    or overwrite a byte — the damage profile of a trace dump mangled in
+    transit.  Deterministic for a given ``rng`` (``random.Random``) state;
+    the ingest fuzz suites assert every mutant either parses to the same
+    values or dies with a *typed* error, never a silently different
+    record.
+    """
+    if mutations < 0:
+        raise ValueError("mutations must be >= 0")
+    out = bytearray(data)
+    for _ in range(mutations):
+        op = rng.randrange(4)
+        if not out:
+            op = 2  # only insertion is possible on an empty buffer
+        if op == 0:  # bit flip
+            i = rng.randrange(len(out))
+            out[i] ^= 1 << rng.randrange(8)
+        elif op == 1:  # delete
+            del out[rng.randrange(len(out))]
+        elif op == 2:  # insert
+            out.insert(rng.randrange(len(out) + 1), rng.randrange(256))
+        else:  # overwrite
+            out[rng.randrange(len(out))] = rng.randrange(256)
+    return bytes(out)
+
+
 class FlakyReader:
     """Wrap a loader: the first ``failures`` calls raise a transient error.
 

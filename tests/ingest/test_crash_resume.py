@@ -1,0 +1,181 @@
+"""Crash-safety acceptance: SIGKILL a checkpointed ingest mid-run in a
+real subprocess, resume with the same journal, and require byte-identical
+archives — plus the bounded-memory end-to-end criterion."""
+
+import gzip
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.ingest import ingest_trace
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+
+def _rec(path, i):
+    return (f"{path}|{1420000000 + i}|{1419000000 + i}|{1419500000 + i}"
+            f"|{1000 + i % 40}|{7000 + i % 6}|100644|{i + 1}|{i % 64}:{i:x}")
+
+
+def _child_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+@pytest.fixture(scope="module")
+def traces(tmp_path_factory):
+    src = tmp_path_factory.mktemp("traces")
+    for week, label in enumerate(("20150105", "20150112", "20150119")):
+        lines = [_rec(f"/s/p/u/w{week}/f{i}.dat", i) for i in range(2000)]
+        lines.insert(500, "seeded garbage line")  # one quarantine per file
+        if week == 1:
+            with gzip.open(src / f"{label}.psv.gz", "wt") as fh:
+                fh.write("\n".join(lines) + "\n")
+        else:
+            (src / f"{label}.psv").write_text("\n".join(lines) + "\n")
+    return src
+
+
+@pytest.fixture(scope="module")
+def baseline(traces, tmp_path_factory):
+    """The uninterrupted archive every resumed run must reproduce exactly."""
+    out = tmp_path_factory.mktemp("baseline")
+    ingest_trace(traces, out)
+    return {p.name: p.read_bytes() for p in sorted(out.iterdir())
+            if p.suffix in (".rpq", ".bad")}
+
+
+def test_sigkilled_ingest_resumes_byte_identical(traces, baseline, tmp_path):
+    out = tmp_path / "arch"
+    journal = tmp_path / "ck.jsonl"
+    child = textwrap.dedent(
+        f"""
+        import repro.ingest.ingestor as ing
+        from repro.ingest import ingest_trace
+        from repro.testing.faults import sigkill_after
+
+        # the process dies the instant it tries to write the second
+        # snapshot: file 0 is complete and journaled, file 1 is mid-flight
+        ing.write_columnar_blocks = sigkill_after(ing.write_columnar_blocks, 1)
+        ingest_trace({str(traces)!r}, {str(out)!r},
+                     checkpoint={str(journal)!r})
+        raise SystemExit("unreachable: the writer should have killed us")
+        """
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", child], env=_child_env(), capture_output=True,
+        text=True, timeout=300,
+    )
+    assert proc.returncode == -9, (proc.returncode, proc.stderr[-2000:])
+    assert journal.exists(), "SIGKILL before the first fsynced record?"
+    assert journal.read_text().count('"index"') == 1
+
+    result = ingest_trace(traces, out, checkpoint=journal)
+    assert result.report.resumed == 1
+    got = {p.name: p.read_bytes() for p in sorted(out.iterdir())
+           if p.suffix in (".rpq", ".bad")}
+    assert got == baseline
+    assert not journal.exists()
+
+
+def test_sigkill_mid_sidecar_leaves_no_torn_files(traces, baseline, tmp_path):
+    """Killed before any output commits: the rerun starts clean and still
+    converges — atomic writes mean there is never a torn .rpq or .bad."""
+    out = tmp_path / "arch"
+    journal = tmp_path / "ck.jsonl"
+    child = textwrap.dedent(
+        f"""
+        import repro.ingest.ingestor as ing
+        from repro.ingest import ingest_trace
+        from repro.testing.faults import sigkill_after
+
+        ing.write_columnar_blocks = sigkill_after(ing.write_columnar_blocks, 0)
+        ingest_trace({str(traces)!r}, {str(out)!r},
+                     checkpoint={str(journal)!r})
+        """
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", child], env=_child_env(), capture_output=True,
+        text=True, timeout=300,
+    )
+    assert proc.returncode == -9
+    # the sidecar commits just before the columnar write, so it may exist
+    # (and is atomically rewritten on rerun) — but never a torn .rpq
+    assert [p.name for p in out.iterdir() if p.suffix == ".rpq"] == []
+
+    result = ingest_trace(traces, out, checkpoint=journal)
+    assert result.report.resumed == 0
+    got = {p.name: p.read_bytes() for p in sorted(out.iterdir())
+           if p.suffix in (".rpq", ".bad")}
+    assert got == baseline
+
+
+@pytest.mark.slow
+def test_large_dump_ingests_under_memory_budget(tmp_path):
+    """The issue's end-to-end criterion: a multi-hundred-MB dump with
+    seeded malformed lines ingests with peak RSS well below the file
+    size, quarantines deterministically, and analyzes clean."""
+    src = tmp_path / "traces"
+    src.mkdir()
+    dump = src / "20150105.psv"
+    n = 2_000_000
+    with open(dump, "w") as fh:
+        for i in range(n):
+            uid = 1000 + i % 500
+            fh.write(
+                f"/lustre/atlas1/dom{i % 7:02d}/proj{uid % 37:03d}/u{uid}"
+                f"/run_{i % 991:04d}/step{i % 13}/output.{i:08d}.h5"
+                f"|{1420000000 + i % 86400}|{1419000000 + i % 86400}"
+                f"|{1419500000 + i % 86400}|{uid}|{7000 + uid % 37}"
+                f"|100644|{i + 1}"
+                f"|{i % 1008}:{i:07x},{(i + 252) % 1008}:{i + 1:07x}"
+                f",{(i + 504) % 1008}:{i + 2:07x},{(i + 756) % 1008}:{i + 3:07x}\n"
+            )
+            if i % 100_000 == 50_000:
+                fh.write(f"seeded malformed line {i}\n")
+    size = dump.stat().st_size
+    assert size > 300 << 20, "fixture must be multi-hundred-MB"
+
+    out = tmp_path / "arch"
+    child = textwrap.dedent(
+        f"""
+        import resource, sys
+        from repro.core.cli import main
+
+        rc = main(["ingest", {str(dump)!r}, "--out", {str(out)!r},
+                   "--memory-budget", "160M"])
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+        print(f"RC={{rc}} PEAK={{peak}}")
+        """
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", child], env=_child_env(), capture_output=True,
+        text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-3000:]
+    marker = [l for l in proc.stdout.splitlines() if l.startswith("RC=")][-1]
+    peak_rss = int(marker.split("PEAK=")[1])
+    assert peak_rss < size, (
+        f"peak RSS {peak_rss:,} not below the {size:,}-byte dump")
+
+    # quarantine is complete and deterministic
+    bad = (out / "20150105.bad").read_text().splitlines()
+    assert len(bad) - 1 == 20  # header + one per seeded malformed line
+    from repro.scan.columnar import read_columnar_header
+
+    header = read_columnar_header(out / "20150105.rpq")
+    assert header["rows"] == n
+
+    # and the archive runs clean through the analysis path — quarantined
+    # lines degrade the *ingest* report, not the resulting archive
+    from repro.core.pipeline import analyze_archive
+
+    pipeline, report = analyze_archive(
+        out, analyses="growth", allow_config_mismatch=True,
+    )
+    assert "FIGURE 15" in report.text

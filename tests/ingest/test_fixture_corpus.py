@@ -1,0 +1,123 @@
+"""Pinned expectations for the committed hostile-fixture corpus.
+
+Each fixture in ``tests/data/ingest/`` represents one damage class (see
+its README); this suite pins what a quarantine-policy ingest must make of
+each — row counts, quarantined fields, sidecar encodings — so a codec or
+validator change that silently shifts the trust boundary fails here.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.ingest import IngestConfig, ingest_file, ingest_trace
+from repro.scan.columnar import read_columnar
+from repro.scan.errors import CorruptSnapshotError
+from repro.scan.paths import PathTable
+
+CORPUS = Path(__file__).resolve().parents[1] / "data" / "ingest"
+
+
+def _sidecar_entries(path):
+    lines = path.read_text().splitlines()
+    head = json.loads(lines[0])
+    assert head["kind"] == "repro-ingest-sidecar"
+    return [json.loads(line) for line in lines[1:]]
+
+
+def test_clean_gzip_ingests_fully(tmp_path):
+    stats = ingest_file(CORPUS / "20150105.clean.psv.gz", tmp_path)
+    assert (stats.lines, stats.rows, stats.rejected) == (201, 201, 0)
+    assert stats.sidecar is None
+    assert stats.label == "20150105.clean"
+    assert stats.timestamp == 1420416000  # from the YYYYMMDD prefix
+    snap = read_columnar(tmp_path / "20150105.clean.rpq", PathTable())
+    assert snap.n_files == 200 and snap.n_dirs == 1
+
+
+def test_truncated_tail_is_one_quarantined_record(tmp_path):
+    stats = ingest_file(CORPUS / "truncated.psv", tmp_path)
+    assert (stats.rows, stats.rejected) == (20, 1)
+    (entry,) = _sidecar_entries(tmp_path / "truncated.bad")
+    assert entry["field"] == "record"
+    assert entry["line"] == 21
+    assert entry["raw"].startswith("/scratch/p1/u1/torn.dat")
+
+
+def test_gzip_corruption_is_file_level(tmp_path):
+    with pytest.raises(CorruptSnapshotError, match="gzip") as exc:
+        ingest_file(CORPUS / "gzip-corrupt.psv.gz", tmp_path)
+    assert exc.value.offset is not None
+    assert not (tmp_path / "gzip-corrupt.rpq").exists()
+
+
+def test_mixed_encoding_quarantines_non_utf8(tmp_path):
+    stats = ingest_file(CORPUS / "mixed-encoding.psv", tmp_path)
+    assert (stats.rows, stats.rejected) == (5, 2)
+    assert stats.by_field == {"encoding": 2}
+    entries = _sidecar_entries(tmp_path / "mixed-encoding.bad")
+    # undecodable raw lines are base64'd, never dropped
+    assert all("raw_b64" in e and "raw" not in e for e in entries)
+
+
+def test_embedded_delimiters_survive_or_quarantine(tmp_path):
+    stats = ingest_file(CORPUS / "embedded-delimiter.psv", tmp_path)
+    assert (stats.rows, stats.rejected) == (5, 1)
+    snap = read_columnar(tmp_path / "embedded-delimiter.rpq", PathTable())
+    got = {snap.paths.path_of(int(pid)) for pid in snap.path_id}
+    assert got == {
+        "/scratch/p4/u4/normal.dat",
+        "/scratch/p4/u4/a|b.dat",          # escaped pipe, unescaped on read
+        "/scratch/p4/u4/raw|pipe.dat",     # raw pipe, rescued by rsplit
+        "/scratch/p4/u4/back\\slash.dat",  # escaped backslash
+        "/scratch/p4/u4/C:\\temp.dat",     # unknown escape kept literal
+    }
+    (entry,) = _sidecar_entries(tmp_path / "embedded-delimiter.bad")
+    assert entry["field"] == "path"  # the \n-bearing name: control char
+
+
+def test_out_of_range_values_each_quarantined(tmp_path):
+    stats = ingest_file(CORPUS / "out-of-range.psv", tmp_path)
+    assert (stats.rows, stats.rejected) == (2, 9)
+    assert stats.by_field == {
+        "uid": 1, "atime": 1, "mtime": 1, "ino": 1, "mode": 1,
+        "ost": 2, "path": 2,  # relative + duplicate
+    }
+    fields = [e["field"] for e in _sidecar_entries(tmp_path / "out-of-range.bad")]
+    assert fields == [
+        "uid", "atime", "mtime", "ino", "mode", "ost", "ost", "path", "path",
+    ]
+
+
+def test_whole_corpus_under_quarantine_policy(tmp_path):
+    """One directory-level run: damage is contained per file, the clean
+    members come through, and conservation holds everywhere."""
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        result = ingest_trace(CORPUS, tmp_path, IngestConfig())
+    assert len(result.report.faults) == 1  # the corrupt gzip
+    assert result.report.faults[0].path.endswith("gzip-corrupt.psv.gz")
+    for f in result.report.files:
+        if f.output is not None:
+            assert f.rows + f.rejected == f.lines, f.source
+    assert (tmp_path / "20150105.clean.rpq").exists()
+    assert result.report.degraded
+
+
+def test_corpus_output_is_deterministic(tmp_path):
+    import warnings
+
+    outs = []
+    for name in ("a", "b"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            ingest_trace(CORPUS, tmp_path / name, IngestConfig())
+        outs.append({
+            p.name: p.read_bytes()
+            for p in sorted((tmp_path / name).iterdir())
+            if p.suffix in (".rpq", ".bad")
+        })
+    assert outs[0] == outs[1]

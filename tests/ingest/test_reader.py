@@ -1,0 +1,106 @@
+"""Bytes-level reader suite: framing, chunking, gzip, typed corruption."""
+
+import gzip
+
+import pytest
+
+from repro.ingest.reader import DEFAULT_CHUNK_RECORDS, TraceReader, sniff_gzip
+from repro.scan.errors import CorruptSnapshotError
+
+
+def _lines(n):
+    return [f"/scratch/u/f{i}.dat|1|2|3|4|5|100644|{i + 1}|".encode()
+            for i in range(n)]
+
+
+def _write(path, lines, newline_at_end=True):
+    body = b"\n".join(lines)
+    if newline_at_end:
+        body += b"\n"
+    path.write_bytes(body)
+    return path
+
+
+def test_chunking_and_provenance(tmp_path):
+    src = _write(tmp_path / "t.psv", _lines(10))
+    reader = TraceReader(src, chunk_records=4)
+    chunks = list(reader.chunks())
+    assert [len(c) for c in chunks] == [4, 4, 2]
+    flat = [r for c in chunks for r in c]
+    assert [r.lineno for r in flat] == list(range(1, 11))
+    # each offset is exactly the start byte of its line
+    raw = src.read_bytes()
+    for rec in flat:
+        assert raw[rec.offset:rec.offset + len(rec.raw)] == rec.raw
+    assert reader.lines_read == 10
+    assert reader.bytes_read == len(raw)
+
+
+def test_unterminated_final_line_is_a_record(tmp_path):
+    src = _write(tmp_path / "t.psv", _lines(3), newline_at_end=False)
+    recs = [r for c in TraceReader(src).chunks() for r in c]
+    assert len(recs) == 3
+    assert recs[-1].raw == _lines(3)[-1]
+
+
+def test_default_chunk_size(tmp_path):
+    src = _write(tmp_path / "t.psv", _lines(5))
+    assert TraceReader(src).chunk_records == DEFAULT_CHUNK_RECORDS
+
+
+def test_gzip_sniffed_not_named(tmp_path):
+    # gzip content under a plain .psv name: the magic wins
+    src = tmp_path / "misnamed.psv"
+    src.write_bytes(gzip.compress(b"\n".join(_lines(6)) + b"\n"))
+    reader = TraceReader(src)
+    assert reader.compressed
+    assert sniff_gzip(src)
+    recs = [r for c in reader.chunks() for r in c]
+    assert len(recs) == 6
+    # offsets are uncompressed-stream offsets
+    assert recs[0].offset == 0
+    assert recs[1].offset == len(_lines(6)[0]) + 1
+
+
+def test_corrupt_gzip_is_typed_file_level_error(tmp_path):
+    blob = bytearray(gzip.compress(b"\n".join(_lines(200)) + b"\n"))
+    blob[len(blob) // 2] ^= 0xFF
+    src = tmp_path / "bad.psv.gz"
+    src.write_bytes(bytes(blob))
+    with pytest.raises(CorruptSnapshotError, match="gzip stream corrupt"):
+        for _ in TraceReader(src, chunk_records=8).chunks():
+            pass
+
+
+def test_truncated_gzip_is_typed_file_level_error(tmp_path):
+    blob = gzip.compress(b"\n".join(_lines(200)) + b"\n")
+    src = tmp_path / "cut.psv.gz"
+    src.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(CorruptSnapshotError):
+        for _ in TraceReader(src).chunks():
+            pass
+
+
+def test_skip_records_resume(tmp_path):
+    src = _write(tmp_path / "t.psv", _lines(9))
+    recs = [r for c in TraceReader(src, chunk_records=3).chunks(skip_records=5)
+            for r in c]
+    assert [r.lineno for r in recs] == [6, 7, 8, 9]
+    # line numbers and offsets are identical to an unskipped read
+    full = [r for c in TraceReader(src, chunk_records=3).chunks() for r in c]
+    assert [(r.lineno, r.offset, r.raw) for r in recs] == \
+        [(r.lineno, r.offset, r.raw) for r in full[5:]]
+
+
+def test_blank_lines_are_yielded_empty(tmp_path):
+    src = tmp_path / "t.psv"
+    src.write_bytes(b"a|1|2|3|4|5|100644|1|\n\nb|1|2|3|4|5|100644|2|\n")
+    recs = [r for c in TraceReader(src).chunks() for r in c]
+    assert [r.raw for r in recs][1] == b""
+    assert [r.lineno for r in recs] == [1, 2, 3]
+
+
+def test_chunk_records_must_be_positive(tmp_path):
+    src = _write(tmp_path / "t.psv", _lines(1))
+    with pytest.raises(ValueError, match="chunk_records"):
+        TraceReader(src, chunk_records=0)

@@ -1,0 +1,151 @@
+"""Validation-rule suite: every rejection is typed and names its field."""
+
+import pytest
+
+from repro.ingest.reader import RawRecord
+from repro.ingest.validate import (
+    RecordValidator,
+    ValidationLimits,
+    _DigestSet,
+)
+from repro.scan.errors import IngestRecordError
+
+
+def _rec(line, lineno=1):
+    return RawRecord(lineno, 0, line.encode() if isinstance(line, str) else line)
+
+
+def _ok(path="/s/u/f.dat", a=100, c=200, m=300, uid=10, gid=20,
+        mode="100644", ino=1, ost="3:1a"):
+    return f"{path}|{a}|{c}|{m}|{uid}|{gid}|{mode}|{ino}|{ost}"
+
+
+@pytest.fixture
+def v():
+    return RecordValidator("trace.psv", ValidationLimits(ost_count=64))
+
+
+def _field_of(v, line):
+    with pytest.raises(IngestRecordError) as exc:
+        v.validate(_rec(line))
+    return exc.value.field
+
+
+def test_valid_record_passes(v):
+    rec = v.validate(_rec(_ok()))
+    assert rec.path == "/s/u/f.dat"
+    assert rec.stripe_count == 1 and rec.stripe_start == 3
+    assert v.stats.ok == 1 and v.stats.rejected == 0
+
+
+@pytest.mark.parametrize(
+    "line,field",
+    [
+        ("just some garbage", "record"),
+        (_ok(uid=2**31), "uid"),
+        (_ok(gid=-1), "gid"),
+        (_ok(ino=0), "ino"),
+        (_ok(ino=2**63), "ino"),
+        (_ok(a=-1), "atime"),
+        (_ok(c=4102444801), "ctime"),
+        (_ok(m=884541456000), "mtime"),
+        (_ok(mode="140644"), "mode"),          # socket: not an allowed type
+        (_ok(mode="777777777777"), "mode"),    # > uint32
+        (_ok(path="relative/p.dat"), "path"),
+        (_ok(ost="3:1a,3:2b"), "ost"),         # duplicate stripe index
+        (_ok(ost="64:1a"), "ost"),             # index outside [0, ost_count)
+        (_ok(ost="-1:1a"), "ost"),
+        (_ok(path="/s/u/d", mode="40755", ost="1:9"), "ost"),  # dir with OST
+    ],
+)
+def test_rejections_name_the_field(v, line, field):
+    assert _field_of(v, line) == field
+    assert v.stats.by_field == {field: 1}
+
+
+def test_error_carries_full_provenance(v):
+    with pytest.raises(IngestRecordError) as exc:
+        v.validate(_rec(_ok(uid=2**31), lineno=42))
+    err = exc.value
+    assert err.file == "trace.psv"
+    assert err.line == 42
+    assert err.field == "uid"
+    assert "trace.psv:42" in str(err)
+    assert isinstance(err, ValueError)  # stays catchable by legacy callers
+
+
+def test_non_utf8_is_an_encoding_rejection(v):
+    bad = b"/s/u/caf\xc3(.txt|1|2|3|4|5|100644|9|"
+    with pytest.raises(IngestRecordError) as exc:
+        v.validate(_rec(bad))
+    assert exc.value.field == "encoding"
+
+
+def test_control_chars_in_path_rejected(v):
+    # a raw newline cannot survive line framing, but \r and escaped \n can
+    assert _field_of(v, _ok(path="/s/u/a\\nb.dat")) == "path"
+    assert _field_of(v, _ok(path="/s/u/tab\tname")) == "path"
+
+
+def test_oversized_line_rejected_unparsed():
+    v = RecordValidator("t", ValidationLimits(max_line_bytes=64))
+    assert _field_of(v, _ok(path="/s/" + "x" * 100)) == "record"
+
+
+def test_path_length_limit():
+    v = RecordValidator("t", ValidationLimits(max_path_len=32))
+    assert _field_of(v, _ok(path="/s/" + "y" * 64)) == "path"
+
+
+def test_duplicate_paths_rejected_then_optionally_kept():
+    v = RecordValidator("t")
+    v.validate(_rec(_ok(ino=1)))
+    assert _field_of(v, _ok(ino=2)) == "path"
+
+    keep = RecordValidator("t", ValidationLimits(reject_duplicate_paths=False))
+    keep.validate(_rec(_ok(ino=1)))
+    keep.validate(_rec(_ok(ino=2)))  # no raise
+    assert keep.stats.ok == 2
+
+
+def test_relative_paths_allowed_when_configured():
+    v = RecordValidator("t", ValidationLimits(require_absolute=False))
+    rec = v.validate(_rec(_ok(path="relative/p.dat")))
+    assert rec.path == "relative/p.dat"
+
+
+def test_stripe_count_limit():
+    v = RecordValidator("t", ValidationLimits(max_stripe_count=2))
+    assert _field_of(v, _ok(ost="1:a,2:b,3:c")) == "ost"
+
+
+def test_stats_conservation(v):
+    lines = [_ok(ino=i + 1, path=f"/s/u/f{i}") for i in range(5)]
+    lines += ["garbage", _ok(uid=-3, ino=99, path="/s/u/x")]
+    for i, line in enumerate(lines):
+        try:
+            v.validate(_rec(line, lineno=i + 1))
+        except IngestRecordError:
+            pass
+    assert v.stats.records == 7
+    assert v.stats.ok + v.stats.rejected == v.stats.records
+    assert sum(v.stats.by_field.values()) == v.stats.rejected
+
+
+def test_limits_validate_themselves():
+    with pytest.raises(ValueError):
+        ValidationLimits(min_timestamp=10, max_timestamp=5)
+    with pytest.raises(ValueError):
+        ValidationLimits(ost_count=0)
+
+
+def test_digest_set_grows_and_stays_exact():
+    s = _DigestSet(capacity=8)
+    keys = [(k * 2654435761) % (2**64) for k in range(1, 2000)]
+    for k in keys:
+        assert s.add(k) is True
+    for k in keys:
+        assert s.add(k) is False
+    assert s.add(0) is True   # sentinel key is remapped, still works
+    assert s.add(0) is False
+    assert s.nbytes >= 2000 * 8 / 0.7 * 0.5  # grew well past the seed size
