@@ -3,7 +3,15 @@
 Spider II rejected changelogs for overhead and pays with invisible
 intra-interval churn (§4.1.1).  This bench runs the same workload with the
 changelog attached and quantifies both sides: the churn weekly snapshot
-diffs miss, and the log's record overhead."""
+diffs miss, and the log's record overhead.
+
+It also quantifies the flip side of the same bet at analysis time:
+``test_delta_vs_rescan`` appends one snapshot to an already-analyzed
+archive and times the incremental (``.rpd`` delta replay) path against a
+full re-scan of the window, emitting ``BENCH_delta.json``."""
+
+import json
+import time
 
 import numpy as np
 from conftest import emit
@@ -54,3 +62,61 @@ def test_changelog_vs_scan(benchmark, artifact_dir):
     total_visible = sum(i.visible_new for i in result.intervals)
     assert total_created >= total_visible
     emit(artifact_dir, "ablation_changelog", render_hidden_churn(result))
+
+
+def test_delta_vs_rescan(artifact_dir, tmp_path):
+    """Appending snapshot N+1: O(delta) replay vs O(window) re-scan."""
+    from repro.core.pipeline import ReproPipeline, analyze_archive
+    from repro.query.parallel import SnapshotExecutor
+    from repro.synth.driver import SimulationConfig
+
+    config = SimulationConfig(
+        seed=2015, scale=2e-6, weeks=16, min_project_files=6,
+        stress_depths=False,
+    )
+    analyses = "census,access,growth,users"
+    pipeline = ReproPipeline(config)
+    pipeline.simulate()
+    n = len(list(pipeline.simulation.collection))
+    archive = tmp_path / "archive"
+
+    # seed the journaled state over the first N-1 snapshots (untimed: this
+    # is the sunk cost of the analysis that already happened last week)
+    pipeline.archive(archive, max_snapshots=n - 1)
+    analyze_archive(archive, config=config, analyses=analyses,
+                    incremental=True)
+    pipeline.archive(archive)  # snapshot N lands, with its .rpd sidecar
+
+    t0 = time.perf_counter()
+    _, full_report = analyze_archive(archive, config=config, analyses=analyses)
+    full_seconds = time.perf_counter() - t0
+
+    executor = SnapshotExecutor(1)
+    t0 = time.perf_counter()
+    _, delta_report = analyze_archive(
+        archive, config=config, analyses=analyses, incremental=True,
+        executor=executor,
+    )
+    delta_seconds = time.perf_counter() - t0
+
+    stats = executor.stats
+    assert delta_report.text == full_report.text  # byte-identical outputs
+    assert stats.delta_kernels > 0 and stats.delta_updates > 0
+    assert stats.n_tasks == 0  # update ran, map did not
+    assert delta_seconds < full_seconds
+    payload = {
+        "snapshots": n,
+        "analyses": analyses,
+        "full_rescan_seconds": round(full_seconds, 4),
+        "delta_replay_seconds": round(delta_seconds, 4),
+        "speedup": round(full_seconds / delta_seconds, 2),
+        "delta_kernels": stats.delta_kernels,
+        "delta_updates": stats.delta_updates,
+        "snapshot_loads_during_replay": stats.n_tasks,
+        "byte_identical": delta_report.text == full_report.text,
+    }
+    (artifact_dir / "BENCH_delta.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print("\n--- BENCH_delta ---")
+    print(json.dumps(payload, indent=2))

@@ -102,13 +102,58 @@ class AccessPatternResult:
         return new / readonly if readonly else float("inf")
 
 
+def _classify_delta(delta) -> WeeklyAccess:
+    """One Figure 13 bar straight from a delta sidecar — no snapshot load.
+
+    Mirrors :func:`_classify_pair` exactly: a path counts as *new* when it
+    is a file in ``cur`` but not in ``prev`` (added files plus dir→file
+    flips), *deleted* symmetrically, and the file-in-both population splits
+    into the delta's file↔file ``changed`` rows (classified by which
+    timestamps moved) plus the untouched remainder, recovered by
+    subtraction from the header's previous file count.
+    """
+    added_files = int((~delta.added_is_dir).sum())
+    removed_files = int((~delta.removed_is_dir).sum())
+    prev_file = ~delta.changed_was_dir
+    cur_file = ~delta.changed_is_dir
+    new = added_files + int((cur_file & ~prev_file).sum())
+    deleted = removed_files + int((prev_file & ~cur_file).sum())
+    both_total = int(delta.prev_files) - deleted
+    ff = prev_file & cur_file
+    atime_changed = (
+        delta.changed_prev["atime"][ff] != delta.changed_cur["atime"][ff]
+    )
+    write_changed = (
+        delta.changed_prev["mtime"][ff] != delta.changed_cur["mtime"][ff]
+    ) | (delta.changed_prev["ctime"][ff] != delta.changed_cur["ctime"][ff])
+    readonly = int((atime_changed & ~write_changed).sum())
+    updated = int(write_changed.sum())
+    changed_untouched = int((~atime_changed & ~write_changed).sum())
+    untouched = both_total - int(ff.sum()) + changed_untouched
+    return WeeklyAccess(
+        label=delta.cur_label,
+        new=new,
+        deleted=deleted,
+        readonly=readonly,
+        updated=updated,
+        untouched=untouched,
+    )
+
+
 def access_kernel() -> Kernel:
-    """Figure 13 as a pair kernel: classify each adjacent snapshot pair."""
+    """Figure 13 as a pair kernel: classify each adjacent snapshot pair.
+
+    Delta-capable: a ``.rpd`` sidecar carries both sides of every changed
+    row, which is exactly the information the pairwise classifier reads, so
+    ``update`` appends one :class:`WeeklyAccess` per delta."""
     return Kernel(
         name="access",
         map_fn=_classify_pair,
         reduce_fn=lambda weeks: AccessPatternResult(weeks=list(weeks)),
         pairwise=True,
+        update_fn=lambda state, delta: state + [_classify_delta(delta)],
+        partials_to_state=list,
+        state_to_result=lambda weeks: AccessPatternResult(weeks=list(weeks)),
     )
 
 

@@ -39,6 +39,11 @@ class AnalysisContext:
     #: per-snapshot circuit-breaker threshold (see
     #: :meth:`~repro.query.engine.ExecutionEngine.run_kernels`)
     max_task_failures: int | None = None
+    #: optional :class:`~repro.query.engine.DeltaPlan` (set by
+    #: ``analyze_archive``'s incremental mode): consumed one-shot by the
+    #: first kernel-bearing pass, like ``checkpoint`` — only the fused pass
+    #: should see it
+    delta_plan: object | None = None
 
     # -- kernel execution ------------------------------------------------------
 
@@ -63,12 +68,16 @@ class AnalysisContext:
                 labels=list(self.collection.labels),
                 fingerprint=self.checkpoint_meta,
             )
+        plan = None
+        if kernels and self.delta_plan is not None:
+            plan, self.delta_plan = self.delta_plan, None
         return self.executor.run_kernels(
             self.collection,
             kernels,
             journal=journal,
             controller=self.controller,
             max_task_failures=self.max_task_failures,
+            delta_plan=plan,
         )
 
     # -- execution observability ----------------------------------------------

@@ -56,7 +56,11 @@ def _map_growth(snapshot: Snapshot) -> tuple[str, int, int]:
 
 
 def growth_kernel(scan_history: list[ScanStats] | None = None) -> Kernel:
-    """Figure 15 as a kernel: per-snapshot file/dir counts."""
+    """Figure 15 as a kernel: per-snapshot file/dir counts.
+
+    Delta-capable: the state is simply the per-snapshot count rows, and the
+    delta sidecar's header already carries the appended snapshot's file/dir
+    totals — no namespace load at all."""
 
     def reduce_growth(rows: list[tuple[str, int, int]]) -> GrowthSeries:
         labels = [r[0] for r in rows]
@@ -73,7 +77,19 @@ def growth_kernel(scan_history: list[ScanStats] | None = None) -> Kernel:
             snapshot_bytes=snapshot_bytes,
         )
 
-    return Kernel(name="growth", map_fn=_map_growth, reduce_fn=reduce_growth)
+    def update_growth(
+        state: list[tuple[str, int, int]], delta
+    ) -> list[tuple[str, int, int]]:
+        return state + [(delta.cur_label, delta.cur_files, delta.cur_dirs)]
+
+    return Kernel(
+        name="growth",
+        map_fn=_map_growth,
+        reduce_fn=reduce_growth,
+        update_fn=update_growth,
+        partials_to_state=list,
+        state_to_result=reduce_growth,
+    )
 
 
 def growth_series(

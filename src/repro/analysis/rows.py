@@ -101,8 +101,82 @@ def _reduce_rows(partials: list[tuple[np.ndarray, ...]]) -> RowCensus:
     )
 
 
+def _merge_first_seen(
+    pid: np.ndarray,
+    companions: tuple[np.ndarray, ...],
+    new_pid: np.ndarray,
+    new_companions: tuple[np.ndarray, ...],
+) -> tuple[np.ndarray, ...]:
+    """Fold never-seen pids into a sorted first-seen census.
+
+    First-seen semantics make the update trivial: rows whose pid is already
+    in the census keep their original attribution, so only genuinely new
+    pids (with their companion values) are inserted, re-sorted ascending.
+    """
+    fresh = ~np.isin(new_pid, pid, assume_unique=False)
+    if not fresh.any():
+        return (pid, *companions)
+    merged_pid = np.concatenate([pid, new_pid[fresh]])
+    order = np.argsort(merged_pid, kind="stable")
+    out = [merged_pid[order]]
+    for old, new in zip(companions, new_companions):
+        out.append(np.concatenate([old, new[fresh]])[order])
+    return tuple(out)
+
+
+def _update_rows(state: RowCensus, delta) -> RowCensus:
+    """Advance the census by one snapshot via its delta sidecar.
+
+    Only rows that are new *to the snapshot* can be new to the census, so
+    the candidates are exactly the delta's ``added`` rows plus the
+    ``changed`` rows (a changed row can flip file↔dir, making an
+    already-censused pid new to the file- or dir-specific census).
+    """
+    cand_pid = np.concatenate(
+        [delta.added["path_id"], delta.changed_cur["path_id"]]
+    )
+    cand_gid = np.concatenate([delta.added["gid"], delta.changed_cur["gid"]])
+    cand_uid = np.concatenate([delta.added["uid"], delta.changed_cur["uid"]])
+    cand_dir = np.concatenate([delta.added_is_dir, delta.changed_is_dir])
+    pid, gid, uid, is_dir = _merge_first_seen(
+        state.pid,
+        (state.gid, state.uid, state.is_dir),
+        cand_pid,
+        (cand_gid, cand_uid, cand_dir),
+    )
+    fmask = ~cand_dir
+    file_pid, file_gid = _merge_first_seen(
+        state.file_pid, (state.file_gid,), cand_pid[fmask], (cand_gid[fmask],)
+    )
+    dir_pid, dir_gid = _merge_first_seen(
+        state.dir_pid, (state.dir_gid,), cand_pid[cand_dir], (cand_gid[cand_dir],)
+    )
+    return RowCensus(
+        pid=pid,
+        gid=gid,
+        uid=uid,
+        is_dir=is_dir,
+        file_pid=file_pid,
+        file_gid=file_gid,
+        dir_pid=dir_pid,
+        dir_gid=dir_gid,
+    )
+
+
 def rows_kernel() -> Kernel:
     """The shared census kernel (name ``"rows"``); safe to register from
     several analyses at once — fused runs dedupe it by name *and* the
-    engine shares its single map evaluation per snapshot."""
-    return Kernel(name=ROWS_KERNEL, map_fn=_map_rows, reduce_fn=_reduce_rows)
+    engine shares its single map evaluation per snapshot.
+
+    Delta-capable: the kernel's state *is* the :class:`RowCensus` (the
+    reduce result), and ``update`` folds one snapshot's delta sidecar into
+    it under the first-seen rule, so appending snapshot N+1 to an analyzed
+    archive costs O(|delta|) instead of O(namespace)."""
+    return Kernel(
+        name=ROWS_KERNEL,
+        map_fn=_map_rows,
+        reduce_fn=_reduce_rows,
+        update_fn=_update_rows,
+        partials_to_state=_reduce_rows,
+        state_to_result=lambda state: state,
+    )

@@ -52,9 +52,38 @@ def _reduce_active(
     return uids, gids
 
 
+def _update_active(
+    state: tuple[np.ndarray, np.ndarray], delta
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold one delta into the active-ID census.
+
+    Unchanged rows carry the same owners as the previous snapshot (already
+    in the census), so only ``added`` and ``changed`` current-side rows can
+    introduce new UIDs/GIDs.
+    """
+    uids, gids = state
+    new_uid = np.concatenate(
+        [delta.added["uid"], delta.changed_cur["uid"]]
+    ).astype(np.int64)
+    new_gid = np.concatenate(
+        [delta.added["gid"], delta.changed_cur["gid"]]
+    ).astype(np.int64)
+    return np.union1d(uids, new_uid), np.union1d(gids, new_gid)
+
+
 def active_ids_kernel() -> Kernel:
-    """UIDs/GIDs owning at least one entry in any snapshot (§4.1.1)."""
-    return Kernel(name="active_ids", map_fn=_map_active, reduce_fn=_reduce_active)
+    """UIDs/GIDs owning at least one entry in any snapshot (§4.1.1).
+
+    Delta-capable: the census is a plain union, so ``update`` only has to
+    union in the owners of added/changed rows."""
+    return Kernel(
+        name="active_ids",
+        map_fn=_map_active,
+        reduce_fn=_reduce_active,
+        update_fn=_update_active,
+        partials_to_state=_reduce_active,
+        state_to_result=lambda state: state,
+    )
 
 
 def user_profile_from_active(

@@ -85,6 +85,21 @@ def build_parser() -> argparse.ArgumentParser:
         "the first unprocessed snapshot (deleted after a successful run)",
     )
     parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="with --from-archive: journal per-kernel reduced state in the "
+        "archive and advance it through the .rpd delta sidecars on the "
+        "next run, so appending one snapshot costs O(delta) instead of a "
+        "full re-scan (falls back to full maps, with a warning, whenever "
+        "the state or sidecar chain is unusable)",
+    )
+    parser.add_argument(
+        "--no-deltas",
+        action="store_true",
+        help="with --archive-dir: skip writing the per-interval .rpd delta "
+        "sidecars next to the .rpq snapshots",
+    )
+    parser.add_argument(
         "--max-seconds",
         type=float,
         default=None,
@@ -434,6 +449,7 @@ def _run(args: argparse.Namespace, controller: RunController) -> int:
             allow_config_mismatch=args.allow_config_mismatch,
             controller=controller,
             max_task_failures=args.max_task_failures,
+            incremental=args.incremental,
         )
         print(
             f"# analyzed {pipeline.simulation.n_snapshots} archived "
@@ -460,7 +476,7 @@ def _run(args: argparse.Namespace, controller: RunController) -> int:
             file=sys.stderr,
         )
         if args.archive_dir:
-            stats = pipeline.archive(args.archive_dir)
+            stats = pipeline.archive(args.archive_dir, deltas=not args.no_deltas)
             print(
                 f"# archive: PSV {stats.psv_bytes:,} B → columnar "
                 f"{stats.columnar_bytes:,} B ({stats.reduction:.1f}x reduction)",

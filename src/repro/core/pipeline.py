@@ -133,17 +133,34 @@ class ReproPipeline:
         )
         return self.simulation
 
-    def archive(self, directory: str | Path, max_snapshots: int | None = None) -> ArchiveStats:
+    def archive(
+        self,
+        directory: str | Path,
+        max_snapshots: int | None = None,
+        deltas: bool = True,
+    ) -> ArchiveStats:
         """Write PSV + columnar snapshot files; returns footprint stats.
 
         Every file (snapshots and the ``manifest.json`` config fingerprint)
         is written atomically — tmp + fsync + rename — so a crash mid-
         archive leaves only complete files plus, at worst, one stray temp
         file, never a torn ``.rpq`` that poisons the next analysis run.
+
+        With ``deltas=True`` (the default) each snapshot after the first
+        also gets a ``{label}.rpd`` sidecar — the exact change set since
+        its predecessor — enabling ``analyze_archive(incremental=True)`` to
+        advance journaled kernel state in O(delta) instead of re-scanning
+        the window (DESIGN.md §11).
         """
         if self.simulation is None:
             raise RuntimeError("simulate() first")
         from repro.core.manifest import write_manifest
+        from repro.scan.delta import (
+            compute_delta,
+            delta_config,
+            sidecar_path,
+            write_delta,
+        )
 
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -153,7 +170,7 @@ class ReproPipeline:
         if max_snapshots is not None:
             snaps = snaps[:max_snapshots]
         records = []
-        for snap in snaps:
+        for i, snap in enumerate(snaps):
             if self.controller is not None:
                 reason = self.controller.should_stop()
                 if reason is not None:
@@ -174,10 +191,16 @@ class ReproPipeline:
             col_path = directory / f"{snap.label}.rpq"
             write_columnar(snap, col_path)
             col_total += col_path.stat().st_size
+            if deltas and i > 0:
+                write_delta(
+                    compute_delta(snaps[i - 1], snap),
+                    sidecar_path(directory, snap.label),
+                )
             records.append(
                 {"label": snap.label, "file": col_path.name, "rows": len(snap)}
             )
-        write_manifest(directory, self.config, snapshots=records)
+        extra = {"deltas": delta_config()} if deltas else None
+        write_manifest(directory, self.config, snapshots=records, extra=extra)
         return ArchiveStats(psv_bytes=psv_total, columnar_bytes=col_total)
 
     def analyze(
@@ -211,6 +234,74 @@ class ReproPipeline:
         return PaperReport(**values, text=text)
 
 
+#: Durable per-kernel state for ``analyze_archive(incremental=True)``,
+#: living inside the archive directory it summarizes.
+KERNEL_STATE_FILENAME = "kernel_state.bin"
+
+
+def _load_delta_plan(directory, store, collection, labels):
+    """Build the run's DeltaPlan from journaled state + the sidecar chain.
+
+    Returns a plan whose ``states``/``deltas`` drive replay when the chain
+    is intact, or an empty-but-capturing plan (with a RuntimeWarning naming
+    the reason) when it is not — degraded incremental runs are loud, never
+    silent, mirroring the serial-downgrade convention.
+    """
+    from repro.query.engine import DeltaPlan
+    from repro.scan.delta import find_delta_chain, read_delta
+
+    plan = DeltaPlan()
+
+    def _fallback(reason: str) -> "DeltaPlan":
+        warnings.warn(
+            f"incremental analysis unavailable ({reason}) — running full "
+            "maps and re-journaling kernel state",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return DeltaPlan()
+
+    states, stored_labels, table = store.load(labels, collection.content_ids())
+    if not states:
+        return plan  # first run (or discarded state): bootstrap via capture
+    if collection.health.degraded:
+        return _fallback("the archive window is degraded")
+    if len(stored_labels) == len(labels):
+        # nothing appended: replay is a no-op state readout; share the
+        # journaled interning table so any full-map kernels agree on ids
+        collection.paths = table
+        plan.states = states
+        return plan
+    files, reason = find_delta_chain(directory, labels, len(stored_labels))
+    if files is None:
+        return _fallback(reason)
+    # validation pass against scratch tables: the shared table must stay
+    # pristine unless the whole chain checks out (a bogus sidecar must not
+    # poison id assignment for the full-map fallback)
+    from repro.scan.errors import CorruptSnapshotError
+    from repro.scan.paths import PathTable
+
+    expected_prev = stored_labels[-1]
+    for path, label in zip(files, labels[len(stored_labels):]):
+        try:
+            probe = read_delta(path, PathTable())
+        except CorruptSnapshotError as exc:
+            return _fallback(f"sidecar {path.name} is corrupt ({exc})")
+        if probe.prev_label != expected_prev or probe.cur_label != label:
+            return _fallback(
+                f"sidecar {path.name} links {probe.prev_label!r}->"
+                f"{probe.cur_label!r}, expected {expected_prev!r}->{label!r}"
+            )
+        expected_prev = probe.cur_label
+    # commit: intern the chain into the journaled table, in order, and make
+    # it the collection's table — replay and full loads then allocate path
+    # ids against one object
+    collection.paths = table
+    plan.states = states
+    plan.deltas = [read_delta(path, table) for path in files]
+    return plan
+
+
 def analyze_archive(
     directory: str | Path,
     config: SimulationConfig | None = None,
@@ -225,6 +316,7 @@ def analyze_archive(
     controller: RunController | None = None,
     max_task_failures: int | None = None,
     ingest_report=None,
+    incremental: bool = False,
 ) -> tuple[ReproPipeline, PaperReport]:
     """Out-of-core analysis: run every §4 analysis from archived snapshots.
 
@@ -270,6 +362,20 @@ def analyze_archive(
       sinking the run.  Defaults to ``executor retries + 1`` whenever a
       non-raise ``on_error`` policy is chosen (degraded-mode runs keep
       going); under ``on_error="raise"`` the breaker stays disarmed.
+
+    Incremental analysis (DESIGN.md §11):
+
+    * ``incremental=True`` journals every delta-capable kernel's reduced
+      state (plus the path-interning table) into the archive's
+      ``kernel_state.bin`` after a healthy run.  The next run advances
+      that state through the ``.rpd`` delta sidecars — appending snapshot
+      N+1 to an analyzed archive costs O(delta) for converted kernels
+      instead of an O(namespace) re-scan, with byte-identical results.
+      The state is fingerprint-bound (archive config + delta layout) and
+      label-prefix-checked; any mismatch, missing sidecar, or broken
+      chain falls back to full maps with a RuntimeWarning, never a wrong
+      answer.  Requires ``fused=True``; state is never persisted from a
+      degraded or quarantine-marred run.
     """
     from repro.analysis.context import AnalysisContext
     from repro.core.manifest import config_fingerprint, validate_manifest
@@ -279,6 +385,8 @@ def analyze_archive(
     config = config if config is not None else SimulationConfig()
     if checkpoint is not None and not fused:
         raise ValueError("checkpoint/resume requires the fused pass (fused=True)")
+    if incremental and not fused:
+        raise ValueError("incremental analysis requires the fused pass (fused=True)")
     validate_manifest(directory, config, allow_mismatch=allow_config_mismatch)
     pipeline = ReproPipeline(
         config=config, executor=executor,
@@ -308,6 +416,22 @@ def analyze_archive(
     if max_task_failures is None and on_error != "raise":
         # degraded-mode default: one full retry cycle, then quarantine
         max_task_failures = pipeline.executor.config.retries + 1
+    state_store = None
+    delta_plan = None
+    if incremental:
+        from repro.query.journal import KernelStateStore
+        from repro.scan.delta import delta_config
+
+        state_store = KernelStateStore(
+            Path(directory) / KERNEL_STATE_FILENAME,
+            fingerprint={
+                "config": config_fingerprint(config),
+                "deltas": delta_config(),
+            },
+        )
+        delta_plan = _load_delta_plan(
+            directory, state_store, collection, collection.labels
+        )
     pipeline.context = AnalysisContext(
         collection=collection,  # type: ignore[arg-type]
         population=population,
@@ -316,6 +440,7 @@ def analyze_archive(
         checkpoint_meta={"config": config_fingerprint(config)},
         controller=controller,
         max_task_failures=max_task_failures,
+        delta_plan=delta_plan,
     )
 
     # a minimal stand-in simulation record (no scanner history: Figure 15's
@@ -335,6 +460,31 @@ def analyze_archive(
     if checkpoint is not None:
         # the run completed: the journal has served its purpose
         Path(checkpoint).unlink(missing_ok=True)
+    if state_store is not None and delta_plan is not None:
+        healthy = (
+            not collection.health.degraded
+            and pipeline.executor.stats.quarantined_snapshots == 0
+        )
+        if healthy and delta_plan.updated_states:
+            if delta_plan.fallbacks or not delta_plan.replayed:
+                # a fused pass ran: under a parallel executor the snapshots
+                # were loaded (and interned) worker-side, so replay the
+                # interning parent-side in index order before journaling the
+                # table — ids must match the states' path ids exactly
+                for i in range(len(collection)):
+                    collection.warm_paths(i)
+            state_store.save(
+                delta_plan.updated_states, collection.labels,
+                collection.paths, collection.content_ids(),
+            )
+        elif not healthy:
+            warnings.warn(
+                "kernel state not journaled: the run was degraded or "
+                "quarantined snapshots — the next incremental run will "
+                "re-analyze from the last healthy state",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return pipeline, report
 
 

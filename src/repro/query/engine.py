@@ -112,12 +112,62 @@ class Kernel:
         When True, ``map_fn`` sees adjacent ``(prev, cur)`` snapshot pairs
         riding the same sliding two-snapshot window the per-snapshot
         kernels keep resident.
+    update_fn / partials_to_state / state_to_result:
+        The optional incremental protocol (DESIGN.md §11).  A kernel that
+        defines all three can advance a journaled *state* by one
+        :class:`~repro.scan.delta.SnapshotDelta` at a time
+        (``update_fn(state, delta) -> state``) instead of re-mapping every
+        snapshot.  ``partials_to_state`` folds a full pass's ordered
+        partials into that state (the bootstrap capture), and
+        ``state_to_result`` turns a state into the kernel's final result.
+        Equivalence contract: ``reduce_fn(partials)`` must equal
+        ``state_to_result(partials_to_state(partials))``, and one
+        ``update_fn`` step must equal re-reducing with the new snapshot's
+        partial appended — the delta path is byte-identical or it is wrong.
+        Kernels without the protocol fall back to a full ``map`` pass,
+        warned-not-silent.
     """
 
     name: str
     map_fn: Callable[..., Any]
     reduce_fn: Callable[[list[Any]], Any]
     pairwise: bool = False
+    update_fn: Callable[[Any, Any], Any] | None = None
+    partials_to_state: Callable[[list[Any]], Any] | None = None
+    state_to_result: Callable[[Any], Any] | None = None
+
+    @property
+    def supports_delta(self) -> bool:
+        """True when the kernel implements the full incremental protocol."""
+        return (
+            self.update_fn is not None
+            and self.partials_to_state is not None
+            and self.state_to_result is not None
+        )
+
+
+@dataclass
+class DeltaPlan:
+    """Instruction set for delta replay inside :meth:`~ExecutionEngine.run_kernels`.
+
+    ``states`` maps kernel names to journaled states covering the analyzed
+    prefix; ``deltas`` is the contiguous
+    :class:`~repro.scan.delta.SnapshotDelta` chain from that prefix to the
+    collection's end (empty when nothing new was appended).  Kernels with a
+    state and the incremental protocol replay deltas; everything else runs
+    the normal full pass — and, when ``capture`` is set, protocol-capable
+    kernels deposit their freshly reduced state into ``updated_states`` so
+    the *next* run can go incremental.  ``replayed`` / ``fallbacks`` record
+    which path each kernel took (the equivalence suite asserts on them).
+    """
+
+    states: dict[str, Any] = field(default_factory=dict)
+    deltas: list[Any] = field(default_factory=list)
+    capture: bool = True
+    #: outputs — filled in by the engine
+    updated_states: dict[str, Any] = field(default_factory=dict)
+    replayed: list[str] = field(default_factory=list)
+    fallbacks: dict[str, str] = field(default_factory=dict)
 
 
 class TaskError(RuntimeError):
@@ -181,8 +231,14 @@ class ExecutionStats:
     deadline_remaining_s: float | None = None
     downgraded: bool = False
     downgrade_reason: str = ""
+    #: kernels whose result came from delta replay (``update``, not ``map``)
+    delta_kernels: int = 0
+    #: total ``update_fn`` invocations across the delta replay
+    delta_updates: int = 0
     #: per-task wall seconds, in completion order
     task_wall: list[float] = field(default_factory=list)
+    #: delta replay: per-kernel busy seconds in ``update_fn`` (parent-side)
+    kernel_update_seconds: dict[str, float] = field(default_factory=dict)
     #: fused runs: per-kernel busy seconds in the map phase (worker-side)
     kernel_map_seconds: dict[str, float] = field(default_factory=dict)
     #: fused runs: per-kernel reduce seconds (parent-side)
@@ -223,6 +279,12 @@ class ExecutionStats:
         self.downgraded = self.downgraded or other.downgraded
         if other.downgrade_reason:
             self.downgrade_reason = other.downgrade_reason
+        self.delta_kernels += other.delta_kernels
+        self.delta_updates += other.delta_updates
+        for name, secs in other.kernel_update_seconds.items():
+            self.kernel_update_seconds[name] = (
+                self.kernel_update_seconds.get(name, 0.0) + secs
+            )
         self.task_wall.extend(other.task_wall)
         for name, secs in other.kernel_map_seconds.items():
             self.kernel_map_seconds[name] = (
@@ -277,6 +339,11 @@ class ExecutionStats:
             )
         if self.snapshot_loads:
             lines.append(f"snapshot loads (parent-visible): {self.snapshot_loads}")
+        if self.delta_kernels:
+            lines.append(
+                f"delta replay: {self.delta_kernels} kernels advanced via "
+                f"update ({self.delta_updates} update calls)"
+            )
         if self.kernel_map_seconds or self.kernel_reduce_seconds:
             totals = self.kernel_totals()
             cells = []
@@ -514,6 +581,7 @@ class ExecutionEngine:
         journal: Any = None,
         controller: RunController | None = None,
         max_task_failures: int | None = None,
+        delta_plan: DeltaPlan | None = None,
     ) -> tuple[dict[str, Any], ExecutionStats]:
         """Run every kernel in a single fused pass over the collection.
 
@@ -546,6 +614,15 @@ class ExecutionEngine:
         a corrupt file dropped at construction.  The breaker requires a
         non-``raise`` policy on the collection; otherwise failures raise a
         :class:`TaskError` exactly as before.
+
+        ``delta_plan`` (a :class:`DeltaPlan`) switches kernels carrying the
+        incremental protocol *and* a journaled state onto delta replay:
+        their results come from folding ``update_fn`` over the plan's delta
+        chain — no snapshot is loaded for them.  Every other kernel runs
+        the full fused pass exactly as before (warned, never silent, when
+        an incremental attempt degrades), and — when ``plan.capture`` —
+        protocol-capable kernels deposit their freshly reduced state into
+        ``plan.updated_states`` for the next run.
         """
         kernels = list(kernels)
         names = [k.name for k in kernels]
@@ -556,6 +633,23 @@ class ExecutionEngine:
         if n == 0 or not kernels:
             stats = ExecutionStats(runs=1)
             return {k.name: k.reduce_fn([]) for k in kernels}, stats
+        replay: list[Kernel] = []
+        if delta_plan is not None:
+            replay, kernels = self._split_delta_plan(kernels, delta_plan)
+        replay_results: dict[str, Any] = {}
+        replay_stats = ExecutionStats()
+        if replay:
+            # replay precedes the fused pass: added-path interning must
+            # follow snapshot order, and when every kernel replays the pass
+            # is skipped entirely — the O(delta) fast path
+            replay_results = self._replay_deltas(
+                replay, delta_plan, controller, replay_stats
+            )
+        if not kernels:
+            if journal is not None:
+                journal.close()
+            replay_stats.runs = 1
+            return replay_results, replay_stats
         specs = tuple((k.name, k.map_fn, k.pairwise) for k in kernels)
         restored: dict[int, Any] = {}
         if journal is not None:
@@ -623,8 +717,25 @@ class ExecutionEngine:
                 if i not in quarantined_idx
             ]
             t0 = time.perf_counter()
-            results[kernel.name] = kernel.reduce_fn(partials)
+            if (
+                delta_plan is not None
+                and delta_plan.capture
+                and kernel.supports_delta
+            ):
+                # bootstrap capture: same result as reduce_fn, but the
+                # intermediate state is kept so the next run can replay
+                # deltas instead of re-mapping every snapshot
+                state = kernel.partials_to_state(partials)
+                delta_plan.updated_states[kernel.name] = state
+                results[kernel.name] = kernel.state_to_result(state)
+            else:
+                results[kernel.name] = kernel.reduce_fn(partials)
             stats.kernel_reduce_seconds[kernel.name] = time.perf_counter() - t0
+        results.update(replay_results)
+        stats.delta_kernels = replay_stats.delta_kernels
+        stats.delta_updates = replay_stats.delta_updates
+        stats.kernel_update_seconds = replay_stats.kernel_update_seconds
+        stats.wall_seconds += replay_stats.wall_seconds
         return results, stats
 
     @staticmethod
@@ -648,6 +759,86 @@ class ExecutionEngine:
         if getattr(collection, "on_error", "raise") == "raise":
             return None
         return hook
+
+    @staticmethod
+    def _split_delta_plan(
+        kernels: list[Kernel], plan: DeltaPlan
+    ) -> tuple[list[Kernel], list[Kernel]]:
+        """Partition into (replayable, full-pass) under the plan.
+
+        A kernel replays only when it implements the incremental protocol
+        *and* the plan carries its journaled state.  Degrading from a real
+        incremental attempt (the plan had states) is warned, mirroring the
+        serial-downgrade convention — never a silent full re-scan.
+        """
+        replay: list[Kernel] = []
+        fused: list[Kernel] = []
+        for kernel in kernels:
+            if not kernel.supports_delta:
+                plan.fallbacks[kernel.name] = (
+                    "kernel does not implement the incremental protocol"
+                )
+                fused.append(kernel)
+            elif kernel.name not in plan.states:
+                plan.fallbacks[kernel.name] = "no journaled state"
+                fused.append(kernel)
+            else:
+                replay.append(kernel)
+        if plan.states and fused:
+            detail = "; ".join(
+                f"{name}: {reason}" for name, reason in sorted(plan.fallbacks.items())
+            )
+            warnings.warn(
+                f"incremental analysis: {len(fused)} kernel(s) fell back to "
+                f"a full map pass ({detail})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return replay, fused
+
+    @staticmethod
+    def _replay_deltas(
+        kernels: list[Kernel],
+        plan: DeltaPlan,
+        controller: RunController | None,
+        stats: ExecutionStats,
+    ) -> dict[str, Any]:
+        """Fold each kernel's ``update_fn`` over the plan's delta chain.
+
+        Runs in the parent (deltas are small); the controller is polled
+        between updates so deadlines/signals still interrupt gracefully.
+        States land in ``plan.updated_states`` only after a kernel's full
+        chain — an interrupt mid-chain persists nothing, so a rerun replays
+        from the journaled prefix instead of trusting a half-advanced state.
+        """
+        results: dict[str, Any] = {}
+        t0 = time.perf_counter()
+        try:
+            for kernel in kernels:
+                state = plan.states[kernel.name]
+                t_kernel = time.perf_counter()
+                for delta in plan.deltas:
+                    if controller is not None:
+                        reason = controller.should_stop()
+                        if reason is not None:
+                            raise RunInterrupted(
+                                f"run interrupted ({reason}) during delta "
+                                "replay; journaled kernel state is untouched",
+                                reason=reason,
+                                stats=stats,
+                            )
+                    state = kernel.update_fn(state, delta)
+                    stats.delta_updates += 1
+                plan.updated_states[kernel.name] = state
+                results[kernel.name] = kernel.state_to_result(state)
+                plan.replayed.append(kernel.name)
+                stats.kernel_update_seconds[kernel.name] = (
+                    time.perf_counter() - t_kernel
+                )
+        finally:
+            stats.wall_seconds += time.perf_counter() - t0
+            stats.delta_kernels = len(plan.replayed)
+        return results
 
     # -- policy resolution -------------------------------------------------
 

@@ -175,3 +175,140 @@ class KernelJournal:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class KernelStateStore:
+    """Durable per-kernel reduced state for incremental (delta) analysis.
+
+    Where :class:`KernelJournal` checkpoints *within* one pass, the state
+    store carries reduced kernel states *across* runs: after a healthy
+    ``analyze_archive()`` the store holds, for each delta-capable kernel,
+    the state that summarizes every snapshot analyzed so far — plus the
+    reader's :class:`~repro.scan.paths.PathTable`, so delta sidecars intern
+    new strings onto exactly the ids a full load would have allocated.
+
+    Invalidation mirrors the journal: the stored fingerprint binds the
+    archive config fingerprint *and* the delta format config, and the
+    stored labels must be a strict prefix of the live collection's labels.
+    Any disagreement discards the state with a warning — stale states are
+    never replayed against a mismatched archive.  Writes are atomic
+    (same-directory tmp + fsync + rename), so a SIGKILL mid-save leaves
+    the previous state intact.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fingerprint: dict | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self._fingerprint = fingerprint or {}
+
+    def load(
+        self, labels: list[str], content_ids: list[int] | None = None
+    ) -> tuple[dict[str, Any], list[str], Any]:
+        """Return ``(states, stored_labels, path_table)`` or empties.
+
+        ``labels`` is the live collection's label list; stored labels must
+        be a non-empty strict prefix of it (equal means nothing new to
+        analyze — still returned, the caller decides).  ``content_ids``
+        are the live per-snapshot content identities
+        (:meth:`~repro.scan.store.DiskSnapshotCollection.content_ids`);
+        when given, the stored ids must match position-for-position over
+        the stored prefix — equal labels do *not* imply equal bytes when
+        an archive is rewritten.  A missing file, fingerprint mismatch,
+        label/content mismatch, or corrupt payload all reset to
+        ``({}, [], None)`` — with a warning for every case except the
+        missing file.
+        """
+        empty: tuple[dict[str, Any], list[str], Any] = ({}, [], None)
+        if not self.path.exists():
+            return empty
+        try:
+            with open(self.path, "rb") as fh:
+                meta = json.loads(fh.readline())
+                payload = fh.read()
+            if (
+                not isinstance(meta, dict)
+                or meta.get("kind") != "repro-kernel-state"
+                or meta.get("version") != _VERSION
+                or zlib.crc32(payload) != meta.get("crc32")
+            ):
+                raise ValueError("bad header or payload CRC")
+            if meta.get("fingerprint") != self._fingerprint:
+                warnings.warn(
+                    f"kernel state {self.path} was written under a different "
+                    "archive/delta config — discarding it and re-analyzing "
+                    "from scratch",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self._discard()
+                return empty
+            stored = list(meta.get("labels", []))
+            if not stored or stored != list(labels[: len(stored)]):
+                warnings.warn(
+                    f"kernel state {self.path} covers labels that are not a "
+                    "prefix of the archive's snapshots — discarding it",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self._discard()
+                return empty
+            if content_ids is not None:
+                stored_ids = list(meta.get("snapshots", []))
+                live_ids = [int(c) for c in content_ids[: len(stored)]]
+                if stored_ids != live_ids:
+                    warnings.warn(
+                        f"kernel state {self.path} was journaled against "
+                        "snapshot contents that have since been rewritten "
+                        "(same labels, different data) — discarding it and "
+                        "re-analyzing from scratch",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    self._discard()
+                    return empty
+            states, table = pickle.loads(payload)
+        except Exception:
+            warnings.warn(
+                f"kernel state {self.path} is unreadable or corrupt — "
+                "discarding it and re-analyzing from scratch",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._discard()
+            return empty
+        return dict(states), stored, table
+
+    def save(
+        self,
+        states: dict[str, Any],
+        labels: list[str],
+        path_table: Any,
+        content_ids: list[int] | None = None,
+    ) -> None:
+        """Atomically persist states + the interning table for ``labels``."""
+        from repro.core.durable import atomic_write
+
+        payload = pickle.dumps(
+            (dict(states), path_table), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        meta = {
+            "kind": "repro-kernel-state",
+            "version": _VERSION,
+            "fingerprint": self._fingerprint,
+            "labels": list(labels),
+            "snapshots": [int(c) for c in content_ids or []],
+            "kernels": sorted(states),
+            "crc32": zlib.crc32(payload),
+        }
+        with atomic_write(self.path, "wb") as fh:
+            fh.write(json.dumps(meta).encode("utf-8") + b"\n")
+            fh.write(payload)
+
+    def _discard(self) -> None:
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

@@ -23,6 +23,7 @@ from typing import Any, TypeVar
 
 from repro.core.runcontrol import RunController, RunInterrupted
 from repro.query.engine import (
+    DeltaPlan,
     EngineConfig,
     ExecutionEngine,
     ExecutionStats,
@@ -32,6 +33,7 @@ from repro.query.engine import (
 from repro.scan.snapshot import Snapshot, SnapshotCollection
 
 __all__ = [
+    "DeltaPlan",
     "EngineConfig",
     "ExecutionStats",
     "Kernel",
@@ -136,6 +138,7 @@ class SnapshotExecutor:
         journal: Any = None,
         controller: RunController | None = None,
         max_task_failures: int | None = None,
+        delta_plan: DeltaPlan | None = None,
     ) -> dict[str, Any]:
         """Run every kernel against each snapshot in one fused pass.
 
@@ -148,7 +151,9 @@ class SnapshotExecutor:
         snapshots durably and restores them on a rerun.  ``controller``
         makes the pass interruptible (deadline / signals → graceful
         :class:`RunInterrupted` with a flushed checkpoint);
-        ``max_task_failures`` arms the per-snapshot circuit breaker (see
+        ``max_task_failures`` arms the per-snapshot circuit breaker;
+        ``delta_plan`` (a :class:`DeltaPlan`) switches state-bearing kernels
+        onto delta replay (see
         :meth:`~repro.query.engine.ExecutionEngine.run_kernels`).
         """
         try:
@@ -158,6 +163,7 @@ class SnapshotExecutor:
                 journal=journal,
                 controller=controller,
                 max_task_failures=max_task_failures,
+                delta_plan=delta_plan,
             )
         except (TaskError, RunInterrupted) as err:
             if err.stats is not None:

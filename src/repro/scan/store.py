@@ -377,6 +377,38 @@ class DiskSnapshotCollection:
         """Entry counts per snapshot, from headers alone (no data load)."""
         return np.array([h["rows"] for h in self._headers], dtype=np.int64)
 
+    def content_ids(self) -> list[int]:
+        """Per-snapshot content identities, from headers alone (no load).
+
+        CRC32 over each header's (label, timestamp, rows, per-block
+        name/rows/crc32) — the per-block CRCs make this a digest of the
+        full file bytes at headers-only cost.  The incremental path binds
+        these into the journaled kernel state so a position rewritten
+        with *different data under the same label* (the synthetic
+        simulator is not prefix-stable across window lengths) discards
+        the state instead of replaying deltas onto a mismatched base.
+        """
+        import json
+        import zlib
+
+        ids: list[int] = []
+        for h in self._headers:
+            key = json.dumps(
+                [
+                    h.get("label"),
+                    int(h.get("timestamp", -1)),
+                    int(h.get("rows", -1)),
+                    [
+                        [c.get("name"), int(c.get("rows", -1)),
+                         int(c.get("crc32", -1))]
+                        for c in h.get("columns", [])
+                    ],
+                ],
+                separators=(",", ":"),
+            ).encode("utf-8")
+            ids.append(zlib.crc32(key))
+        return ids
+
     def max_snapshot_nbytes(self) -> int:
         """Upper-bound decoded size of the largest snapshot, headers only.
 

@@ -1,8 +1,15 @@
 import numpy as np
 import pytest
 
-from repro.fs.changelog import ChangeKind, Changelog, attach_changelog
+from repro.fs.changelog import (
+    ChangeKind,
+    Changelog,
+    attach_changelog,
+    unclassified_methods,
+)
+from repro.fs.clock import SECONDS_PER_DAY
 from repro.fs.filesystem import FileSystem
+from repro.fs.purge import PurgePolicy
 
 
 @pytest.fixture
@@ -157,3 +164,74 @@ def test_record_many_scalar_timestamp():
     log.record_many(ChangeKind.READ, np.array([1, 2, 3]), 500)
     assert len(log) == 3
     assert log[2].timestamp == 500
+
+
+def test_purge_sweep_victims_hit_the_log(fs_with_log):
+    """Regression: ``unlink_inodes`` (the purge path) must emit UNLINKs.
+
+    ``PurgePolicy.sweep`` deletes through ``FileSystem.unlink_inodes``; an
+    earlier ``attach_changelog`` wrapped only ``unlink``/``unlink_many``,
+    so every purge deletion silently bypassed the log.
+    """
+    fs, log = fs_with_log
+    d = fs.makedirs("/proj", uid=1, gid=1)
+    t0 = fs.clock.now
+    inos = fs.create_many(d, [f"f{i}" for i in range(20)], 1, 1, timestamps=t0)
+    # keep five files fresh; the other fifteen age past the purge window
+    fs.clock.advance_days(120)
+    fs.read_many(inos[:5], fs.clock.now)
+    report = PurgePolicy(window_days=90).sweep(fs)
+    assert report.purged == 15
+    assert log.counts_by_kind()[ChangeKind.UNLINK] == 15
+    window_inos, _ = log.events_between(
+        fs.clock.now - SECONDS_PER_DAY, fs.clock.now + 1, {ChangeKind.UNLINK}
+    )
+    assert sorted(window_inos.tolist()) == sorted(report.purged_inos.tolist())
+
+
+def test_unlink_inodes_batch_recorded(fs_with_log):
+    fs, log = fs_with_log
+    d = fs.makedirs("/p", uid=1, gid=1)
+    inos = fs.create_many(d, [f"f{i}" for i in range(8)], 1, 1,
+                          timestamps=fs.clock.now)
+    fs.unlink_inodes(inos[2:7], timestamp=fs.clock.now + 50)
+    assert log.counts_by_kind()[ChangeKind.UNLINK] == 5
+
+
+def test_completeness_guard_catches_new_mutator():
+    """A public method attach_changelog does not classify must fail loudly."""
+
+    class GrowingFileSystem(FileSystem):
+        def truncate_all(self):  # pragma: no cover - never called
+            pass
+
+    assert unclassified_methods(GrowingFileSystem) == ["truncate_all"]
+    with pytest.raises(RuntimeError, match="truncate_all"):
+        attach_changelog(GrowingFileSystem(ost_count=8))
+
+
+def test_completeness_guard_passes_stock_fs():
+    assert unclassified_methods(FileSystem) == []
+
+
+def test_block_boundary_storage():
+    """Crossing the sealed-block boundary keeps every query consistent."""
+    from repro.fs.changelog import _BLOCK_RECORDS
+
+    log = Changelog()
+    n = _BLOCK_RECORDS + 17
+    inos = np.arange(n, dtype=np.int64)
+    log.record_many(ChangeKind.CREATE, inos, np.arange(n, dtype=np.int64))
+    log.record(ChangeKind.UNLINK, 3, n + 5)
+    assert len(log) == n + 1
+    assert log[0].ino == 0
+    assert log[_BLOCK_RECORDS].ino == _BLOCK_RECORDS
+    assert log[-1].kind is ChangeKind.UNLINK
+    counts = log.counts_by_kind()
+    assert counts[ChangeKind.CREATE] == n
+    assert counts[ChangeKind.UNLINK] == 1
+    got, _ = log.events_between(10, 20, {ChangeKind.CREATE})
+    assert got.tolist() == list(range(10, 20))
+    # ino 3: created at record 3, unlinked at the last record
+    assert log.churned_inos(0, n + 10).tolist() == [3]
+    assert log.estimated_bytes() == 64 * (n + 1)
