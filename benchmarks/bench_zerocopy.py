@@ -1,0 +1,113 @@
+"""Zero-copy columnar ablation: ``.rpq`` v3 vs v2 on the identical window.
+
+v2 zlib-compresses every column and the reader inflates them all on
+load; v3 stores numeric columns raw and block-aligned so the lazy
+reader mmaps them and a "decode" is a CRC check plus a zero-copy
+``np.frombuffer`` view (DESIGN.md §12).  This bench quantifies both
+sides of that trade on the full 72-snapshot bench window:
+
+* snapshot-decode CPU — materializing every numeric column of every
+  snapshot.  The acceptance bar is **>= 2x cheaper** under v3;
+* end-to-end fused analysis wall time and block-cache counters, with
+  byte-identical report text as the equivalence guard;
+* the disk footprint v3 pays for it.
+
+Emits ``BENCH_zerocopy.json`` next to ``BENCH_delta.json``.
+"""
+
+import json
+import time
+
+import numpy as np
+from conftest import BURSTINESS_MIN_FILES
+
+from repro.core.pipeline import ReproPipeline, analyze_archive
+from repro.query.parallel import SnapshotExecutor
+from repro.scan.columnar import open_columnar
+from repro.scan.paths import PathTable
+from repro.scan.snapshot import NUMERIC_COLUMNS
+
+#: timing rounds per variant; the minimum is reported (noise floor)
+ROUNDS = 3
+
+
+def _decode_cpu_seconds(paths):
+    """CPU seconds to materialize every numeric column of every snapshot.
+
+    Every file is opened lazily first (untimed — header parse, path-table
+    decode, and interning cost the same in both layouts), then the timed
+    loop touches each numeric column once.  That isolates exactly the
+    decode path v3 exists to kill: per-column zlib inflation (v2) vs a
+    CRC check + zero-copy mmap view (v3 ``raw``).
+    """
+    best = float("inf")
+    for _ in range(ROUNDS):
+        snaps = [open_columnar(p, PathTable()) for p in paths]
+        t0 = time.process_time()
+        for snap in snaps:
+            for name in NUMERIC_COLUMNS:
+                np.asarray(getattr(snap, name))
+        best = min(best, time.process_time() - t0)
+    return best
+
+
+def test_zerocopy_ablation(sim_result, tmp_path, artifact_dir):
+    config = sim_result.config
+    pipeline = ReproPipeline(config)
+    pipeline.simulation = sim_result
+
+    files = {}
+    for version in (2, 3):
+        directory = tmp_path / f"v{version}"
+        pipeline.archive(directory, deltas=False, format_version=version)
+        files[version] = sorted(directory.glob("*.rpq"))
+    assert len(files[2]) == len(files[3]) > 0
+    nbytes = {v: sum(p.stat().st_size for p in files[v]) for v in files}
+
+    decode_cpu = {v: _decode_cpu_seconds(files[v]) for v in (2, 3)}
+    speedup = decode_cpu[2] / decode_cpu[3]
+
+    texts, walls, stats = {}, {}, {}
+    for version in (2, 3):
+        executor = SnapshotExecutor(processes=1)
+        t0 = time.perf_counter()
+        _, report = analyze_archive(
+            tmp_path / f"v{version}", config=config, executor=executor,
+            burstiness_min_files=BURSTINESS_MIN_FILES,
+        )
+        walls[version] = time.perf_counter() - t0
+        texts[version] = report.text
+        stats[version] = executor.stats
+
+    assert texts[2] == texts[3]  # equivalence guard: same bytes out
+    assert speedup >= 2.0        # acceptance: decode CPU at least halved
+    assert stats[3].block_misses > 0  # laziness actually engaged
+
+    payload = {
+        "window_snapshots": len(files[2]),
+        "config": {
+            "seed": config.seed, "scale": config.scale,
+            "weeks": config.weeks,
+        },
+        "decode_cpu_seconds": {
+            "v2_zlib": round(decode_cpu[2], 4),
+            "v3_mmap": round(decode_cpu[3], 4),
+        },
+        "decode_cpu_speedup": round(speedup, 2),
+        "fused_analysis_wall_seconds": {
+            "v2": round(walls[2], 4),
+            "v3": round(walls[3], 4),
+        },
+        "archive_bytes": {"v2": nbytes[2], "v3": nbytes[3]},
+        "v3_bytes_overhead": round(nbytes[3] / nbytes[2], 2),
+        "v3_block_counters": {
+            "decoded": stats[3].block_misses,
+            "reused_resident": stats[3].block_hits,
+        },
+        "report_byte_identical": texts[2] == texts[3],
+    }
+    (artifact_dir / "BENCH_zerocopy.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print("\n--- BENCH_zerocopy ---")
+    print(json.dumps(payload, indent=2))

@@ -190,20 +190,120 @@ class FileAgeResult:
         return float(self.mean_age_days.max()) if self.mean_age_days.size else 0.0
 
 
-def _age_of(snapshot: Snapshot) -> tuple[str, float, float]:
-    mask = snapshot.is_file
-    ages = np.maximum(
-        snapshot.atime[mask] - snapshot.mtime[mask], 0
-    ) / SECONDS_PER_DAY
+def _age_row(
+    label: str, atime: np.ndarray, mtime: np.ndarray
+) -> tuple[str, float, float]:
+    """One Figure 16 point from a snapshot's file timestamps.
+
+    The arrays must be in snapshot row order (path_id ascending): NumPy's
+    pairwise mean depends on element order, and delta replay reproduces the
+    full pass bit-for-bit only because both feed it identically ordered
+    values.
+    """
+    ages = np.maximum(atime - mtime, 0) / SECONDS_PER_DAY
     if ages.size == 0:
-        return snapshot.label, 0.0, 0.0
-    return snapshot.label, float(ages.mean()), float(np.median(ages))
+        return label, 0.0, 0.0
+    return label, float(ages.mean()), float(np.median(ages))
+
+
+def _age_of(
+    snapshot: Snapshot,
+) -> tuple[tuple[str, float, float], np.ndarray, np.ndarray, np.ndarray]:
+    """Map partial: the Figure 16 row plus the file rows that produced it.
+
+    The trailing ``(path_id, atime, mtime)`` arrays cost one extra
+    worker→parent transfer per snapshot but let ``partials_to_state`` seed
+    the delta-replay state with the *last* snapshot's file population —
+    the only part of a snapshot the age series needs to advance.
+    """
+    mask = snapshot.is_file
+    atime = snapshot.atime[mask]
+    mtime = snapshot.mtime[mask]
+    return (
+        _age_row(snapshot.label, atime, mtime),
+        snapshot.path_id[mask],
+        atime,
+        mtime,
+    )
+
+
+@dataclass
+class _AgeSeriesState:
+    """Journaled state for the delta-capable ages kernel.
+
+    ``rows`` is the series so far; the ``file_*`` arrays are the last
+    snapshot's file rows in path_id-ascending order, exactly as a fresh
+    load would present them.
+    """
+
+    rows: list
+    file_pid: np.ndarray
+    file_atime: np.ndarray
+    file_mtime: np.ndarray
+
+
+def _reduce_age_state(partials: list) -> _AgeSeriesState:
+    rows = [p[0] for p in partials]
+    if partials:
+        _, pid, atime, mtime = partials[-1]
+    else:
+        pid = atime = mtime = np.empty(0, dtype=np.int64)
+    return _AgeSeriesState(
+        rows=rows, file_pid=pid, file_atime=atime, file_mtime=mtime
+    )
+
+
+def _update_ages(state: _AgeSeriesState, delta) -> _AgeSeriesState:
+    """Advance the file-age series by one delta sidecar.
+
+    The next snapshot's file population is the previous one minus every
+    removed/changed pid, plus the delta's current-side file rows (added
+    files and the file side of changed rows — dir→file flips included).
+    Re-sorting by path_id restores snapshot row order, so the recomputed
+    mean/median are bit-identical to a full map of that snapshot.
+    """
+    drop = np.concatenate(
+        [delta.removed["path_id"], delta.changed_prev["path_id"]]
+    )
+    keep = np.isin(state.file_pid, drop, invert=True)
+    add = ~delta.added_is_dir
+    chg = ~delta.changed_is_dir
+    pid = np.concatenate([
+        state.file_pid[keep],
+        delta.added["path_id"][add],
+        delta.changed_cur["path_id"][chg],
+    ])
+    atime = np.concatenate([
+        state.file_atime[keep],
+        delta.added["atime"][add],
+        delta.changed_cur["atime"][chg],
+    ])
+    mtime = np.concatenate([
+        state.file_mtime[keep],
+        delta.added["mtime"][add],
+        delta.changed_cur["mtime"][chg],
+    ])
+    order = np.argsort(pid, kind="stable")
+    pid, atime, mtime = pid[order], atime[order], mtime[order]
+    row = _age_row(delta.cur_label, atime, mtime)
+    return _AgeSeriesState(
+        rows=state.rows + [row],
+        file_pid=pid,
+        file_atime=atime,
+        file_mtime=mtime,
+    )
 
 
 def ages_kernel(purge_window_days: int = 90) -> Kernel:
-    """Figure 16 as a kernel: per-snapshot mean/median file age."""
+    """Figure 16 as a kernel: per-snapshot mean/median file age.
 
-    def reduce_ages(rows: list[tuple[str, float, float]]) -> FileAgeResult:
+    Delta-capable: the journaled state carries the last snapshot's file
+    ``(path_id, atime, mtime)`` rows, and ``update`` applies one ``.rpd``
+    sidecar's removed/added/changed sets to them before recomputing the
+    new snapshot's mean/median — O(|delta| + files) per appended snapshot,
+    no snapshot load, bit-identical series."""
+
+    def rows_to_result(rows: list[tuple[str, float, float]]) -> FileAgeResult:
         return FileAgeResult(
             labels=[r[0] for r in rows],
             mean_age_days=np.array([r[1] for r in rows]),
@@ -211,7 +311,14 @@ def ages_kernel(purge_window_days: int = 90) -> Kernel:
             purge_window_days=purge_window_days,
         )
 
-    return Kernel(name="ages", map_fn=_age_of, reduce_fn=reduce_ages)
+    return Kernel(
+        name="ages",
+        map_fn=_age_of,
+        reduce_fn=lambda partials: rows_to_result([p[0] for p in partials]),
+        update_fn=_update_ages,
+        partials_to_state=_reduce_age_state,
+        state_to_result=lambda state: rows_to_result(state.rows),
+    )
 
 
 def file_ages(ctx: AnalysisContext, purge_window_days: int = 90) -> FileAgeResult:

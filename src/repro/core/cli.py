@@ -61,6 +61,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write PSV + columnar snapshot files here",
     )
     parser.add_argument(
+        "--format-version",
+        type=int,
+        choices=(2, 3),
+        default=None,
+        help="on-disk .rpq container written by --archive-dir: 3 (default) "
+        "block-aligns raw numeric columns for zero-copy mmap reads, 2 "
+        "compresses every column for the smallest footprint; readers "
+        "auto-detect either, so mixed-version archives analyze fine",
+    )
+    parser.add_argument(
         "--from-archive",
         default=None,
         help="skip simulation: analyze archived .rpq snapshots out-of-core "
@@ -222,6 +232,13 @@ def build_ingest_parser() -> argparse.ArgumentParser:
         help="journal completed source files here; a killed ingest "
         "re-invoked with the same path skips them and converges on "
         "byte-identical outputs (deleted after a successful run)",
+    )
+    parser.add_argument(
+        "--no-deltas",
+        action="store_true",
+        help="skip the post-pass that chains .rpd delta sidecars between "
+        "consecutive snapshots (sidecars enable incremental analysis of "
+        "the produced archive; written only when 2+ snapshots ingest)",
     )
     parser.add_argument(
         "--chunk-records",
@@ -390,6 +407,7 @@ def _run_ingest(args: argparse.Namespace, controller: RunController) -> int:
         checkpoint=args.checkpoint,
         controller=controller,
         manifest_config=manifest_config,
+        deltas=not args.no_deltas,
     )
     report = result.report
     print(
@@ -476,7 +494,11 @@ def _run(args: argparse.Namespace, controller: RunController) -> int:
             file=sys.stderr,
         )
         if args.archive_dir:
-            stats = pipeline.archive(args.archive_dir, deltas=not args.no_deltas)
+            stats = pipeline.archive(
+                args.archive_dir,
+                deltas=not args.no_deltas,
+                format_version=args.format_version,
+            )
             print(
                 f"# archive: PSV {stats.psv_bytes:,} B → columnar "
                 f"{stats.columnar_bytes:,} B ({stats.reduction:.1f}x reduction)",

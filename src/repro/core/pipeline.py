@@ -138,6 +138,7 @@ class ReproPipeline:
         directory: str | Path,
         max_snapshots: int | None = None,
         deltas: bool = True,
+        format_version: int | None = None,
     ) -> ArchiveStats:
         """Write PSV + columnar snapshot files; returns footprint stats.
 
@@ -151,6 +152,12 @@ class ReproPipeline:
         its predecessor — enabling ``analyze_archive(incremental=True)`` to
         advance journaled kernel state in O(delta) instead of re-scanning
         the window (DESIGN.md §11).
+
+        ``format_version`` selects the ``.rpq`` container written (see
+        :data:`repro.scan.columnar.WRITE_FORMAT_VERSIONS`): v3 (the
+        default) block-aligns raw numeric columns so analysis reads them
+        zero-copy via mmap; v2 compresses every column, trading decode CPU
+        for the smallest footprint.  Readers auto-detect either.
         """
         if self.simulation is None:
             raise RuntimeError("simulate() first")
@@ -189,7 +196,10 @@ class ReproPipeline:
             psv_path = directory / f"{snap.label}.psv"
             psv_total += write_psv(snap, psv_path, ost_count=self.config.ost_count)
             col_path = directory / f"{snap.label}.rpq"
-            write_columnar(snap, col_path)
+            if format_version is None:
+                write_columnar(snap, col_path)
+            else:
+                write_columnar(snap, col_path, format_version=format_version)
             col_total += col_path.stat().st_size
             if deltas and i > 0:
                 write_delta(

@@ -525,6 +525,7 @@ def ingest_trace(
     checkpoint: str | Path | None = None,
     controller=None,
     manifest_config=None,
+    deltas: bool = True,
 ) -> IngestResult:
     """Ingest foreign trace dump(s) into an analyzable archive directory.
 
@@ -552,6 +553,12 @@ def ingest_trace(
         :class:`~repro.synth.driver.SimulationConfig` whose fingerprint
         is written to the archive manifest (defaults to a default-config
         fingerprint, letting ``analyze_archive`` validate trivially).
+    deltas:
+        With ``True`` (the default) a post-pass chains ``.rpd`` delta
+        sidecars between consecutive ingested snapshots (archive
+        timestamp order, two snapshots resident at a time), so a foreign
+        archive supports ``analyze_archive(incremental=True)`` exactly
+        like a simulated one.  Needs at least two usable snapshots.
     """
     from repro.core.manifest import write_manifest
     from repro.query.journal import KernelJournal
@@ -703,24 +710,71 @@ def ingest_trace(
     manifest_config = (
         manifest_config if manifest_config is not None else SimulationConfig()
     )
+    extra = {
+        "ingest": {
+            "sources": [f.source for f in report.files],
+            "records": report.records,
+            "rows": report.rows,
+            "rejected": report.rejected,
+            "file_faults": len(report.faults),
+            "on_error": effective.on_error,
+        }
+    }
+    if deltas and len(outputs) > 1:
+        from repro.scan.delta import delta_config
+
+        _write_delta_sidecars(out_dir, report.files, controller=controller)
+        extra["deltas"] = delta_config()
     write_manifest(
         out_dir,
         manifest_config,
         snapshots=records,
-        extra={
-            "ingest": {
-                "sources": [f.source for f in report.files],
-                "records": report.records,
-                "rows": report.rows,
-                "rejected": report.rejected,
-                "file_faults": len(report.faults),
-                "on_error": effective.on_error,
-            }
-        },
+        extra=extra,
     )
     if journal is not None:
         journal.discard()
     return IngestResult(out_dir=out_dir, outputs=outputs, report=report)
+
+
+def _write_delta_sidecars(
+    out_dir: Path, files: list[IngestFileStats], controller=None
+) -> list[Path]:
+    """Chain ``.rpd`` sidecars between consecutive ingested snapshots.
+
+    Snapshots are visited in archive order — timestamp, ties broken by
+    filename, matching :class:`~repro.scan.store.DiskSnapshotCollection` —
+    and re-read sequentially into one fresh path table so the sidecars'
+    id assignment mirrors an analysis-time load.  Only two snapshots are
+    resident at any moment, preserving the ingest's bounded-memory
+    contract; skipped file faults simply drop out of the chain (the
+    surviving window is what the analyzer sees).  Deterministic and
+    idempotent: a resumed or re-run ingest rewrites identical sidecars.
+    """
+    from repro.scan.columnar import read_columnar
+    from repro.scan.delta import compute_delta, sidecar_path, write_delta
+    from repro.scan.paths import PathTable
+
+    ordered = sorted(
+        (f for f in files if f.output is not None),
+        key=lambda f: (f.timestamp, f.output),
+    )
+    table = PathTable()
+    prev = None
+    written: list[Path] = []
+    for stats in ordered:
+        if controller is not None:
+            controller.cancellation_point(
+                f"delta sidecars after {len(written)} of {len(ordered) - 1}",
+                resume_hint="re-run the same ingest; outputs and sidecars "
+                "are rewritten deterministically",
+            )
+        cur = read_columnar(out_dir / stats.output, table)
+        if prev is not None:
+            dest = sidecar_path(out_dir, cur.label)
+            write_delta(compute_delta(prev, cur), dest)
+            written.append(dest)
+        prev = cur
+    return written
 
 
 def _restorable(out_dir: Path, stats: IngestFileStats) -> bool:

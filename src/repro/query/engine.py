@@ -247,6 +247,11 @@ class ExecutionStats:
     #: parent process during the run (0 for collections without a counter;
     #: worker-side loads under fork/spawn are not visible here)
     snapshot_loads: int = 0
+    #: column-block decodes/reuses observed on the collection's block
+    #: counters in the parent during the run (lazy disk collections only;
+    #: a hit means a kernel reused a block another kernel already decoded)
+    block_hits: int = 0
+    block_misses: int = 0
 
     @property
     def utilization(self) -> float:
@@ -295,6 +300,8 @@ class ExecutionStats:
                 self.kernel_reduce_seconds.get(name, 0.0) + secs
             )
         self.snapshot_loads += other.snapshot_loads
+        self.block_hits += other.block_hits
+        self.block_misses += other.block_misses
 
     def kernel_totals(self) -> dict[str, float]:
         """Per-kernel busy seconds, map + reduce combined."""
@@ -339,6 +346,11 @@ class ExecutionStats:
             )
         if self.snapshot_loads:
             lines.append(f"snapshot loads (parent-visible): {self.snapshot_loads}")
+        if self.block_hits or self.block_misses:
+            lines.append(
+                f"column blocks: {self.block_misses} decoded, "
+                f"{self.block_hits} reused resident"
+            )
         if self.delta_kernels:
             lines.append(
                 f"delta replay: {self.delta_kernels} kernels advanced via "
@@ -884,10 +896,18 @@ class ExecutionEngine:
         result arrives (completion order) — the checkpoint journal's hook.
         """
         loads_before = getattr(collection, "loads", None)
+        block_hits_before = getattr(collection, "block_hits", None)
+        block_misses_before = getattr(collection, "block_misses", None)
 
         def finish(stats: ExecutionStats) -> None:
             if loads_before is not None:
                 stats.snapshot_loads += int(collection.loads) - loads_before
+            if block_hits_before is not None:
+                stats.block_hits += int(collection.block_hits) - block_hits_before
+            if block_misses_before is not None:
+                stats.block_misses += (
+                    int(collection.block_misses) - block_misses_before
+                )
             peak = getattr(collection, "peak_cache_bytes", 0)
             if peak:
                 stats.peak_cache_bytes = max(stats.peak_cache_bytes, int(peak))
@@ -910,6 +930,18 @@ class ExecutionEngine:
                 finish(err.stats)
             raise
         finish(stats)
+        if stats.transport in ("inherit", "pickle"):
+            # pooled workers loaded — and path-interned — on their own
+            # copies of the collection, leaving the parent's PathTable
+            # empty; replay the interning parent-side in index order so
+            # snapshot path ids resolve against it (the depth/extension
+            # gathers and the kernel-state journal both depend on that).
+            # shm transport needs no replay: the parent interned everything
+            # while exporting the segment.
+            warm = getattr(collection, "warm_paths", None)
+            if callable(warm):
+                for index in sorted(indices):
+                    warm(index)
         return results, stats
 
     def _dispatch(
@@ -966,7 +998,16 @@ class ExecutionEngine:
         export: shm_transport.CollectionExport | None = None
         if method == "fork":
             transport, data = "inherit", collection
-        elif isinstance(collection, SnapshotCollection):
+        elif isinstance(collection, SnapshotCollection) or _shm_affordable(
+            collection, budget
+        ):
+            # in-memory collections always ride shared memory under spawn;
+            # lazy disk collections do too when their full decoded size fits
+            # the budget's wave share — every block is decoded exactly once
+            # in the parent and reused by every kernel of every wave.  Too
+            # big for the budget → fall through to pickling the (small)
+            # collection object and let each worker decode lazily under its
+            # own bounded cache.
             reason = _unpicklable_reason((fn,))
             if reason is not None:
                 return self._downgrade(
@@ -1254,6 +1295,29 @@ def _estimate_task_nbytes(collection: Any) -> int:
     except Exception:  # pragma: no cover - estimation must never sink a run
         return 0
     return 2 * max(0, per_snap)
+
+
+def _shm_affordable(collection: Any, budget: Any) -> bool:
+    """Can this disk-backed collection ride the shared-memory transport?
+
+    True when the collection can estimate its full decoded size from
+    headers alone and that size fits the memory budget's wave share (or no
+    budget is set).  Exporting decodes every block exactly once in the
+    parent; the segment then serves every kernel of every dispatch wave
+    with zero further decode work.  When it does not fit, the engine
+    pickles the collection object instead and workers decode lazily under
+    their own bounded caches.
+    """
+    sizer = getattr(collection, "total_decoded_nbytes_estimate", None)
+    if not callable(sizer):
+        return False
+    if budget is None:
+        return True
+    try:
+        total = int(sizer())
+    except Exception:  # pragma: no cover - estimation must never sink a run
+        return False
+    return total <= budget.wave_bytes
 
 
 def _unpicklable_reason(objs: tuple) -> str | None:

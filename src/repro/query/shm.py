@@ -110,6 +110,12 @@ def export_collection(collection: SnapshotCollection) -> CollectionExport:
 
     This is the only copy the spawn path ever makes: each column is written
     once, and every worker maps the same physical pages.
+
+    Works for lazy disk-backed collections too: the ``getattr`` per column
+    is what triggers each block's one and only decode (through the store's
+    accounted cache), after which the segment serves every kernel of every
+    dispatch wave — the engine gates this on the memory budget via
+    ``_shm_affordable``.
     """
     plan: list[tuple[int, np.ndarray]] = []
     specs: list[SnapshotSpec] = []

@@ -42,6 +42,7 @@ from typing import NamedTuple
 import numpy as np
 
 from repro.scan.columnar import (
+    open_columnar,
     read_columnar,
     read_columnar_header,
     read_columnar_paths,
@@ -61,9 +62,15 @@ class CacheInfo(NamedTuple):
     """LRU cache counters, ``functools.lru_cache``-style.
 
     ``bytes``/``bytes_limit`` extend the classic counters with byte
-    accounting: ``bytes`` is the decoded size of the resident snapshots
-    (per-snapshot ``column_nbytes``), ``bytes_limit`` the eviction ceiling
-    (``None`` when the cache is bounded by entry count only).
+    accounting: ``bytes`` is the decoded size of the resident column
+    blocks (what lazy loads have actually inflated, not the snapshots'
+    full logical size), ``bytes_limit`` the eviction ceiling (``None``
+    when the cache is bounded by entry count only).
+    ``block_hits``/``block_misses`` count individual column-block touches
+    on resident snapshots: a miss is a first-touch decode (disk read +
+    inflate, or an mmap fault for v3 raw blocks), a hit is a reuse of an
+    already-decoded block — e.g. a second kernel in the same fused wave
+    touching ``atime`` after the first one paid for it.
     """
 
     hits: int
@@ -72,6 +79,8 @@ class CacheInfo(NamedTuple):
     currsize: int
     bytes: int = 0
     bytes_limit: int | None = None
+    block_hits: int = 0
+    block_misses: int = 0
 
 
 @dataclass(frozen=True)
@@ -149,11 +158,14 @@ class DiskSnapshotCollection:
         ``io_backoff * 2**attempt`` sleeps.  :class:`CorruptSnapshotError`
         is permanent and never retried.
     cache_bytes:
-        Optional byte ceiling for the resident snapshots (decoded
-        ``column_nbytes``).  When set, eviction is byte-denominated: the
-        LRU entry goes whenever the total exceeds the ceiling, down to a
-        floor of one entry (a single snapshot larger than the ceiling is
-        still served — the run degrades rather than refusing).  A
+        Optional byte ceiling for the resident decoded column blocks.
+        Loads are lazy (:func:`~repro.scan.columnar.open_columnar`), so a
+        snapshot is charged for what its kernels have actually touched —
+        the charge grows block-by-block as columns decode.  When set,
+        eviction is byte-denominated: the LRU entry goes whenever the
+        total exceeds the ceiling, down to a floor of one entry (a single
+        snapshot larger than the ceiling is still served — the run
+        degrades rather than refusing).  A
         :class:`~repro.core.runcontrol.MemoryBudget` supplies this as its
         ``cache_bytes`` share.
     """
@@ -222,6 +234,9 @@ class DiskSnapshotCollection:
         #: observability: how many loads hit the disk vs the cache
         self.loads = 0
         self.hits = 0
+        #: block-level counters: first-touch decodes vs resident-block reuse
+        self.block_misses = 0
+        self.block_hits = 0
         #: decoded bytes currently resident / high-water mark across the run
         self.cache_bytes_used = 0
         self.peak_cache_bytes = 0
@@ -272,6 +287,8 @@ class DiskSnapshotCollection:
             currsize=len(self._cache),
             bytes=self.cache_bytes_used,
             bytes_limit=self._cache_bytes_limit,
+            block_hits=self.block_hits,
+            block_misses=self.block_misses,
         )
 
     def health_report(self) -> ArchiveHealthReport:
@@ -283,27 +300,42 @@ class DiskSnapshotCollection:
     def __len__(self) -> int:
         return len(self._files)
 
-    def _load(self, path: Path) -> Snapshot:
-        """One columnar read with transient-I/O retry + exponential backoff.
+    def _quarantine_file(self, path: Path) -> None:
+        if self.on_error == "quarantine":
+            qdir = self.directory / QUARANTINE_DIRNAME
+            qdir.mkdir(exist_ok=True)
+            try:
+                shutil.move(str(path), str(qdir / path.name))
+            except OSError:  # pragma: no cover - exotic fs state
+                pass
 
-        A flaky read (``OSError``/EIO under load) gets ``io_retries``
-        chances with ``io_backoff * 2**attempt`` sleeps; a failed integrity
-        check (:class:`CorruptSnapshotError`) is permanent — under the
+    def _load(self, path: Path, idx: int) -> Snapshot:
+        """One lazy columnar open with transient-I/O retry + backoff.
+
+        The open itself decodes only the header and the path table; every
+        numeric block decodes on first touch, reporting into this
+        collection's byte accounting and block hit/miss counters.  A flaky
+        open (``OSError``/EIO under load) gets ``io_retries`` chances with
+        ``io_backoff * 2**attempt`` sleeps; a failed integrity check
+        (:class:`CorruptSnapshotError`) is permanent — whether it surfaces
+        at open time or on a later lazy block touch, under the
         ``quarantine`` policy the file is moved aside so the *next*
-        construction sees a clean window, and the error is re-raised either
+        construction sees a clean window, and the error is raised either
         way (a fused pass cannot drop an index mid-run).
         """
         for attempt in range(self.io_retries + 1):
             try:
-                return read_columnar(path, self.paths)
+                return open_columnar(
+                    path,
+                    self.paths,
+                    on_decode=lambda name, nbytes: self._on_block_decode(
+                        idx, nbytes
+                    ),
+                    on_hit=lambda name: self._on_block_hit(),
+                    on_corrupt=lambda exc: self._quarantine_file(path),
+                )
             except CorruptSnapshotError:
-                if self.on_error == "quarantine":
-                    qdir = self.directory / QUARANTINE_DIRNAME
-                    qdir.mkdir(exist_ok=True)
-                    try:
-                        shutil.move(str(path), str(qdir / path.name))
-                    except OSError:  # pragma: no cover - exotic fs state
-                        pass
+                self._quarantine_file(path)
                 raise
             except OSError:
                 if attempt >= self.io_retries:
@@ -311,6 +343,22 @@ class DiskSnapshotCollection:
                 self.health.io_retries += 1
                 time.sleep(self.io_backoff * (2 ** attempt))
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def _on_block_decode(self, idx: int, nbytes: int) -> None:
+        """Account one first-touch block decode against the byte budget."""
+        self.block_misses += 1
+        if idx in self._cache_nbytes:
+            self._cache_nbytes[idx] += nbytes
+            self.cache_bytes_used += nbytes
+            self._evict()
+            self.peak_cache_bytes = max(
+                self.peak_cache_bytes, self.cache_bytes_used
+            )
+        # else: the snapshot was already evicted but a caller still holds
+        # it — its blocks are no longer the cache's bytes to account
+
+    def _on_block_hit(self) -> None:
+        self.block_hits += 1
 
     def __getitem__(self, idx: int) -> Snapshot:
         if idx < 0:
@@ -322,10 +370,11 @@ class DiskSnapshotCollection:
             self.hits += 1
             self._cache.move_to_end(idx)
             return cached
-        snap = self._load(self._files[idx])
+        snap = self._load(self._files[idx], idx)
         self.loads += 1
         self._cache[idx] = snap
-        self._cache_nbytes[idx] = nbytes = int(snap.column_nbytes())
+        nbytes = getattr(snap, "resident_nbytes", snap.column_nbytes)()
+        self._cache_nbytes[idx] = nbytes = int(nbytes)
         self.cache_bytes_used += nbytes
         self._evict()
         self.peak_cache_bytes = max(self.peak_cache_bytes, self.cache_bytes_used)
@@ -421,6 +470,31 @@ class DiskSnapshotCollection:
         rows = max(int(h["rows"]) for h in self._headers)
         return rows * len(NUMERIC_COLUMNS) * 8
 
+    def total_decoded_nbytes_estimate(self) -> int:
+        """Upper-bound decoded size of *all* snapshots, headers only.
+
+        The engine uses this to decide whether a whole disk collection can
+        ride the shared-memory transport (one decode, every worker and
+        every wave reuses it) or must fall back to per-worker lazy reads.
+        """
+        return sum(
+            int(h["rows"]) * len(NUMERIC_COLUMNS) * 8 for h in self._headers
+        )
+
+    def __getstate__(self) -> dict:
+        """Pickle without the resident cache (spawn/pickle transport).
+
+        Lazy snapshots hold mmap-backed views that cannot cross a process
+        boundary; the receiving process re-opens lazily against the same
+        files (sharing the OS page cache with the parent) and starts with
+        fresh counters for its own accounting.
+        """
+        state = self.__dict__.copy()
+        state["_cache"] = OrderedDict()
+        state["_cache_nbytes"] = {}
+        state["cache_bytes_used"] = 0
+        return state
+
     def quarantine_task_failure(self, idx: int, reason: str) -> None:
         """Record snapshot ``idx`` as quarantined by the engine's breaker.
 
@@ -506,6 +580,8 @@ class DiskSnapshotCollection:
         out._cache_nbytes = {}
         out.loads = 0
         out.hits = 0
+        out.block_misses = 0
+        out.block_hits = 0
         out.cache_bytes_used = 0
         out.peak_cache_bytes = 0
         return out

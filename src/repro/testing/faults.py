@@ -6,7 +6,9 @@ the data path's tolerance can be tested instead of hoped for.  It provides:
 
 * **file corruption** — :func:`truncate_at` and :func:`bit_flip` damage a
   snapshot file in place; :func:`corruption_points` enumerates every
-  section boundary of a ``.rpq`` so a sweep can hit them all;
+  section boundary of a ``.rpq`` so a sweep can hit them all, while
+  :func:`block_edges` / :func:`padding_spans` expose the v3 layout's
+  block-alignment edges and data-free pad gaps for boundary-exact sweeps;
 * **transient I/O errors** — :class:`FlakyReader` wraps a loader so the
   first N calls raise ``OSError(EIO)`` and later ones succeed, exercising
   the store's retry-with-backoff;
@@ -60,6 +62,44 @@ def corruption_points(path: str | Path) -> list[tuple[str, int, int]]:
     from repro.scan.columnar import describe_sections
 
     return describe_sections(path)
+
+
+def block_edges(path: str | Path) -> list[tuple[str, int, int]]:
+    """``(section, first_byte, last_byte)`` of every stored section.
+
+    The exact edge offsets of each block's stored bytes — for v3 these are
+    the mmap block boundaries (the bytes adjacent to alignment padding),
+    where an off-by-one in offset bookkeeping would corrupt or miss data.
+    A bit flip at either returned offset must raise a typed
+    :class:`~repro.scan.errors.CorruptSnapshotError` on read.
+    """
+    return [
+        (name, offset, offset + max(1, length) - 1)
+        for name, offset, length in corruption_points(path)
+    ]
+
+
+def padding_spans(path: str | Path) -> list[tuple[int, int]]:
+    """``(offset, length)`` of every alignment-padding gap in a ``.rpq``.
+
+    v3 block-aligns sections, leaving zero-filled gaps that carry no data
+    and no CRC — the corruption sweep's only deliberate blind spots.
+    Flipping a pad byte must leave every decoded array byte-identical
+    (the pads are not data), while truncating inside one must still raise
+    typed (the trailer's total-length check).  Empty for v1/v2 files,
+    whose sections tile the file exactly.
+    """
+    size = os.path.getsize(path)
+    sections = sorted(corruption_points(path), key=lambda s: s[1])
+    spans: list[tuple[int, int]] = []
+    offset = 0
+    for _, start, length in sections:
+        if start > offset:
+            spans.append((offset, start - offset))
+        offset = start + length
+    if size > offset:
+        spans.append((offset, size - offset))
+    return spans
 
 
 def mutate_bytes(data: bytes, rng, mutations: int = 1) -> bytes:

@@ -28,10 +28,13 @@ TINY = SimulationConfig(
     seed=47, scale=1.5e-6, weeks=6, min_project_files=4, stress_depths=False
 )
 #: every kernel these analyses build is delta-capable, so a pure replay run
-#: must load zero snapshots
-DELTA_ANALYSES = "census,access,growth,users"
-#: ages is not delta-capable: mixed replay + full-map fallback
-MIXED_ANALYSES = "census,access,growth,users,ages"
+#: must load zero snapshots (depth rides the shared delta-capable rows
+#: census; ages journals the last snapshot's file rows)
+DELTA_ANALYSES = "census,access,growth,users,ages,depth"
+#: the converted kernels these analyses build
+DELTA_KERNELS = {"rows", "access", "growth", "active_ids", "ages"}
+#: ost (the stripes kernel) is not delta-capable: mixed replay + fallback
+MIXED_ANALYSES = "census,access,growth,users,ages,ost"
 
 SRC_DIR = Path(__file__).resolve().parents[2] / "src"
 
@@ -104,12 +107,10 @@ def test_append_snapshot_replays_deltas_byte_identically(
         )
     assert report.text == baseline
     stats = executor.stats
-    # all four converted kernels advanced via update, one delta each
-    assert stats.delta_kernels == 4
-    assert stats.delta_updates == 4
-    assert set(stats.kernel_update_seconds) == {
-        "rows", "access", "growth", "active_ids",
-    }
+    # every converted kernel advanced via update, one delta each
+    assert stats.delta_kernels == len(DELTA_KERNELS)
+    assert stats.delta_updates == len(DELTA_KERNELS)
+    assert set(stats.kernel_update_seconds) == DELTA_KERNELS
     # and the O(delta) claim, structurally: zero snapshot loads
     assert pipeline.context.collection.cache_info().misses == 0
     assert stats.n_tasks == 0
@@ -132,14 +133,14 @@ def test_mixed_selection_falls_back_only_for_unconverted_kernels(
     )
 
     executor = SnapshotExecutor(1)
-    with pytest.warns(RuntimeWarning, match="ages.*incremental protocol"):
+    with pytest.warns(RuntimeWarning, match="stripes.*incremental protocol"):
         pipeline, report = analyze_archive(
             directory, config=TINY, executor=executor,
             analyses=MIXED_ANALYSES, incremental=True,
         )
     assert report.text == expected.text
-    assert executor.stats.delta_kernels == 4
-    # ages still maps every snapshot — the fallback is a full pass
+    assert executor.stats.delta_kernels == len(DELTA_KERNELS)
+    # stripes still maps every snapshot — the fallback is a full pass
     assert executor.stats.n_tasks == pipeline.context.n_snapshots
 
 
@@ -205,7 +206,7 @@ def test_corrupt_state_file_falls_back_and_reheals(
         analyses=DELTA_ANALYSES, incremental=True,
     )
     assert report.text == baseline
-    assert executor.stats.delta_kernels == 4
+    assert executor.stats.delta_kernels == len(DELTA_KERNELS)
 
 
 def test_rewritten_snapshots_under_same_labels_discard_state(
@@ -245,7 +246,7 @@ def test_rewritten_snapshots_under_same_labels_discard_state(
         analyses=DELTA_ANALYSES, incremental=True,
     )
     assert report.text == expected.text
-    assert executor.stats.delta_kernels == 4
+    assert executor.stats.delta_kernels == len(DELTA_KERNELS)
 
 
 def test_state_with_foreign_fingerprint_is_discarded(
@@ -313,7 +314,7 @@ def test_sigkill_mid_replay_leaves_state_reusable(
         analyses=DELTA_ANALYSES, incremental=True,
     )
     assert report.text == baseline
-    assert executor.stats.delta_kernels == 4
+    assert executor.stats.delta_kernels == len(DELTA_KERNELS)
 
 
 def test_archive_without_deltas_bootstraps_but_cannot_replay(

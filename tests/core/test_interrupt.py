@@ -263,16 +263,16 @@ def test_circuit_breaker_quarantines_failing_snapshot(archive, monkeypatch):
     """A snapshot whose task fails every retry is quarantined into the
     health report instead of sinking the run."""
     victim = sorted(archive.glob("*.rpq"))[-1].name  # last: no cascade
-    real_read = store_mod.read_columnar
+    real_open = store_mod.open_columnar
     attempts = {"n": 0}
 
-    def failing_read(path, paths):
+    def failing_open(path, paths, **hooks):
         if Path(path).name == victim:
             attempts["n"] += 1
             raise RuntimeError("injected per-file task failure")
-        return real_read(path, paths)
+        return real_open(path, paths, **hooks)
 
-    monkeypatch.setattr(store_mod, "read_columnar", failing_read)
+    monkeypatch.setattr(store_mod, "open_columnar", failing_open)
     executor = SnapshotExecutor(1, retries=1)
     with pytest.warns(RuntimeWarning, match="repeated task failures"):
         pipeline, report = analyze_archive(
@@ -293,14 +293,14 @@ def test_breaker_disarmed_under_raise_policy(archive, monkeypatch):
     from repro.query.engine import TaskError
 
     victim = sorted(archive.glob("*.rpq"))[-1].name
-    real_read = store_mod.read_columnar
+    real_open = store_mod.open_columnar
 
-    def failing_read(path, paths):
+    def failing_open(path, paths, **hooks):
         if Path(path).name == victim:
             raise RuntimeError("injected per-file task failure")
-        return real_read(path, paths)
+        return real_open(path, paths, **hooks)
 
-    monkeypatch.setattr(store_mod, "read_columnar", failing_read)
+    monkeypatch.setattr(store_mod, "open_columnar", failing_open)
     with pytest.raises(TaskError, match="injected per-file task failure"):
         analyze_archive(
             archive, config=TINY, executor=SnapshotExecutor(1, retries=1),

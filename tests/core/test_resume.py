@@ -70,21 +70,21 @@ def test_aborted_run_resumes_to_identical_report(archive, baseline, tmp_path,
     """In-process variant: the reader raises after 3 loads; the rerun
     restores the journaled prefix and only executes the remainder."""
     journal = tmp_path / "ck.jsonl"
-    real_read = store_mod.read_columnar
+    real_open = store_mod.open_columnar
     state = {"loads": 0}
 
-    def aborting_read(path, paths):
+    def aborting_open(path, paths, **hooks):
         if state["loads"] >= 3:
             raise RuntimeError("injected abort")
         state["loads"] += 1
-        return real_read(path, paths)
+        return real_open(path, paths, **hooks)
 
-    monkeypatch.setattr(store_mod, "read_columnar", aborting_read)
+    monkeypatch.setattr(store_mod, "open_columnar", aborting_open)
     with pytest.raises(TaskError, match="injected abort"):
         analyze_archive(
             archive, config=TINY, analyses=ANALYSES, checkpoint=journal
         )
-    monkeypatch.setattr(store_mod, "read_columnar", real_read)
+    monkeypatch.setattr(store_mod, "open_columnar", real_open)
     assert journal.exists()
     journaled = journal.read_text().count('"index"')
     assert journaled == 3
@@ -115,7 +115,7 @@ def test_sigkilled_run_resumes_to_identical_report(archive, baseline,
         from repro.synth.driver import SimulationConfig
         from repro.testing.faults import sigkill_after
 
-        store_mod.read_columnar = sigkill_after(store_mod.read_columnar, 3)
+        store_mod.open_columnar = sigkill_after(store_mod.open_columnar, 3)
         analyze_archive(
             {str(archive)!r},
             config=SimulationConfig(seed=31, scale=1.5e-6, weeks=6,
@@ -158,23 +158,23 @@ def test_resume_ignores_stale_journal_from_other_window(archive, baseline,
     victim.unlink()
 
     journal = tmp_path / "ck.jsonl"
-    real_read = store_mod.read_columnar
+    real_open = store_mod.open_columnar
     state = {"loads": 0}
 
-    def aborting_read(path, paths):
+    def aborting_open(path, paths, **hooks):
         if state["loads"] >= 2:
             raise RuntimeError("injected abort")
         state["loads"] += 1
-        return real_read(path, paths)
+        return real_open(path, paths, **hooks)
 
-    store_mod.read_columnar = aborting_read
+    store_mod.open_columnar = aborting_open
     try:
         with pytest.raises(TaskError):
             analyze_archive(
                 other_dir, config=TINY, analyses=ANALYSES, checkpoint=journal
             )
     finally:
-        store_mod.read_columnar = real_read
+        store_mod.open_columnar = real_open
     assert journal.exists()
 
     executor = SnapshotExecutor(1)

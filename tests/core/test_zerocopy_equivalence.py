@@ -1,0 +1,66 @@
+"""Zero-copy acceptance: a v3 archive must analyze *byte-identically*
+to the same window archived as v2, under a serial executor and a pooled
+one (fork/spawn selected suite-wide via ``$REPRO_START_METHOD``, which
+is how CI's zerocopy job runs this file under both start methods).
+"""
+
+import pytest
+
+from repro.core.pipeline import ReproPipeline, analyze_archive
+from repro.query.parallel import SnapshotExecutor
+from repro.scan.columnar import MAGIC_V2, MAGIC_V3
+from repro.synth.driver import SimulationConfig
+
+TINY = SimulationConfig(
+    seed=47, scale=1.5e-6, weeks=6, min_project_files=4, stress_depths=False
+)
+
+
+@pytest.fixture(scope="module")
+def archives(tmp_path_factory):
+    """The same simulated window archived as v2 and as v3 (the default)."""
+    pipeline = ReproPipeline(TINY)
+    pipeline.simulate()
+    v2 = tmp_path_factory.mktemp("v2")
+    v3 = tmp_path_factory.mktemp("v3")
+    pipeline.archive(v2, format_version=2)
+    pipeline.archive(v3)
+    assert {p.read_bytes()[:4] for p in v2.glob("*.rpq")} == {MAGIC_V2}
+    assert {p.read_bytes()[:4] for p in v3.glob("*.rpq")} == {MAGIC_V3}
+    return v2, v3
+
+
+@pytest.fixture(scope="module")
+def baseline(archives):
+    """Serial analysis of the v2 archive — the reference bytes."""
+    v2, _ = archives
+    _, report = analyze_archive(
+        v2, config=TINY, executor=SnapshotExecutor(processes=1)
+    )
+    return report.text
+
+
+@pytest.mark.parametrize("processes", [1, 2], ids=["serial", "pooled"])
+def test_v3_report_byte_identical_to_v2(archives, baseline, processes):
+    v2, v3 = archives
+    for directory in (v2, v3):
+        _, report = analyze_archive(
+            directory, config=TINY,
+            executor=SnapshotExecutor(processes=processes),
+        )
+        # every (version, executor) cell must reproduce the serial v2 bytes
+        assert report.text == baseline
+
+
+def test_v3_fused_pass_decodes_each_block_once(archives):
+    """The block counters prove laziness engaged: a fused pass decodes
+    each needed column exactly once and reuses it resident thereafter."""
+    _, v3 = archives
+    executor = SnapshotExecutor(processes=1)
+    analyze_archive(v3, config=TINY, executor=executor)
+    stats = executor.stats
+    assert stats.block_misses > 0
+    assert stats.block_hits > 0
+    n_snapshots = len(list(v3.glob("*.rpq")))
+    # at most 9 numeric columns + the path block can ever decode per file
+    assert stats.block_misses <= 10 * n_snapshots

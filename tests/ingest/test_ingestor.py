@@ -95,6 +95,55 @@ def test_outputs_and_sidecars_are_deterministic(traces, tmp_path):
         [f.sidecar_crc32 for f in rb.report.files]
 
 
+def test_ingest_writes_delta_sidecar_chain(traces, tmp_path):
+    from repro.scan.delta import read_delta, sidecar_path
+
+    out = tmp_path / "arch"
+    ingest_trace(traces, out)
+    # one .rpd per snapshot after the first, linking archive order
+    assert not sidecar_path(out, "20150105").exists()
+    dest = sidecar_path(out, "20150112")
+    assert dest.exists()
+    delta = read_delta(dest, PathTable())
+    assert delta.prev_label == "20150105"
+    assert delta.cur_label == "20150112"
+    # disjoint path sets: everything removed, everything added
+    assert delta.added["path_id"].size == 30
+    assert delta.removed["path_id"].size == 50
+    manifest = json.loads((out / "manifest.json").read_text())
+    assert "deltas" in manifest
+
+
+def test_ingest_deltas_false_skips_sidecars(traces, tmp_path):
+    out = tmp_path / "arch"
+    ingest_trace(traces, out, deltas=False)
+    assert not list(out.glob("*.rpd"))
+    manifest = json.loads((out / "manifest.json").read_text())
+    assert "deltas" not in manifest
+
+
+def test_ingested_archive_supports_incremental_analysis(traces, tmp_path):
+    """The sidecar chain is good enough for analyze_archive(incremental):
+    bootstrap journals state, the second run replays deltas with zero
+    snapshot loads and byte-identical output."""
+    from repro.core.pipeline import analyze_archive
+    from repro.query.parallel import SnapshotExecutor
+
+    out = tmp_path / "arch"
+    ingest_trace(traces, out)
+    analyses = "census,access,growth,ages"
+    _, expected = analyze_archive(out, analyses=analyses)
+    analyze_archive(out, analyses=analyses, incremental=True)
+    # nothing appended: state readout, but the chain must already verify
+    executor = SnapshotExecutor(1)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        pipeline, report = analyze_archive(
+            out, analyses=analyses, executor=executor, incremental=True
+        )
+    assert report.text == expected.text
+
+
 def test_timestamp_from_datestamped_name(traces, tmp_path):
     result = ingest_trace(traces, tmp_path / "arch")
     ts = {f.label: f.timestamp for f in result.report.files}

@@ -19,8 +19,10 @@ import pytest
 from repro.scan.columnar import (
     MAGIC_V1,
     MAGIC_V2,
+    MAGIC_V3,
     _encode_column,
     describe_sections,
+    open_columnar,
     read_columnar,
     read_columnar_header,
     write_columnar,
@@ -31,7 +33,9 @@ from repro.scan.snapshot import COLUMN_DTYPES, NUMERIC_COLUMNS, Snapshot
 from repro.testing.faults import (
     FlakyReader,
     bit_flip,
+    block_edges,
     corruption_points,
+    padding_spans,
     truncate_at,
 )
 
@@ -70,11 +74,11 @@ def _make_snapshot(n_rows: int = 5) -> Snapshot:
     return Snapshot(label="w0", timestamp=1000, paths=paths, **columns)
 
 
-@pytest.fixture()
-def valid_rpq(tmp_path):
+@pytest.fixture(params=[2, 3], ids=["v2", "v3"])
+def valid_rpq(tmp_path, request):
     snap = _make_snapshot()
     dest = tmp_path / "w0.rpq"
-    write_columnar(snap, dest)
+    write_columnar(snap, dest, format_version=request.param)
     return dest, snap
 
 
@@ -118,6 +122,87 @@ def test_bitflip_sweep_every_section(valid_rpq, tmp_path):
             assert err.value.reason
 
 
+def test_bitflip_sweep_lazy_reads(valid_rpq, tmp_path):
+    """The lazy (mmap-backed for v3) path surfaces the same typed errors:
+    corruption is caught at open time (header/trailer/path table) or on the
+    first touch of the flipped column — never returned as silent data."""
+    dest, _ = valid_rpq
+    for name, offset, length in corruption_points(dest):
+        victim = tmp_path / "flip.rpq"
+        shutil.copy(dest, victim)
+        bit_flip(victim, offset + max(1, length) // 2, bit=3)
+        seen = []
+        with pytest.raises(CorruptSnapshotError) as err:
+            snap = open_columnar(victim, PathTable(), on_corrupt=seen.append)
+            for col in NUMERIC_COLUMNS:
+                np.asarray(getattr(snap, col))
+        assert err.value.path == str(victim), f"section {name}"
+        # a lazy-touch failure also fired the quarantine hook
+        if seen:
+            assert seen[0] is err.value
+
+
+def test_truncation_sweep_lazy_reads(valid_rpq, tmp_path):
+    """Truncation always fails at open — the lazy reader validates the
+    trailer before handing out any view."""
+    dest, _ = valid_rpq
+    for _, offset, length in corruption_points(dest):
+        victim = tmp_path / "trunc.rpq"
+        shutil.copy(dest, victim)
+        truncate_at(victim, offset + max(1, length) // 2)
+        with pytest.raises(CorruptSnapshotError):
+            open_columnar(victim, PathTable())
+
+
+def test_bitflip_at_exact_block_edges_raises_typed(valid_rpq, tmp_path):
+    """The first and last stored byte of every block — for v3, the bytes
+    adjacent to alignment padding — are covered by a CRC: an off-by-one in
+    the offset bookkeeping cannot slip a flipped boundary byte through."""
+    dest, _ = valid_rpq
+    for name, first, last in block_edges(dest):
+        for point in {first, last}:
+            victim = tmp_path / "edge.rpq"
+            shutil.copy(dest, victim)
+            bit_flip(victim, point, bit=6)
+            with pytest.raises(CorruptSnapshotError):
+                read_columnar(victim, PathTable())
+            victim2 = tmp_path / "edge_lazy.rpq"
+            shutil.copy(dest, victim2)
+            bit_flip(victim2, point, bit=6)
+            with pytest.raises(CorruptSnapshotError):
+                snap = open_columnar(victim2, PathTable())
+                for col in NUMERIC_COLUMNS:
+                    np.asarray(getattr(snap, col))
+
+
+def test_v3_padding_flips_are_data_free(valid_rpq, tmp_path):
+    """Flipping any byte of v3's alignment padding leaves every decoded
+    value byte-identical — the sweep's only blind spots carry no data.
+    Truncating *inside* a pad still fails typed via the trailer length."""
+    dest, snap = valid_rpq
+    spans = padding_spans(dest)
+    if dest.read_bytes()[:4] != MAGIC_V3:
+        assert spans == []
+        return
+    assert spans, "v3 file with no alignment padding"
+    pristine = read_columnar(dest, PathTable())
+    for offset, length in spans:
+        victim = tmp_path / "pad.rpq"
+        shutil.copy(dest, victim)
+        bit_flip(victim, offset + length // 2, bit=1)
+        loaded = read_columnar(victim, PathTable())
+        for col in NUMERIC_COLUMNS:
+            np.testing.assert_array_equal(
+                getattr(loaded, col), getattr(pristine, col)
+            )
+        assert loaded.path_strings() == pristine.path_strings()
+        trunc = tmp_path / "pad_trunc.rpq"
+        shutil.copy(dest, trunc)
+        truncate_at(trunc, offset + length // 2)
+        with pytest.raises(CorruptSnapshotError):
+            open_columnar(trunc, PathTable())
+
+
 def test_header_level_faults_caught_before_data(valid_rpq, tmp_path):
     """Header/trailer corruption is rejected by the cheap header read alone
     (what DiskSnapshotCollection's construction-time verify relies on)."""
@@ -154,15 +239,25 @@ def test_empty_and_tiny_files_raise_typed(tmp_path):
 
 
 def test_describe_sections_tile_the_file(valid_rpq):
-    """Sections are contiguous and cover the whole file — the sweep has no
-    blind spots."""
+    """v2 sections are contiguous and cover the whole file; v3 sections are
+    ordered and non-overlapping, and every gap is pure zero padding between
+    aligned blocks — the sweep's only blind spots carry no data and no CRC."""
     dest, _ = valid_rpq
     sections = describe_sections(dest)
-    offset = 0
-    for _, start, length in sections:
-        assert start == offset
-        offset += length
-    assert offset == dest.stat().st_size
+    blob = dest.read_bytes()
+    if blob[:4] == MAGIC_V3:
+        offset = 0
+        for _, start, length in sections:
+            assert start >= offset
+            assert blob[offset:start] == b"\0" * (start - offset)
+            offset = start + length
+        assert offset == dest.stat().st_size
+    else:
+        offset = 0
+        for _, start, length in sections:
+            assert start == offset
+            offset += length
+        assert offset == dest.stat().st_size
 
 
 # -- legacy v1 files ---------------------------------------------------------
@@ -229,9 +324,16 @@ def test_legacy_v1_block_corruption_still_detected(tmp_path):
         read_columnar(dest, PathTable())
 
 
-def test_new_writes_are_v2(valid_rpq):
-    dest, _ = valid_rpq
-    assert dest.read_bytes()[:4] == MAGIC_V2
+def test_write_magic_per_format_version(tmp_path):
+    snap = _make_snapshot()
+    default = tmp_path / "default.rpq"
+    write_columnar(snap, default)
+    assert default.read_bytes()[:4] == MAGIC_V3  # new archives are v3
+    pinned = tmp_path / "pinned.rpq"
+    write_columnar(snap, pinned, format_version=2)
+    assert pinned.read_bytes()[:4] == MAGIC_V2
+    with pytest.raises(ValueError):
+        write_columnar(snap, tmp_path / "bad.rpq", format_version=4)
 
 
 # -- harness self-tests ------------------------------------------------------

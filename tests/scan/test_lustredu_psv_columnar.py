@@ -116,7 +116,7 @@ def test_columnar_round_trip(tmp_path, fs):
     scanner = LustreDuScanner()
     snap = scanner.scan(fs, label="w1")
     dest = tmp_path / "snap.rpq"
-    stats = write_columnar(snap, dest)
+    stats = write_columnar(snap, dest, format_version=2)
     assert stats["raw_bytes"] > stats["stored_bytes"]  # it compresses
     table2 = PathTable()
     snap2 = read_columnar(dest, table2)

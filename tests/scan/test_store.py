@@ -121,8 +121,8 @@ def test_cache_info_counters(archived):
     directory, _ = archived
     disk = DiskSnapshotCollection(directory, cache_size=2)
     info = disk.cache_info()
-    # hits, misses, maxsize, currsize, bytes, bytes_limit
-    assert info == (0, 0, 2, 0, 0, None)
+    # hits, misses, maxsize, currsize, bytes, bytes_limit, block hits/misses
+    assert info == (0, 0, 2, 0, 0, None, 0, 0)
     disk[0]
     disk[0]
     disk[1]
@@ -165,7 +165,7 @@ def test_subset_has_fresh_counters_and_same_eviction(archived):
     disk = DiskSnapshotCollection(directory, cache_size=2)
     disk[0]
     sub = disk.subset([0, 1, 2])
-    assert sub.cache_info() == (0, 0, 2, 0, 0, None)
+    assert sub.cache_info() == (0, 0, 2, 0, 0, None, 0, 0)
     for _ in sub.pairs():
         pass
     assert sub.cache_info().misses == 3

@@ -115,12 +115,15 @@ def test_invalid_policy_and_verify_rejected(copy):
 def test_deep_verify_catches_midfile_bitflip(copy):
     """A column bit flip passes header verification but not deep verify."""
     victim = _corrupt_one(copy, kind="bitflip")
-    # header-only verify indexes the file, the fault surfaces at load time
+    # header-only verify indexes the file; with lazy loads the fault
+    # surfaces when the corrupt block is first touched
     disk = DiskSnapshotCollection(copy, on_error="skip", verify="header")
     assert not disk.health_report().degraded
     bad_idx = disk._files.index(victim)
     with pytest.raises(CorruptSnapshotError):
-        disk[bad_idx]
+        snap = disk[bad_idx]
+        for name in store_mod.NUMERIC_COLUMNS:
+            np.asarray(getattr(snap, name))
     # deep verify excludes it up front
     with pytest.warns(RuntimeWarning, match="corrupt snapshot"):
         deep = DiskSnapshotCollection(copy, on_error="skip", verify="deep")
@@ -162,8 +165,8 @@ def test_skip_policy_report_matches_clean_window(copy, archived, tmp_path):
 
 def test_transient_io_retried_with_backoff(copy, monkeypatch):
     disk = DiskSnapshotCollection(copy, io_retries=2, io_backoff=0.0)
-    flaky = FlakyReader(store_mod.read_columnar, failures=2)
-    monkeypatch.setattr(store_mod, "read_columnar", flaky)
+    flaky = FlakyReader(store_mod.open_columnar, failures=2)
+    monkeypatch.setattr(store_mod, "open_columnar", flaky)
     snap = disk[0]
     assert len(snap) > 0
     assert flaky.calls == 3
@@ -172,8 +175,8 @@ def test_transient_io_retried_with_backoff(copy, monkeypatch):
 
 def test_transient_io_exhaustion_raises(copy, monkeypatch):
     disk = DiskSnapshotCollection(copy, io_retries=1, io_backoff=0.0)
-    flaky = FlakyReader(store_mod.read_columnar, failures=5)
-    monkeypatch.setattr(store_mod, "read_columnar", flaky)
+    flaky = FlakyReader(store_mod.open_columnar, failures=5)
+    monkeypatch.setattr(store_mod, "open_columnar", flaky)
     with pytest.raises(OSError) as err:
         disk[0]
     assert err.value.errno == errno.EIO
@@ -185,24 +188,26 @@ def test_corruption_is_never_retried(copy, monkeypatch):
     disk = DiskSnapshotCollection(copy, io_retries=5, io_backoff=0.0)
     calls = {"n": 0}
 
-    def always_corrupt(path, paths):
+    def always_corrupt(path, paths, **hooks):
         calls["n"] += 1
         raise CorruptSnapshotError(path, "synthetic permanent fault")
 
-    monkeypatch.setattr(store_mod, "read_columnar", always_corrupt)
+    monkeypatch.setattr(store_mod, "open_columnar", always_corrupt)
     with pytest.raises(CorruptSnapshotError):
         disk[0]
     assert calls["n"] == 1
 
 
 def test_corrupt_load_quarantines_under_policy(copy, monkeypatch):
-    """A file that passes header verify but fails at load is still moved
-    aside under the quarantine policy, so the next run starts clean."""
+    """A file that passes header verify but fails on first touch is still
+    moved aside under the quarantine policy, so the next run starts clean."""
     victim = _corrupt_one(copy, kind="bitflip")
     disk = DiskSnapshotCollection(copy, on_error="quarantine", verify="header")
     bad_idx = disk._files.index(victim)
     with pytest.raises(CorruptSnapshotError):
-        disk[bad_idx]
+        snap = disk[bad_idx]
+        for name in store_mod.NUMERIC_COLUMNS:
+            np.asarray(getattr(snap, name))
     assert not victim.exists()
     assert (copy / QUARANTINE_DIRNAME / victim.name).exists()
 
@@ -256,8 +261,8 @@ def test_subset_path_ids_consistent_after_partial_parent_loads(copy):
 def test_subset_shares_health_report(copy, monkeypatch):
     parent = DiskSnapshotCollection(copy, io_retries=2, io_backoff=0.0)
     sub = parent.subset([0, 1])
-    flaky = FlakyReader(store_mod.read_columnar, failures=1)
-    monkeypatch.setattr(store_mod, "read_columnar", flaky)
+    flaky = FlakyReader(store_mod.open_columnar, failures=1)
+    monkeypatch.setattr(store_mod, "open_columnar", flaky)
     sub[0]
     # the retry observed through the subset lands in the parent's report
     assert parent.health_report().io_retries == 1
