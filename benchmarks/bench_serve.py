@@ -1,0 +1,205 @@
+"""Closed-loop load bench for the serving layer → BENCH_serve.json.
+
+Each offered-load point runs N closed-loop clients (every client issues
+its next request the moment the previous one completes) against an
+in-process :class:`~repro.serve.server.AnalysisServer` over real TCP
+sockets, mixing cached-figure hits with engine-backed slices.  Per point
+it reports throughput, p50/p99 latency, and the shed rate; the server is
+deliberately small (2 workers, short queue) so the top point *must* shed
+rather than queue without bound — load-shedding working as designed, not
+a failure.
+
+Run directly (``python benchmarks/bench_serve.py``) or as a smoke check
+in CI (``--smoke``: fewer requests, asserts the contract — typed statuses
+only, shedding at the top point, no socket timeouts or hung clients).
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.pipeline import ReproPipeline  # noqa: E402
+from repro.serve.server import AnalysisServer, ServerConfig  # noqa: E402
+from repro.serve.service import ArchiveService, CircuitBreaker  # noqa: E402
+from repro.serve.testing import BackgroundServer  # noqa: E402
+from repro.synth.driver import SimulationConfig  # noqa: E402
+
+BENCH_CONFIG = SimulationConfig(
+    seed=47, scale=1.5e-6, weeks=6, min_project_files=4, stress_depths=False
+)
+ANALYSES = "census,access,growth,ages"
+OUTPUT = REPO_ROOT / "benchmarks" / "output" / "BENCH_serve.json"
+
+#: offered-load points: closed-loop client counts
+LOAD_POINTS = (1, 4, 16)
+
+
+def build_server(tmpdir: Path) -> AnalysisServer:
+    archive = tmpdir / "archive"
+    pipeline = ReproPipeline(BENCH_CONFIG)
+    pipeline.simulate()
+    pipeline.archive(archive)
+    service = ArchiveService(
+        archive,
+        config=BENCH_CONFIG,
+        analyses=ANALYSES,
+        breaker=CircuitBreaker(threshold=3, cooldown_s=2.0),
+    )
+    t0 = time.time()
+    service.warm()
+    print(f"# warmed in {time.time() - t0:.1f}s", file=sys.stderr)
+    return AnalysisServer(
+        service,
+        ServerConfig(
+            port=0,
+            max_inflight=2,
+            queue_depth=2,
+            request_timeout_s=10.0,
+            tenant_limit=None,  # measuring queue/memory shed, not quotas
+            grace_seconds=5.0,
+        ),
+    )
+
+
+def run_point(
+    bg: BackgroundServer, domain: str, clients: int, requests_per_client: int
+) -> dict:
+    """One offered-load point: ``clients`` closed-loop request loops."""
+    latencies: list[float] = []
+    statuses: dict[int, int] = {}
+    timeouts = [0]
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1, timeout=60.0)
+    # 3:1 cached-figure hits to engine-backed slices, like a dashboard
+    paths = ["/v1/figures", "/v1/figures", "/v1/figures"]
+    paths.append(f"/v1/slice/domain/{domain}")
+
+    def client(i: int) -> None:
+        barrier.wait()
+        for j in range(requests_per_client):
+            path = paths[(i + j) % len(paths)]
+            t0 = time.perf_counter()
+            try:
+                reply = bg.request(path, timeout=60.0)
+            except OSError:
+                with lock:
+                    timeouts[0] += 1
+                continue
+            elapsed = time.perf_counter() - t0
+            with lock:
+                latencies.append(elapsed)
+                statuses[reply.status] = statuses.get(reply.status, 0) + 1
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join(timeout=300.0)
+    wall = time.perf_counter() - t0
+    hung = sum(t.is_alive() for t in threads)
+    latencies.sort()
+    shed = statuses.get(429, 0)
+    total = sum(statuses.values())
+
+    def pct(q: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    return {
+        "offered_concurrency": clients,
+        "requests": total,
+        "wall_s": round(wall, 3),
+        "rps": round(total / wall, 1) if wall > 0 else 0.0,
+        "p50_ms": round(pct(0.50) * 1e3, 2),
+        "p99_ms": round(pct(0.99) * 1e3, 2),
+        "shed": shed,
+        "shed_rate": round(shed / total, 4) if total else 0.0,
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "socket_timeouts": timeouts[0],
+        "hung_clients": hung,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fewer requests per point + assert the serving contract",
+    )
+    parser.add_argument(
+        "--requests-per-client", type=int, default=None,
+        help="override per-client request count (default 40, smoke 10)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT, help="result JSON path"
+    )
+    args = parser.parse_args(argv)
+    per_client = args.requests_per_client or (10 if args.smoke else 40)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        server = build_server(Path(tmp))
+        domain = server.service.context.domain_codes[0]
+        points = []
+        with BackgroundServer(server) as bg:
+            for clients in LOAD_POINTS:
+                point = run_point(bg, domain, clients, per_client)
+                points.append(point)
+                print(
+                    f"# c={clients:>3} rps={point['rps']:>7} "
+                    f"p50={point['p50_ms']:>8}ms p99={point['p99_ms']:>8}ms "
+                    f"shed={point['shed_rate']:.1%}",
+                    file=sys.stderr,
+                )
+            stats = server.stats.snapshot()
+        result = {
+            "bench": "serve_closed_loop",
+            "config": {
+                "max_inflight": server.config.max_inflight,
+                "queue_depth": server.config.queue_depth,
+                "request_timeout_s": server.config.request_timeout_s,
+                "requests_per_client": per_client,
+                "snapshots": len(server.service.collection),
+            },
+            "points": points,
+            "server_stats": stats,
+        }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"# wrote {args.output}", file=sys.stderr)
+
+    for point in points:
+        if point["socket_timeouts"] or point["hung_clients"]:
+            print("FAIL: hung or timed-out clients", file=sys.stderr)
+            return 1
+        untyped = set(point["statuses"]) - {"200", "429", "503"}
+        if untyped:
+            print(f"FAIL: untyped statuses {untyped}", file=sys.stderr)
+            return 1
+    if args.smoke:
+        # the top point overcommits a 2-worker/2-queue server 4x: the
+        # admission ladder must shed rather than queue without bound
+        if points[-1]["shed"] == 0:
+            print("FAIL: top load point never shed", file=sys.stderr)
+            return 1
+        if points[0]["shed"] != 0:
+            print("FAIL: unloaded point shed requests", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

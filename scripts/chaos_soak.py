@@ -13,7 +13,12 @@ asserts the hardened data path's contract every time:
   checkpoint journal to a report byte-identical to an uninterrupted run;
 * a randomly byte-mutated foreign PSV dump either ingests with per-record
   typed quarantine or fails with one typed file-level fault — and does the
-  same thing, byte-identically, on a second attempt.
+  same thing, byte-identically, on a second attempt;
+* a live HTTP serving round: random corruption under load yields only
+  typed statuses (200 / 200-degraded / 429 / 503), figures keep serving
+  (stale-marked once the breaker opens), and the archive recovers through
+  the half-open probe after the fault clears — never a 500 or a hung
+  connection.
 
 Exit status is non-zero on any contract violation.  Runtime is kept short
 (~tens of seconds at the default ``--rounds``) so CI can run it on every
@@ -156,16 +161,16 @@ def soak_resume(archive: Path, workdir: Path, rng: random.Random,
     class _Abort(Exception):
         pass
 
-    real_read = store_mod.read_columnar
+    real_open = store_mod.open_columnar
     state = {"loads": 0}
 
-    def aborting_read(path, paths):
+    def aborting_open(path, paths, **kwargs):
         if state["loads"] >= abort_after:
             raise _Abort()
         state["loads"] += 1
-        return real_read(path, paths)
+        return real_open(path, paths, **kwargs)
 
-    store_mod.read_columnar = aborting_read
+    store_mod.open_columnar = aborting_open
     try:
         analyze(target, checkpoint=journal)
         errors.append(f"aborting reader (after {abort_after} loads) never fired")
@@ -174,7 +179,7 @@ def soak_resume(archive: Path, workdir: Path, rng: random.Random,
         if isinstance(exc, TaskError) and "_Abort" not in str(exc):
             errors.append(f"abort surfaced as an unrelated TaskError: {exc}")
     finally:
-        store_mod.read_columnar = real_read
+        store_mod.open_columnar = real_open
     if not journal.exists():
         errors.append(
             f"no journal survived an abort after {abort_after} loads"
@@ -200,15 +205,15 @@ def soak_transient(archive: Path, workdir: Path, rng: random.Random,
 
     errors: list[str] = []
     target = fresh_copy(archive, workdir)
-    real_read = store_mod.read_columnar
+    real_open = store_mod.open_columnar
     fail_rate = 0.3
 
-    def flaky_read(path, paths):
+    def flaky_open(path, paths, **kwargs):
         if rng.random() < fail_rate:
             raise OSError(errno.EIO, "injected transient I/O error")
-        return real_read(path, paths)
+        return real_open(path, paths, **kwargs)
 
-    store_mod.read_columnar = flaky_read
+    store_mod.open_columnar = flaky_open
     try:
         # ~0.3 fail rate vs 2 retries: P(task failure) ≈ 2.7% per load; the
         # occasional exhausted retry is legitimate and must surface as the
@@ -219,7 +224,7 @@ def soak_transient(archive: Path, workdir: Path, rng: random.Random,
             errors.append(f"transient faults surfaced wrong error: {exc!r}")
         return errors
     finally:
-        store_mod.read_columnar = real_read
+        store_mod.open_columnar = real_open
     if flaky != baseline:
         errors.append("report under transient EIO differs from baseline")
     return errors
@@ -250,16 +255,16 @@ def soak_deadline(archive: Path, workdir: Path, rng: random.Random,
     n_files = len(list(target.glob("*.rpq")))
     cancel_after = rng.randrange(1, max(2, n_files - 1))
     controller = RunController()
-    real_read = store_mod.read_columnar
+    real_open = store_mod.open_columnar
     state = {"loads": 0}
 
-    def cancelling_read(path, paths):
+    def cancelling_open(path, paths, **kwargs):
         state["loads"] += 1
         if state["loads"] > cancel_after:
             controller.token.cancel("soak-injected cancel")
-        return real_read(path, paths)
+        return real_open(path, paths, **kwargs)
 
-    store_mod.read_columnar = cancelling_read
+    store_mod.open_columnar = cancelling_open
     try:
         analyze(target, checkpoint=journal, controller=controller)
         errors.append(
@@ -268,7 +273,7 @@ def soak_deadline(archive: Path, workdir: Path, rng: random.Random,
     except RunInterrupted:
         pass
     finally:
-        store_mod.read_columnar = real_read
+        store_mod.open_columnar = real_open
     if not journal.exists():
         errors.append(
             f"no journal survived a cancel after {cancel_after} loads"
@@ -353,6 +358,83 @@ def soak_ingest(archive: Path, workdir: Path, rng: random.Random,
     return errors
 
 
+def soak_serve(archive: Path, workdir: Path, rng: random.Random,
+               baseline: str) -> list[str]:
+    """Serving contract under random corruption: typed statuses only,
+    figures always answer (stale-marked once the breaker opens), and the
+    archive recovers through the half-open probe after the fault clears."""
+    from repro.serve.server import AnalysisServer, ServerConfig
+    from repro.serve.service import ArchiveService, CircuitBreaker
+    from repro.serve.testing import BackgroundServer
+
+    errors: list[str] = []
+    target = fresh_copy(archive, workdir)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        service = ArchiveService(
+            target, config=CONFIG, analyses=ANALYSES,
+            breaker=CircuitBreaker(threshold=1, cooldown_s=0.3),
+        )
+        service.warm()
+    if service.report.text != baseline:
+        errors.append("served report text differs from the batch baseline")
+    domains = service.context.domain_codes
+    server = AnalysisServer(
+        service,
+        ServerConfig(port=0, max_inflight=2, queue_depth=2,
+                     tenant_limit=None, grace_seconds=3.0),
+    )
+    victim = rng.choice(sorted(target.glob("*.rpq")))
+    pristine = victim.read_bytes()
+    name, off, length = rng.choice(corruption_points(victim))
+    point = off + rng.randrange(max(1, length))
+    fault = f"bit-flip {victim.name} at {point} (section {name})"
+    with BackgroundServer(server) as bg:
+        ok = bg.request(f"/v1/slice/domain/{rng.choice(domains)}")
+        if ok.status != 200:
+            errors.append(f"healthy slice returned {ok.status}")
+        bit_flip(victim, point, bit=rng.randrange(8))
+        # the fault may or may not be on this slice's read path (resident
+        # columns, un-decoded sections): either a typed 503 or a clean 200
+        # is within contract — a 500 or a hang never is
+        for _ in range(4):
+            reply = bg.request(f"/v1/slice/domain/{rng.choice(domains)}")
+            if reply.status not in (200, 429, 503):
+                errors.append(f"{fault}: untyped status {reply.status}")
+            fig = bg.request(f"/v1/figures/{service.figure_names()[0]}")
+            if fig.status != 200:
+                errors.append(
+                    f"{fault}: figure unavailable ({fig.status}) — the "
+                    "last good cache must always answer"
+                )
+            if (service.breaker.state != "closed"
+                    and "x-degraded" not in fig.headers):
+                errors.append(f"{fault}: open breaker but no stale marker")
+        tripped = service.breaker.trips > 0
+        victim.write_bytes(pristine)
+        if tripped:
+            # fault cleared: within a few cooldowns the half-open probe
+            # must close the breaker and slices must serve again
+            deadline = time.time() + 10.0
+            recovered = None
+            while time.time() < deadline:
+                time.sleep(0.35)
+                recovered = bg.request(
+                    f"/v1/slice/domain/{rng.choice(domains)}"
+                )
+                if recovered.status == 200:
+                    break
+            if recovered is None or recovered.status != 200:
+                errors.append(f"{fault}: archive never recovered after restore")
+            if service.breaker.state != "closed":
+                errors.append(f"{fault}: breaker still open after recovery")
+        if 500 in server.stats.responses:
+            errors.append(f"{fault}: server emitted an untyped 500")
+        if sum(server.stats.responses.values()) != server.stats.requests:
+            errors.append("response/request accounting out of balance")
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=3)
@@ -394,6 +476,7 @@ def main(argv: list[str] | None = None) -> int:
                 ("transient-io", soak_transient),
                 ("deadline", soak_deadline),
                 ("ingest", soak_ingest),
+                ("serve", soak_serve),
             ]
             for round_no in range(1, args.rounds + 1):
                 if interrupted["hit"]:

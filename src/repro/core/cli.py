@@ -327,6 +327,108 @@ def build_ingest_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Serve an analyzed archive over HTTP: per-figure aggregates "
+            "(/v1/figures) and per-user/-project/-domain slices "
+            "(/v1/slice/<dim>/<key>) with deadlines, load shedding, "
+            "circuit breaking, and graceful SIGTERM drain."
+        ),
+    )
+    parser.add_argument(
+        "archive", metavar="DIR", help=".rpq archive directory to serve"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port (0 picks an ephemeral port, printed on startup)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        metavar="N",
+        help="engine-backed requests executing concurrently",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        metavar="N",
+        help="admitted-but-waiting requests beyond the workers; past "
+        "this, requests shed with 429 + Retry-After",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="per-request wall-clock budget; at expiry the engine stops "
+        "at the next snapshot boundary and the response carries the "
+        "covered prefix plus a typed degraded marker",
+    )
+    parser.add_argument(
+        "--grace-seconds",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="SIGTERM drain budget: stop accepting, let in-flight "
+        "requests finish for S seconds, then cancel them and exit 0 "
+        "(a second signal hard-aborts immediately)",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="BYTES",
+        help="byte ceiling for admission (512M / 2G / bytes): requests "
+        "whose projected working set exceeds it shed with 429",
+    )
+    parser.add_argument(
+        "--tenant-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="per-tenant (X-Tenant header) slice requests per "
+        "--tenant-window; 0 disables rate limiting",
+    )
+    parser.add_argument(
+        "--tenant-window", type=float, default=1.0, metavar="S",
+        help="rate-limit window seconds",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive archive faults that trip the circuit breaker "
+        "(figures then serve stale; slices 503 until a probe recovers)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown", type=float, default=2.0, metavar="S",
+        help="seconds the breaker stays open before a half-open probe",
+    )
+    parser.add_argument(
+        "--analyses", default="all",
+        help="analyses to warm (comma-separated; default all)",
+    )
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--scale", type=float, default=2.5e-5)
+    parser.add_argument("--weeks", type=int, default=72)
+    parser.add_argument(
+        "--purge-window", type=int, default=90, help="purge window in days"
+    )
+    parser.add_argument(
+        "--allow-config-mismatch",
+        action="store_true",
+        help="downgrade a manifest config mismatch to a warning",
+    )
+    return parser
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: the only place signal handlers are installed.
 
@@ -336,12 +438,15 @@ def main(argv: list[str] | None = None) -> int:
     :class:`RunInterrupted` stop into conventional exit codes
     (130 signal, 124 deadline — like ``timeout(1)``).
 
-    ``repro ingest ...`` dispatches to the trace-ingestion verb; anything
-    else is the classic simulate/analyze pipeline.
+    ``repro ingest ...`` dispatches to the trace-ingestion verb,
+    ``repro serve ...`` to the archive HTTP server; anything else is the
+    classic simulate/analyze pipeline.
     """
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv[:1] == ["ingest"]:
         return ingest_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -377,6 +482,123 @@ def ingest_main(argv: list[str]) -> int:
         except RunInterrupted as err:
             print(f"# interrupted: {err}", file=sys.stderr)
             return EXIT_SIGNAL if "SIG" in err.reason else EXIT_DEADLINE
+
+
+def serve_main(argv: list[str]) -> int:
+    """The ``repro serve`` verb.
+
+    Signal contract (matches the batch CLI's): the first SIGTERM/SIGINT
+    starts a graceful drain — stop accepting, let in-flight requests
+    finish (or cancel them) within ``--grace-seconds`` — and exits 0; a
+    second signal hard-aborts with exit 130.  Signal handlers live here
+    and only here; the server/library never touches signal disposition.
+    """
+    import asyncio
+    import signal as signal_mod
+
+    from repro.core.runcontrol import MemoryBudget
+    from repro.serve import (
+        AnalysisServer,
+        ArchiveService,
+        CircuitBreaker,
+        ServerConfig,
+    )
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    try:
+        budget = (
+            MemoryBudget(args.memory_budget)
+            if args.memory_budget is not None
+            else None
+        )
+        controller = RunController(
+            memory_budget=budget, grace_seconds=args.grace_seconds
+        )
+        server_config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            queue_depth=args.queue_depth,
+            request_timeout_s=args.request_timeout,
+            grace_seconds=args.grace_seconds,
+            memory_budget=budget,
+            tenant_limit=args.tenant_limit if args.tenant_limit > 0 else None,
+            tenant_window_s=args.tenant_window,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    config = SimulationConfig(
+        seed=args.seed,
+        scale=args.scale,
+        weeks=args.weeks,
+        purge_window_days=args.purge_window,
+    )
+    service = ArchiveService(
+        args.archive,
+        config=config,
+        analyses=args.analyses,
+        controller=controller,
+        breaker=CircuitBreaker(
+            threshold=args.breaker_threshold,
+            cooldown_s=args.breaker_cooldown,
+        ),
+        allow_config_mismatch=args.allow_config_mismatch,
+    )
+    t0 = time.time()
+    service.warm()
+    print(
+        f"# warmed {len(service.collection)} snapshots, "
+        f"{len(service.figure_names())} figures ({time.time() - t0:.1f}s)",
+        file=sys.stderr,
+    )
+    server = AnalysisServer(service, server_config, controller=controller)
+    return asyncio.run(_serve_forever(server, signal_mod))
+
+
+async def _serve_forever(server, signal_mod) -> int:
+    """Run the accept loop until a signal drains (0) or hard-aborts (130)."""
+    import asyncio
+
+    loop = asyncio.get_running_loop()
+    finished = loop.create_future()
+    signal_count = 0
+
+    def on_signal(name: str) -> None:
+        nonlocal signal_count
+        signal_count += 1
+        if signal_count == 1:
+            print(
+                f"# received {name}: draining (grace "
+                f"{server.config.grace_seconds:g}s)",
+                file=sys.stderr,
+            )
+
+            async def _drain() -> None:
+                await server.drain(f"received {name}")
+                if not finished.done():
+                    finished.set_result(0)
+
+            loop.create_task(_drain())
+        elif not finished.done():
+            print(f"# second {name}: hard abort", file=sys.stderr)
+            finished.set_result(EXIT_SIGNAL)
+
+    for signum in (signal_mod.SIGTERM, signal_mod.SIGINT):
+        loop.add_signal_handler(
+            signum, on_signal, signal_mod.Signals(signum).name
+        )
+    await server.start()
+    # flush=True and a parseable PORT line: acceptance tests (and reverse
+    # proxies) read the bound ephemeral port from here
+    print(
+        f"# serving on http://{server.config.host}:{server.port} "
+        f"(PORT={server.port})",
+        flush=True,
+    )
+    code = await finished
+    print("# drained; bye", file=sys.stderr)
+    return int(code)
 
 
 def _run_ingest(args: argparse.Namespace, controller: RunController) -> int:

@@ -84,12 +84,18 @@ class CancelToken:
 
     Thread- and signal-safe by construction: ``cancel()`` only ever writes
     one attribute, and observers only read it.
+
+    A token may be *linked* to a parent: cancelling the parent cancels
+    every linked child (the serving layer's drain path — one root cancel
+    stops all in-flight request controllers), while cancelling a child
+    never touches the parent or its siblings.
     """
 
-    __slots__ = ("_reason",)
+    __slots__ = ("_reason", "_parent")
 
-    def __init__(self) -> None:
+    def __init__(self, parent: "CancelToken | None" = None) -> None:
         self._reason: str | None = None
+        self._parent = parent
 
     def cancel(self, reason: str = "cancelled") -> None:
         """Request a stop.  Later calls keep the original reason."""
@@ -98,11 +104,15 @@ class CancelToken:
 
     @property
     def cancelled(self) -> bool:
-        return self._reason is not None
+        if self._reason is not None:
+            return True
+        return self._parent is not None and self._parent.cancelled
 
     @property
     def reason(self) -> str | None:
-        return self._reason
+        if self._reason is not None:
+            return self._reason
+        return self._parent.reason if self._parent is not None else None
 
 
 class MemoryBudget:
@@ -267,6 +277,42 @@ class RunController:
                 partial=partial,
                 resume_hint=resume_hint,
             )
+
+    # -- derived controllers -------------------------------------------------
+
+    def child(
+        self,
+        max_seconds: float | None = None,
+        grace_seconds: float | None = None,
+    ) -> "RunController":
+        """A nested controller whose budget can only shrink the parent's.
+
+        The child's deadline is ``min(parent remaining, max_seconds)`` —
+        a request-scoped deadline can never outlive the run it belongs to
+        — and its token is linked to the parent's, so cancelling the
+        parent (SIGTERM drain) cancels every outstanding child while a
+        child's own cancel (one request's deadline) stays local.  The
+        memory budget and clock are shared; ``grace_seconds`` defaults to
+        the parent's.  This is how the serving layer derives per-request
+        deadlines from the run-level control plane.
+        """
+        remaining = self.remaining()
+        if max_seconds is None:
+            effective = remaining
+        elif remaining is None:
+            effective = float(max_seconds)
+        else:
+            effective = min(float(max_seconds), remaining)
+        child = RunController(
+            max_seconds=effective,
+            memory_budget=self.memory_budget,
+            grace_seconds=(
+                self.grace_seconds if grace_seconds is None else grace_seconds
+            ),
+            clock=self._clock,
+        )
+        child.token = CancelToken(parent=self.token)
+        return child
 
     # -- signal handling (process entry points only) -------------------------
 

@@ -71,6 +71,17 @@ class QuotaManager:
         entry = self._entry(gid)
         entry.used = max(0, entry.used - count)
 
+    def reset_usage(self) -> None:
+        """Zero every entry's ``used``; peaks, denials, and limits survive.
+
+        Fixed-window consumers (the serving layer's per-tenant request
+        quotas in :mod:`repro.serve`) call this at each window roll: the
+        next window starts from zero while the high-water marks and
+        denial counts keep accumulating across windows.
+        """
+        for entry in self.entries.values():
+            entry.used = 0
+
     def usage(self, gid: int) -> int:
         entry = self.entries.get(gid)
         return 0 if entry is None else entry.used

@@ -644,6 +644,7 @@ class ExecutionEngine:
         n = len(collection)
         if n == 0 or not kernels:
             stats = ExecutionStats(runs=1)
+            _note_deadline(stats, controller)
             return {k.name: k.reduce_fn([]) for k in kernels}, stats
         replay: list[Kernel] = []
         if delta_plan is not None:
@@ -661,6 +662,7 @@ class ExecutionEngine:
             if journal is not None:
                 journal.close()
             replay_stats.runs = 1
+            _note_deadline(replay_stats, controller)
             return replay_results, replay_stats
         specs = tuple((k.name, k.map_fn, k.pairwise) for k in kernels)
         restored: dict[int, Any] = {}
@@ -685,6 +687,13 @@ class ExecutionEngine:
                 max_task_failures=max_task_failures,
             )
         except RunInterrupted as err:
+            # merge journal-restored rows into the interrupt's partial so a
+            # degraded consumer (the serving layer's deadline path) sees the
+            # full completed prefix, not just what this invocation ran
+            merged: dict[int, Any] = dict(restored)
+            if isinstance(err.partial, dict):
+                merged.update(err.partial)
+            err.partial = merged
             if err.resume_hint is None:
                 if journal is not None:
                     err.resume_hint = (
@@ -911,8 +920,7 @@ class ExecutionEngine:
             peak = getattr(collection, "peak_cache_bytes", 0)
             if peak:
                 stats.peak_cache_bytes = max(stats.peak_cache_bytes, int(peak))
-            if controller is not None and controller.deadline is not None:
-                stats.deadline_remaining_s = controller.remaining()
+            _note_deadline(stats, controller)
 
         try:
             results, stats = self._dispatch(
@@ -1154,6 +1162,7 @@ class ExecutionEngine:
                 f"run interrupted ({cancel_reason}) after {done}/{n} tasks; "
                 "in-flight workers drained, pool terminated",
                 reason=cancel_reason,
+                partial=dict(results),
                 stats=stats,
             )
         if failure is not None:
@@ -1228,6 +1237,7 @@ class ExecutionEngine:
                             f"run interrupted ({reason}) after {pos}/"
                             f"{len(indices)} tasks; completed work journaled",
                             reason=reason,
+                            partial=dict(zip(indices[:pos], results)),
                             stats=stats,
                         )
                 t_task = time.perf_counter()
@@ -1270,6 +1280,22 @@ class ExecutionEngine:
         finally:
             stats.wall_seconds = time.perf_counter() - t0
         return results, stats
+
+
+def _note_deadline(
+    stats: ExecutionStats, controller: RunController | None
+) -> None:
+    """Record the deadline remaining on ``stats``, uniformly.
+
+    Every ``run_kernels`` exit path — the normal fused pass, the zero-task
+    early return, and the replay-only delta fast path — reports
+    ``deadline_remaining_s`` the same way: a float whenever the controller
+    carries a deadline (even if no task ever consulted it), ``None`` when
+    there is no deadline.  The serving layer logs this as one uniform
+    field per request.
+    """
+    if controller is not None and controller.deadline is not None:
+        stats.deadline_remaining_s = float(controller.remaining())
 
 
 def _failure_digest(tb_text: str) -> str:

@@ -52,6 +52,8 @@ from __future__ import annotations
 
 import json
 import mmap
+import threading
+import time
 import warnings
 import zlib
 from pathlib import Path
@@ -673,27 +675,53 @@ class LazySnapshot(Snapshot):
         return mm
 
     def _decode_lazy(self, name: str) -> np.ndarray:
-        try:
-            meta, offset = self._blocks[name]
-        except KeyError:
-            raise AttributeError(name) from None
-        try:
-            arr = self._decode_block(name, meta, offset)
-        except CorruptSnapshotError as exc:
-            hook = self.__dict__.get("_on_corrupt")
+        # single-flight per snapshot: concurrent readers racing to the same
+        # un-decoded block must produce exactly one decode (one on_decode
+        # charge, one block miss); the losers take the resident array as a
+        # block hit once the winner releases the lock
+        with self.__dict__["_lock"]:
+            arr = self.__dict__["_resident"].get(name)
+            if arr is not None:
+                hook = self.__dict__.get("_on_hit")
+                if hook is not None:
+                    hook(name)
+                return arr
+            try:
+                meta, offset = self._blocks[name]
+            except KeyError:
+                raise AttributeError(name) from None
+            # transient OSError (EIO under load) rides the same retry/backoff
+            # ladder the disk store applies to eager opens — a flaky read
+            # surfacing at first column touch must not escape the policy.
+            # Corruption is permanent and never retried.
+            retries = int(self.__dict__.get("_io_retries") or 0)
+            backoff = float(self.__dict__.get("_io_backoff") or 0.0)
+            for attempt in range(retries + 1):
+                try:
+                    arr = self._decode_block(name, meta, offset)
+                    break
+                except CorruptSnapshotError as exc:
+                    hook = self.__dict__.get("_on_corrupt")
+                    if hook is not None:
+                        hook(exc)
+                    raise
+                except OSError:
+                    if attempt >= retries:
+                        raise
+                    hook = self.__dict__.get("_on_io_retry")
+                    if hook is not None:
+                        hook()
+                    time.sleep(backoff * (2 ** attempt))
+            if self._order is not None:
+                arr = arr[self._order]
+            arr = np.ascontiguousarray(arr, dtype=COLUMN_DTYPES[name])
+            if arr.base is not None:
+                arr.flags.writeable = False
+            self.__dict__["_resident"][name] = arr
+            hook = self.__dict__.get("_on_decode")
             if hook is not None:
-                hook(exc)
-            raise
-        if self._order is not None:
-            arr = arr[self._order]
-        arr = np.ascontiguousarray(arr, dtype=COLUMN_DTYPES[name])
-        if arr.base is not None:
-            arr.flags.writeable = False
-        self.__dict__["_resident"][name] = arr
-        hook = self.__dict__.get("_on_decode")
-        if hook is not None:
-            hook(name, int(arr.nbytes))
-        return arr
+                hook(name, int(arr.nbytes))
+            return arr
 
     def _decode_block(self, name: str, meta: dict, offset: int) -> np.ndarray:
         stored = int(meta["stored_bytes"])
@@ -755,6 +783,9 @@ def open_columnar(
     on_decode: Callable[[str, int], None] | None = None,
     on_hit: Callable[[str], None] | None = None,
     on_corrupt: Callable[[CorruptSnapshotError], None] | None = None,
+    io_retries: int = 0,
+    io_backoff: float = 0.0,
+    on_io_retry: Callable[[], None] | None = None,
 ) -> LazySnapshot:
     """Open a columnar snapshot for lazy, block-at-a-time decoding.
 
@@ -771,6 +802,12 @@ def open_columnar(
     already-decoded block (block-level hit counters), and ``on_corrupt(exc)``
     before a lazy-read :class:`~repro.scan.errors.CorruptSnapshotError`
     propagates (the store's quarantine hook).
+
+    ``io_retries``/``io_backoff`` extend the disk store's transient-I/O
+    policy to *lazy* block touches: an ``OSError`` raised while decoding a
+    block (EIO under load, not just at open time) is retried up to
+    ``io_retries`` times with ``io_backoff * 2**attempt`` sleeps, firing
+    ``on_io_retry()`` before each retry.  Corruption is never retried.
     """
     src = Path(source)
     with open(src, "rb") as fh:
@@ -823,6 +860,10 @@ def open_columnar(
     d["_on_decode"] = on_decode
     d["_on_hit"] = on_hit
     d["_on_corrupt"] = on_corrupt
+    d["_io_retries"] = max(0, int(io_retries))
+    d["_io_backoff"] = float(io_backoff)
+    d["_on_io_retry"] = on_io_retry
+    d["_lock"] = threading.Lock()
     return snap
 
 

@@ -31,6 +31,7 @@ with exponential backoff; corruption is never retried.
 from __future__ import annotations
 
 import shutil
+import threading
 import time
 import warnings
 from collections import OrderedDict
@@ -231,6 +232,13 @@ class DiskSnapshotCollection:
         self._cache_size = cache_size
         self._cache_bytes_limit = cache_bytes
         self._cache_nbytes: dict[int, int] = {}
+        # guards the cache, the byte accounting, and PathTable interning
+        # (intern mutates unsynchronized dict/list/array state) for
+        # concurrent readers sharing one collection (the serving layer).
+        # Lock ordering: a snapshot's per-block decode lock may acquire
+        # this lock (decode hooks); store code never acquires a snapshot
+        # lock, so the order is acyclic.
+        self._lock = threading.RLock()
         #: observability: how many loads hit the disk vs the cache
         self.loads = 0
         self.hits = 0
@@ -333,6 +341,9 @@ class DiskSnapshotCollection:
                     ),
                     on_hit=lambda name: self._on_block_hit(),
                     on_corrupt=lambda exc: self._quarantine_file(path),
+                    io_retries=self.io_retries,
+                    io_backoff=self.io_backoff,
+                    on_io_retry=self._note_io_retry,
                 )
             except CorruptSnapshotError:
                 self._quarantine_file(path)
@@ -340,45 +351,57 @@ class DiskSnapshotCollection:
             except OSError:
                 if attempt >= self.io_retries:
                     raise
-                self.health.io_retries += 1
+                self._note_io_retry()
                 time.sleep(self.io_backoff * (2 ** attempt))
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def _note_io_retry(self) -> None:
+        """Count one transient-I/O retry (eager open or lazy block touch)."""
+        with self._lock:
+            self.health.io_retries += 1
+
     def _on_block_decode(self, idx: int, nbytes: int) -> None:
         """Account one first-touch block decode against the byte budget."""
-        self.block_misses += 1
-        if idx in self._cache_nbytes:
-            self._cache_nbytes[idx] += nbytes
-            self.cache_bytes_used += nbytes
-            self._evict()
-            self.peak_cache_bytes = max(
-                self.peak_cache_bytes, self.cache_bytes_used
-            )
-        # else: the snapshot was already evicted but a caller still holds
-        # it — its blocks are no longer the cache's bytes to account
+        with self._lock:
+            self.block_misses += 1
+            if idx in self._cache_nbytes:
+                self._cache_nbytes[idx] += nbytes
+                self.cache_bytes_used += nbytes
+                self._evict()
+                self.peak_cache_bytes = max(
+                    self.peak_cache_bytes, self.cache_bytes_used
+                )
+            # else: the snapshot was already evicted but a caller still holds
+            # it — its blocks are no longer the cache's bytes to account
 
     def _on_block_hit(self) -> None:
-        self.block_hits += 1
+        with self._lock:
+            self.block_hits += 1
 
     def __getitem__(self, idx: int) -> Snapshot:
         if idx < 0:
             idx += len(self)
         if not 0 <= idx < len(self):
             raise IndexError(idx)
-        cached = self._cache.get(idx)
-        if cached is not None:
-            self.hits += 1
-            self._cache.move_to_end(idx)
-            return cached
-        snap = self._load(self._files[idx], idx)
-        self.loads += 1
-        self._cache[idx] = snap
-        nbytes = getattr(snap, "resident_nbytes", snap.column_nbytes)()
-        self._cache_nbytes[idx] = nbytes = int(nbytes)
-        self.cache_bytes_used += nbytes
-        self._evict()
-        self.peak_cache_bytes = max(self.peak_cache_bytes, self.cache_bytes_used)
-        return snap
+        # the lock spans the load: open_columnar interns path strings into
+        # the shared PathTable, which is not safe under concurrent mutation
+        with self._lock:
+            cached = self._cache.get(idx)
+            if cached is not None:
+                self.hits += 1
+                self._cache.move_to_end(idx)
+                return cached
+            snap = self._load(self._files[idx], idx)
+            self.loads += 1
+            self._cache[idx] = snap
+            nbytes = getattr(snap, "resident_nbytes", snap.column_nbytes)()
+            self._cache_nbytes[idx] = nbytes = int(nbytes)
+            self.cache_bytes_used += nbytes
+            self._evict()
+            self.peak_cache_bytes = max(
+                self.peak_cache_bytes, self.cache_bytes_used
+            )
+            return snap
 
     def _evict(self) -> None:
         """Drop LRU entries until both the entry and byte ceilings hold.
@@ -493,7 +516,12 @@ class DiskSnapshotCollection:
         state["_cache"] = OrderedDict()
         state["_cache_nbytes"] = {}
         state["cache_bytes_used"] = 0
+        state.pop("_lock", None)
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def quarantine_task_failure(self, idx: int, reason: str) -> None:
         """Record snapshot ``idx`` as quarantined by the engine's breaker.
@@ -523,17 +551,18 @@ class DiskSnapshotCollection:
                 action = "quarantined"
             except OSError as move_exc:  # pragma: no cover - exotic fs state
                 action = f"skipped (quarantine failed: {move_exc})"
-        self.health.faults.append(
-            SnapshotFault(
-                path=str(path),
-                reason=f"task failures exhausted: {reason}",
-                offset=None,
-                action=action,
+        with self._lock:
+            self.health.faults.append(
+                SnapshotFault(
+                    path=str(path),
+                    reason=f"task failures exhausted: {reason}",
+                    offset=None,
+                    action=action,
+                )
             )
-        )
-        if idx in self._cache:
-            del self._cache[idx]
-            self.cache_bytes_used -= self._cache_nbytes.pop(idx, 0)
+            if idx in self._cache:
+                del self._cache[idx]
+                self.cache_bytes_used -= self._cache_nbytes.pop(idx, 0)
         warnings.warn(
             f"snapshot {path.name} quarantined after repeated task "
             f"failures: {reason}",
@@ -584,4 +613,5 @@ class DiskSnapshotCollection:
         out.block_hits = 0
         out.cache_bytes_used = 0
         out.peak_cache_bytes = 0
+        out._lock = threading.RLock()
         return out

@@ -1,0 +1,39 @@
+"""Analysis-as-a-service: serve analyzed archives over HTTP, robustly.
+
+The batch pipeline (PRs 1–7) made archive → analyze crash-safe; this
+package carries the same robustness contract into a serving path.  A
+request under load must fail *predictably* — shed (429), time out into a
+typed degraded result, or serve stale from the last good aggregate — never
+hang a socket or crash the process.  The degradation ladder is
+deadline → shed → stale → 503 (DESIGN.md §13).
+
+Layout:
+
+* :mod:`repro.serve.errors` — the typed error vocabulary (every non-200
+  is a machine-readable JSON body, never a traceback);
+* :mod:`repro.serve.encode` — report/numpy → JSON-safe conversion;
+* :mod:`repro.serve.ratelimit` — per-tenant fixed-window limits on
+  :class:`~repro.fs.quota.QuotaManager`;
+* :mod:`repro.serve.service` — :class:`ArchiveService` (warm aggregates,
+  engine-backed slices, ETag, circuit breaker, stale-while-revalidate);
+* :mod:`repro.serve.http` — minimal stdlib-only HTTP/1.1 parsing;
+* :mod:`repro.serve.server` — :class:`AnalysisServer` (asyncio accept
+  loop, admission control, per-request deadlines, graceful drain);
+* :mod:`repro.serve.testing` — :class:`BackgroundServer` for in-process
+  tests, benches, and the chaos soak.
+"""
+
+from repro.serve.errors import ServeError
+from repro.serve.ratelimit import TenantRateLimiter
+from repro.serve.server import AnalysisServer, ServerConfig, ServerStats
+from repro.serve.service import ArchiveService, CircuitBreaker
+
+__all__ = [
+    "AnalysisServer",
+    "ArchiveService",
+    "CircuitBreaker",
+    "ServeError",
+    "ServerConfig",
+    "ServerStats",
+    "TenantRateLimiter",
+]

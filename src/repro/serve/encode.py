@@ -1,0 +1,66 @@
+"""Report objects → JSON-safe structures.
+
+The §4 result objects are a mix of dataclasses, NamedTuples, numpy arrays
+and scalars (including legitimate ``inf``/``nan`` — e.g. the empty-archive
+reduction factor).  Strict JSON has no spelling for non-finite floats, and
+the serving contract is "every body parses as JSON", so non-finite values
+are encoded as the strings ``"inf"`` / ``"-inf"`` / ``"nan"``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from typing import Any
+
+import numpy as np
+
+__all__ = ["dumps", "to_jsonable"]
+
+
+def to_jsonable(obj: Any, _depth: int = 0) -> Any:
+    """Recursively convert ``obj`` into JSON-serializable builtins."""
+    if _depth > 24:  # defensive: report objects are shallow
+        return repr(obj)
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        value = float(obj)
+        if math.isfinite(value):
+            return value
+        return "nan" if math.isnan(value) else ("inf" if value > 0 else "-inf")
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(v, _depth + 1) for v in obj.tolist()]
+    if isinstance(obj, dict):
+        return {
+            str(to_jsonable(k, _depth + 1)): to_jsonable(v, _depth + 1)
+            for k, v in obj.items()
+        }
+    if isinstance(obj, tuple) and hasattr(obj, "_asdict"):  # NamedTuple
+        return to_jsonable(obj._asdict(), _depth + 1)
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v, _depth + 1) for v in obj]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name), _depth + 1)
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, (bytes, bytearray)):
+        return obj.decode("utf-8", errors="replace")
+    if hasattr(obj, "__dict__"):
+        return {
+            str(k): to_jsonable(v, _depth + 1)
+            for k, v in vars(obj).items()
+            if not str(k).startswith("_")
+        }
+    return repr(obj)
+
+
+def dumps(obj: Any) -> bytes:
+    """UTF-8 JSON bytes of ``to_jsonable(obj)``; always valid strict JSON."""
+    return json.dumps(
+        to_jsonable(obj), separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")

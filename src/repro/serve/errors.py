@@ -1,0 +1,55 @@
+"""Typed serving errors: every failure is a status + machine-readable body.
+
+The acceptance contract for the serving layer is that a client can always
+branch on ``(status, body["error"])`` — no hung sockets, no HTML error
+pages, and *never* a traceback in a response body.  ``ServeError`` is the
+internal vocabulary: handlers raise it, the server renders it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ServeError"]
+
+
+class ServeError(Exception):
+    """A request failure with an HTTP status and a stable error code.
+
+    Parameters
+    ----------
+    status:
+        HTTP status code to respond with.
+    code:
+        Stable machine-readable identifier (``"shed_queue"``,
+        ``"archive_fault"``, ...) — clients branch on this, not the
+        human-readable message.
+    message:
+        One human-readable sentence.  Must never contain a traceback.
+    retry_after:
+        Optional seconds to suggest via ``Retry-After`` (shed and
+        breaker-open responses carry it so well-behaved clients back off).
+    detail:
+        Optional extra JSON-safe fields merged into the body.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: float | None = None,
+        detail: dict | None = None,
+    ) -> None:
+        super().__init__(f"{status} {code}: {message}")
+        self.status = int(status)
+        self.code = str(code)
+        self.message = str(message)
+        self.retry_after = None if retry_after is None else float(retry_after)
+        self.detail = dict(detail) if detail else {}
+
+    def body(self) -> dict:
+        """The JSON body the server renders for this error."""
+        out = {"error": self.code, "message": self.message}
+        if self.retry_after is not None:
+            out["retry_after_s"] = self.retry_after
+        out.update(self.detail)
+        return out

@@ -1,0 +1,175 @@
+"""Minimal HTTP/1.1 over asyncio streams — stdlib only, GET/HEAD only.
+
+The serving layer deliberately avoids a framework dependency: the API
+surface is a handful of read-only JSON routes, and the robustness budget
+goes into *bounding* everything — header size, body size, read time — so
+a slow or hostile client cannot pin a connection open.  Anything
+malformed becomes a typed 400/405/413/431, never a hang or a traceback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "render_response",
+    "STATUS_REASONS",
+]
+
+#: Reason phrases for every status the server emits.
+STATUS_REASONS = {
+    200: "OK",
+    204: "No Content",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Hard ceilings for one request's head and body.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 64 * 1024
+
+
+class HttpError(Exception):
+    """A malformed or oversized request; rendered as a typed response."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"{status} {code}: {message}")
+        self.status = int(status)
+        self.code = str(code)
+        self.message = str(message)
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    http_version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        conn = self.headers.get("connection", "").lower()
+        if self.http_version == "HTTP/1.0":
+            return conn == "keep-alive"
+        return conn != "close"
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
+
+
+async def read_request(
+    reader: asyncio.StreamReader, timeout: float = 10.0
+) -> Request | None:
+    """Parse one request head; ``None`` on clean EOF before any bytes.
+
+    Raises :class:`HttpError` on malformed/oversized input and
+    :class:`asyncio.TimeoutError` when the client stalls — the caller
+    turns both into a typed response or a close, never a hang.  A body
+    (announced by ``Content-Length``) is read and discarded up to
+    :data:`MAX_BODY_BYTES` so the connection stays parseable.
+    """
+    try:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=timeout
+        )
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(
+            400, "truncated_request", "connection closed mid-request"
+        ) from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(
+            431, "headers_too_large",
+            f"request head exceeds {MAX_HEADER_BYTES} bytes",
+        ) from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(
+            431, "headers_too_large",
+            f"request head exceeds {MAX_HEADER_BYTES} bytes",
+        )
+    try:
+        text = head.decode("latin-1")
+        request_line, *header_lines = text.split("\r\n")
+        method, target, version = request_line.split(" ", 2)
+    except ValueError:
+        raise HttpError(
+            400, "malformed_request", "unparsable request line"
+        ) from None
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise HttpError(400, "bad_version", f"unsupported {version!r}")
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise HttpError(
+                400, "malformed_header", f"unparsable header line {line!r}"
+            )
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        body_len = int(length_text)
+    except ValueError:
+        raise HttpError(
+            400, "bad_content_length", f"content-length {length_text!r}"
+        ) from None
+    if body_len > MAX_BODY_BYTES:
+        raise HttpError(
+            413, "body_too_large", f"body exceeds {MAX_BODY_BYTES} bytes"
+        )
+    if body_len:
+        # the API is read-only; the body is drained (bounded above) only
+        # so the connection stays aligned for keep-alive
+        await asyncio.wait_for(reader.readexactly(body_len), timeout=timeout)
+    parts = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        path=unquote(parts.path),
+        query=dict(parse_qsl(parts.query)),
+        headers=headers,
+        http_version=version,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    headers: dict[str, str] | None = None,
+    content_type: str = "application/json",
+    head_only: bool = False,
+    close: bool = False,
+) -> bytes:
+    """Serialize one HTTP/1.1 response (HEAD requests omit the body)."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    out = dict(headers or {})
+    out.setdefault("Content-Type", content_type)
+    out["Content-Length"] = str(len(body))
+    out["Connection"] = "close" if close else "keep-alive"
+    for name, value in out.items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head if head_only else head + body
+
+
+def json_body(payload: dict) -> bytes:
+    """Compact JSON encoding for handler-built bodies."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")

@@ -1,0 +1,107 @@
+"""Per-tenant request quotas over the project quota machinery.
+
+OLCF meters projects by inode quota; the serving layer meters tenants by
+request quota with the same accounting object
+(:class:`~repro.fs.quota.QuotaManager` — limits, denial counts, high-water
+marks).  The window is fixed (default one second): at each roll the usage
+is zeroed via :meth:`~repro.fs.quota.QuotaManager.reset_usage` while peaks
+and denials keep accumulating, so ``/v1/stats`` can report per-tenant
+pressure across the run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+from repro.fs.errors import QuotaExceeded
+from repro.fs.quota import QuotaManager
+from repro.serve.errors import ServeError
+
+__all__ = ["TenantRateLimiter"]
+
+
+class TenantRateLimiter:
+    """Fixed-window per-tenant request limits.
+
+    Tenants are named by the ``X-Tenant`` request header (the server
+    defaults missing headers to ``"anonymous"``); each distinct name is
+    assigned a sequential integer id — the "gid" of its quota entry.
+
+    Parameters
+    ----------
+    limit_per_window:
+        Requests one tenant may issue per window; ``None`` disables
+        limiting entirely (admit() becomes a no-op).
+    window_s:
+        Window length in seconds.
+    clock:
+        Monotonic time source, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        limit_per_window: int | None,
+        window_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if limit_per_window is not None and limit_per_window < 1:
+            raise ValueError("limit_per_window must be >= 1 (or None)")
+        if window_s <= 0:
+            raise ValueError("window_s must be > 0")
+        self.limit = limit_per_window
+        self.window_s = float(window_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._quota = QuotaManager()
+        self._ids: dict[str, int] = {}
+        self._window_start = clock()
+
+    def _roll_window(self, now: float) -> None:
+        if now - self._window_start >= self.window_s:
+            self._quota.reset_usage()
+            # align the new window to the roll instant, not to a fixed
+            # grid — idle periods must not bank multiple windows of credit
+            self._window_start = now
+
+    def admit(self, tenant: str) -> None:
+        """Charge one request to ``tenant``; raise 429 when over the limit."""
+        if self.limit is None:
+            return
+        with self._lock:
+            now = self._clock()
+            self._roll_window(now)
+            tid = self._ids.get(tenant)
+            if tid is None:
+                tid = self._ids[tenant] = len(self._ids)
+                self._quota.set_limit(tid, self.limit)
+            try:
+                self._quota.charge(tid, 1)
+            except QuotaExceeded:
+                remaining = max(
+                    0.0, self.window_s - (now - self._window_start)
+                )
+                raise ServeError(
+                    429,
+                    "rate_limited",
+                    f"tenant {tenant!r} exceeded {self.limit} requests "
+                    f"per {self.window_s:g}s window",
+                    retry_after=remaining,
+                ) from None
+
+    def stats(self) -> dict:
+        """Per-tenant ``{used, peak, denials, limit}`` snapshot."""
+        with self._lock:
+            out: dict[str, dict] = {}
+            for tenant, tid in self._ids.items():
+                entry = self._quota.entries.get(tid)
+                if entry is None:  # pragma: no cover - ids imply entries
+                    continue
+                out[tenant] = {
+                    "used": entry.used,
+                    "peak": entry.peak,
+                    "denials": entry.denials,
+                    "limit": entry.limit,
+                }
+            return out

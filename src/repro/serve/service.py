@@ -1,0 +1,434 @@
+"""Archive-backed request handling: aggregates, slices, breaker, staleness.
+
+:class:`ArchiveService` owns one analyzed archive.  Warm-up runs the full
+batch analysis once (:func:`~repro.core.pipeline.analyze_archive`) and
+keeps two things: the encoded per-figure aggregates (the "last good"
+cache) and the live lazily-loading collection for parameterized slices.
+
+Failure policy mirrors the batch path's, extended with a per-archive
+circuit breaker:
+
+* transient I/O inside a slice is retried at the block layer
+  (``io_retries`` on the collection) — an exhausted retry ladder is a
+  breaker failure and a typed 503;
+* corruption is never retried — typed 503, breaker failure, and (policy
+  permitting) quarantine exactly as in batch mode;
+* once the breaker trips, slices fail fast (503 + Retry-After) and the
+  figure aggregates serve *stale* from the last good cache, marked
+  ``X-Degraded: stale`` — stale-while-revalidate;
+* after the cooldown one request probes the archive (headers-only digest,
+  full re-warm only when the content changed); success closes the
+  breaker, failure re-opens it.
+
+Everything here is synchronous and thread-safe; the asyncio server runs
+these methods in worker threads.
+"""
+
+from __future__ import annotations
+
+import json
+import stat
+import threading
+import time
+import zlib
+from collections.abc import Callable
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.runcontrol import RunController, RunInterrupted
+from repro.query.engine import (
+    EngineConfig,
+    ExecutionEngine,
+    Kernel,
+    QuarantinedRow,
+    TaskError,
+)
+from repro.scan.columnar import read_columnar_header
+from repro.scan.errors import CorruptSnapshotError
+from repro.serve.encode import dumps, to_jsonable
+from repro.serve.errors import ServeError
+
+__all__ = ["ArchiveService", "CircuitBreaker", "SLICE_DIMENSIONS"]
+
+#: Slice dimensions the service understands: ``/v1/slice/<dim>/<key>``.
+SLICE_DIMENSIONS = ("user", "project", "domain")
+
+
+class CircuitBreaker:
+    """Per-archive failure breaker: closed → open → half-open → closed.
+
+    ``threshold`` *consecutive* failures open the breaker; while open,
+    :meth:`allow` refuses work until ``cooldown_s`` has elapsed, then
+    admits exactly one probe (half-open).  The probe's outcome decides:
+    success closes the breaker, failure re-opens it for another cooldown.
+    Thread-safe; deadline expiries must NOT be recorded as failures (a
+    slow archive is not a broken archive).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_s: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at = 0.0
+        #: observability: total open transitions across the run
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a fresh archive read proceed right now?
+
+        While open, returns False until the cooldown elapses, then flips
+        to half-open and returns True exactly once — the probe.  Other
+        callers stay refused until the probe reports.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at >= self.cooldown_s:
+                    self._state = "half_open"
+                    return True
+                return False
+            return False  # half_open: a probe is already in flight
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe becomes possible (0 when closed)."""
+        with self._lock:
+            if self._state != "open":
+                return 0.0
+            return max(
+                0.0, self.cooldown_s - (self._clock() - self._opened_at)
+            )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == "half_open" or self._failures >= self.threshold:
+                if self._state != "open":
+                    self.trips += 1
+                self._state = "open"
+                self._opened_at = self._clock()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "trips": self.trips,
+                "threshold": self.threshold,
+                "cooldown_s": self.cooldown_s,
+            }
+
+
+def _headers_digest(directory: Path) -> str:
+    """Headers-only content digest of every ``.rpq`` under ``directory``.
+
+    Same identity the collection's ``content_ids()`` builds per snapshot
+    (label, timestamp, rows, per-block name/rows/crc32 — the block CRCs
+    make it a digest of the full file bytes at headers-only cost), folded
+    across the whole archive.  Raises
+    :class:`~repro.scan.errors.CorruptSnapshotError` on a damaged header
+    and ``OSError`` on unreadable files — both are probe failures.
+    """
+    files = sorted(directory.glob("*.rpq"))
+    if not files:
+        raise CorruptSnapshotError(directory, "no .rpq snapshots")
+    parts: list[list] = []
+    for f in files:
+        h = read_columnar_header(f)
+        parts.append(
+            [
+                h.get("label"),
+                int(h.get("timestamp", -1)),
+                int(h.get("rows", -1)),
+                [
+                    [c.get("name"), int(c.get("rows", -1)),
+                     int(c.get("crc32", -1))]
+                    for c in h.get("columns", [])
+                ],
+            ]
+        )
+    key = json.dumps(parts, separators=(",", ":")).encode("utf-8")
+    return format(zlib.crc32(key), "08x")
+
+
+class ArchiveService:
+    """One analyzed archive, served.
+
+    Parameters
+    ----------
+    directory:
+        The ``.rpq`` archive directory (must carry a ``manifest.json``).
+    config:
+        The :class:`~repro.core.pipeline.SimulationConfig` the archive was
+        built under (defaults like the CLI's analyze path).
+    analyses:
+        Optional analysis subset forwarded to ``analyze_archive``.
+    controller:
+        Root :class:`~repro.core.runcontrol.RunController`; warm-up and
+        re-warms run under it, and per-request controllers are derived
+        from it by the server.
+    breaker:
+        The archive's :class:`CircuitBreaker` (a default one is built).
+    on_error:
+        Degradation policy for the warm-time collection (``"raise"`` by
+        default: serving must not silently mutate the archive).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        config: Any = None,
+        analyses: list[str] | str | None = None,
+        controller: RunController | None = None,
+        breaker: CircuitBreaker | None = None,
+        on_error: str = "raise",
+        allow_config_mismatch: bool = False,
+    ) -> None:
+        self.directory = Path(directory)
+        self.config = config
+        self.analyses = analyses
+        self.controller = controller
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.on_error = on_error
+        self.allow_config_mismatch = allow_config_mismatch
+        self._lock = threading.RLock()
+        self.pipeline: Any = None
+        self.report: Any = None
+        self.etag: str | None = None
+        self._figures: dict[str, bytes] = {}
+        self._report_text: bytes = b""
+        #: serial, no engine-level retries: transient I/O retries at the
+        #: block layer; corruption must surface on the first attempt
+        self._engine = ExecutionEngine(
+            EngineConfig(processes=1, start_method="serial", retries=0)
+        )
+
+    # -- warm-up / revalidation ---------------------------------------------
+
+    def warm(self) -> None:
+        """Run the batch analysis once and cache the encoded aggregates."""
+        from repro.core.pipeline import analyze_archive
+
+        pipeline, report = analyze_archive(
+            self.directory,
+            config=self.config,
+            analyses=self.analyses,
+            on_error=self.on_error,
+            controller=self.controller,
+            allow_config_mismatch=self.allow_config_mismatch,
+        )
+        figures: dict[str, bytes] = {}
+        import dataclasses
+
+        for f in dataclasses.fields(type(report)):
+            if f.name == "text":
+                continue
+            value = getattr(report, f.name)
+            if value is None:
+                continue
+            figures[f.name] = dumps({"figure": f.name, "data": to_jsonable(value)})
+        digest = _headers_digest(self.directory)
+        with self._lock:
+            self.pipeline = pipeline
+            self.report = report
+            self._figures = figures
+            self._report_text = report.text.encode("utf-8")
+            self.etag = f'"{digest}"'
+        self.breaker.record_success()
+
+    @property
+    def collection(self) -> Any:
+        return self.pipeline.context.collection
+
+    @property
+    def context(self) -> Any:
+        return self.pipeline.context
+
+    def maybe_revalidate(self) -> None:
+        """Half-open probe: cheap headers digest, full re-warm on change.
+
+        Called by the server before archive-backed work.  When the breaker
+        is closed this is free; when open it refuses instantly; the one
+        admitted half-open probe re-reads every header — if the digest
+        matches the last good aggregate the archive is healthy again and
+        the breaker closes; if it *differs*, the content changed and a
+        full re-warm rebuilds the aggregate cache before closing.
+        """
+        state = self.breaker.state
+        if state == "closed":
+            return
+        if not self.breaker.allow():
+            return
+        try:
+            digest = _headers_digest(self.directory)
+            with self._lock:
+                current = self.etag
+            if current != f'"{digest}"':
+                self.warm()
+            else:
+                self.breaker.record_success()
+        except (CorruptSnapshotError, OSError):
+            self.breaker.record_failure()
+
+    # -- aggregates ----------------------------------------------------------
+
+    def figure_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._figures)
+
+    def figure(self, name: str) -> bytes:
+        """Encoded aggregate for ``name`` (last good — never touches disk)."""
+        with self._lock:
+            payload = self._figures.get(name)
+        if payload is None:
+            raise ServeError(
+                404, "unknown_figure",
+                f"no figure {name!r}; see /v1/figures",
+            )
+        return payload
+
+    def report_text(self) -> bytes:
+        with self._lock:
+            return self._report_text
+
+    # -- slices --------------------------------------------------------------
+
+    def _slice_mask_fn(self, dim: str, key: str):
+        """``snapshot -> bool mask`` selecting the requested slice."""
+        if dim == "user":
+            try:
+                uid = int(key)
+            except ValueError:
+                raise ServeError(
+                    400, "bad_slice_key", f"user key must be an integer uid, got {key!r}"
+                ) from None
+            return lambda snap: snap.uid == uid
+        if dim == "project":
+            try:
+                gid = int(key)
+            except ValueError:
+                raise ServeError(
+                    400, "bad_slice_key", f"project key must be an integer gid, got {key!r}"
+                ) from None
+            return lambda snap: snap.gid == gid
+        if dim == "domain":
+            context = self.context
+            domain_id = context.domain_index.get(key)
+            if domain_id is None:
+                raise ServeError(
+                    404, "unknown_domain",
+                    f"unknown domain {key!r}; one of {context.domain_codes}",
+                )
+            return lambda snap: (
+                context.domain_ids_of_gids(snap.gid) == domain_id
+            )
+        raise ServeError(
+            404, "unknown_dimension",
+            f"unknown slice dimension {dim!r}; one of {list(SLICE_DIMENSIONS)}",
+        )
+
+    def slice(
+        self, dim: str, key: str, controller: RunController | None = None
+    ) -> tuple[list[dict], dict | None]:
+        """Per-snapshot stats for one slice, through the query engine.
+
+        Returns ``(rows, degraded)``: one row per snapshot in window
+        order, and ``None`` or a typed degraded marker when the request's
+        deadline (or a drain cancel) stopped the pass early — the rows
+        then cover a *prefix* of the window and the marker says how much.
+        """
+        if not self.breaker.allow():
+            raise ServeError(
+                503, "breaker_open",
+                f"archive {self.directory.name} is failing; serving "
+                "aggregates stale until it recovers",
+                retry_after=self.breaker.retry_after(),
+            )
+        mask_fn = self._slice_mask_fn(dim, key)
+
+        def map_fn(snap):
+            mask = mask_fn(snap)
+            entries = int(np.count_nonzero(mask))
+            row = {
+                "label": snap.label,
+                "timestamp": int(snap.timestamp),
+                "entries": entries,
+                "directories": 0,
+                "max_mtime": None,
+                "max_atime": None,
+            }
+            if entries:
+                row["directories"] = int(
+                    np.count_nonzero(
+                        (snap.mode[mask] & 0o170000) == stat.S_IFDIR
+                    )
+                )
+                row["max_mtime"] = int(snap.mtime[mask].max())
+                row["max_atime"] = int(snap.atime[mask].max())
+            return row
+
+        kernel = Kernel(name="slice", map_fn=map_fn, reduce_fn=list)
+        n = len(self.collection)
+        try:
+            results, _stats = self._engine.run_kernels(
+                self.collection, [kernel], controller=controller
+            )
+        except RunInterrupted as err:
+            rows = []
+            partial = err.partial if isinstance(err.partial, dict) else {}
+            for i in sorted(partial):
+                value = partial[i]
+                if isinstance(value, QuarantinedRow):
+                    continue
+                rows.append(value[0]["slice"])
+            reason = "deadline" if "deadline" in str(err.reason) else "cancelled"
+            self.breaker.record_success()  # slow ≠ broken
+            return rows, {"reason": reason, "covered": len(rows), "of": n}
+        except TaskError as err:
+            cause = err.__cause__
+            self.breaker.record_failure()
+            if isinstance(cause, CorruptSnapshotError) or isinstance(
+                err.__context__, CorruptSnapshotError
+            ):
+                raise ServeError(
+                    503, "archive_fault",
+                    "snapshot failed its integrity check; the window is "
+                    "degraded until the archive recovers",
+                    retry_after=self.breaker.retry_after() or None,
+                ) from None
+            if isinstance(cause, OSError):
+                raise ServeError(
+                    503, "archive_io",
+                    "transient archive I/O exhausted its retries",
+                    retry_after=self.breaker.retry_after() or None,
+                ) from None
+            raise ServeError(
+                500, "task_failed",
+                f"slice task failed: {type(cause).__name__ if cause else 'unknown'}",
+            ) from None
+        self.breaker.record_success()
+        return results["slice"], None

@@ -1,0 +1,147 @@
+"""In-process harness for the serving layer: tests, benches, chaos soak.
+
+:class:`BackgroundServer` runs an :class:`~repro.serve.server.AnalysisServer`
+on its own event loop in a daemon thread, exposing the bound port and a
+synchronous :meth:`request` helper, so pytest/bench code can drive real
+TCP sockets without subprocess management.  The SIGTERM acceptance test
+uses a real subprocess instead (signals need a process boundary); this
+helper covers everything else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+from typing import Any
+
+from repro.serve.server import AnalysisServer
+
+__all__ = ["BackgroundServer", "HttpReply"]
+
+
+class HttpReply:
+    """One response: ``status``, lower-cased ``headers``, raw ``body``."""
+
+    def __init__(self, status: int, headers: dict[str, str], body: bytes):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+    def __repr__(self) -> str:
+        return f"HttpReply({self.status}, {self.body[:80]!r})"
+
+
+class BackgroundServer:
+    """Run ``server`` on a private event loop in a daemon thread.
+
+    Usage::
+
+        with BackgroundServer(server) as bg:
+            reply = bg.request("/healthz")
+
+    Exit drains the server (bounded by its ``grace_seconds``) and joins
+    the thread; a hung exit is a test failure, not a hang, thanks to the
+    join timeout.
+    """
+
+    def __init__(self, server: AnalysisServer, start_timeout: float = 30.0):
+        self.server = server
+        self.start_timeout = start_timeout
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(self.start_timeout):
+            raise RuntimeError("server failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server startup failed: {self._startup_error!r}"
+            )
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.drain()
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        async def boot() -> None:
+            try:
+                await self.server.start()
+            except BaseException as exc:  # surfaced to __enter__
+                self._startup_error = exc
+            finally:
+                self._started.set()
+
+        try:
+            loop.run_until_complete(boot())
+            if self._startup_error is None:
+                loop.run_forever()
+        finally:
+            loop.close()
+
+    def drain(self, reason: str = "test teardown") -> None:
+        """Synchronous graceful drain; idempotent."""
+        loop = self._loop
+        thread = self._thread
+        if loop is None or thread is None or not thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(reason), loop
+        )
+        try:
+            future.result(timeout=self.server.config.grace_seconds + 10.0)
+        except Exception:
+            pass
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10.0)
+
+    # -- client helpers ------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        port = self.server.port
+        assert port is not None, "server not started"
+        return port
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.server.config.host}:{self.port}"
+
+    def request(
+        self,
+        path: str,
+        method: str = "GET",
+        headers: dict[str, str] | None = None,
+        timeout: float = 30.0,
+    ) -> HttpReply:
+        """One synchronous round trip on a fresh connection."""
+        conn = http.client.HTTPConnection(
+            self.server.config.host, self.port, timeout=timeout
+        )
+        try:
+            conn.request(method, path, headers=headers or {})
+            resp = conn.getresponse()
+            body = resp.read()
+            return HttpReply(
+                resp.status,
+                {k.lower(): v for k, v in resp.getheaders()},
+                body,
+            )
+        finally:
+            conn.close()

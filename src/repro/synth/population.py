@@ -229,10 +229,13 @@ def generate_population(seed: int = 2015, n_users: int = 1362) -> Population:
         if newcomer_counts[j] < member_targets[j]:
             newcomer_counts[j] += 1
             shortfall -= 1
+        elif idx > 10 * len(order):  # everyone saturated: grow projects
+            # grow the project under the cursor, not a neighbour: with an
+            # even project count the old off-by-one stride only ever grew
+            # indices the cursor never revisited, spinning forever
+            member_targets[j] += 1
+            continue
         idx += 1
-        if idx > 10 * len(order):  # everyone saturated: grow projects
-            member_targets[idx % len(order)] += 1
-            idx += 1
 
     core_uids: list[int] = []
     core_index: dict[int, int] = {}

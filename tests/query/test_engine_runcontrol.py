@@ -224,3 +224,72 @@ def test_breaker_rejects_nonpositive_threshold():
     engine = ExecutionEngine(EngineConfig(processes=1))
     with pytest.raises(ValueError, match="max_task_failures"):
         engine.run_kernels(coll, _kernels(), max_task_failures=0)
+
+
+# -- deadline accounting (uniform deadline_remaining_s) -----------------------
+
+
+def test_deadline_remaining_reported_on_zero_task_run():
+    # an empty collection short-circuits before any task runs; the stats
+    # must still report the deadline uniformly (a float, not None) so a
+    # server can log one field for every request
+    coll = SnapshotCollection(_build_collection(weeks=1).paths)
+    controller = RunController(max_seconds=100, clock=_TickingClock())
+    engine = ExecutionEngine(EngineConfig(processes=1))
+    results, stats = engine.run_kernels(coll, _kernels(), controller=controller)
+    assert results == {"rows": 0}
+    assert isinstance(stats.deadline_remaining_s, float)
+    assert 0.0 < stats.deadline_remaining_s <= 100.0
+
+
+def test_deadline_remaining_none_without_deadline_on_zero_task_run():
+    coll = SnapshotCollection(_build_collection(weeks=1).paths)
+    engine = ExecutionEngine(EngineConfig(processes=1))
+    _, stats = engine.run_kernels(coll, _kernels(), controller=RunController())
+    assert stats.deadline_remaining_s is None
+
+
+def test_deadline_remaining_reported_on_empty_kernel_list():
+    coll = _build_collection(weeks=2)
+    controller = RunController(max_seconds=100, clock=_TickingClock())
+    engine = ExecutionEngine(EngineConfig(processes=1))
+    results, stats = engine.run_kernels(coll, [], controller=controller)
+    assert results == {}
+    assert isinstance(stats.deadline_remaining_s, float)
+
+
+# -- interrupt partials -------------------------------------------------------
+
+
+def test_serial_interrupt_carries_completed_prefix_as_partial():
+    coll = _build_collection(weeks=5)
+    controller = RunController(max_seconds=3, clock=_TickingClock())
+    engine = ExecutionEngine(EngineConfig(processes=1))
+    with pytest.raises(RunInterrupted) as exc_info:
+        engine.run_kernels(coll, _kernels(), controller=controller)
+    partial = exc_info.value.partial
+    assert isinstance(partial, dict)
+    assert sorted(partial) == [0, 1]  # clock: tasks 0,1 ran before expiry
+    # fused-mode rows are (partials_by_kernel, times) pairs
+    for idx, value in partial.items():
+        by_kernel, _times = value
+        assert by_kernel["rows"] == len(coll[idx])
+
+
+def test_child_controller_deadline_and_linked_cancel():
+    clock = _TickingClock()
+    parent = RunController(max_seconds=100, clock=clock)
+    child = parent.child(max_seconds=5)
+    assert child.remaining() <= 5.0
+    # the child cannot outlive the parent
+    tight = parent.child(max_seconds=1000)
+    assert tight.max_seconds <= 100.0
+    # parent cancel propagates; child cancel stays local
+    other = parent.child()
+    child.token.cancel("local")
+    assert child.token.cancelled and not parent.token.cancelled
+    assert not other.token.cancelled
+    parent.token.cancel("drain")
+    assert other.token.cancelled
+    assert other.token.reason == "drain"
+    assert child.token.reason == "local"  # own reason sticks

@@ -1,0 +1,35 @@
+"""Shared fixtures: one tiny archive + one warmed service per session.
+
+Warm-up runs the full batch analysis, which dominates test wall-clock, so
+it happens once; tests that mutate service state (breaker trips, stale
+serving) build their own service over the same archive instead.
+"""
+
+import pytest
+
+from repro.core.pipeline import ReproPipeline
+from repro.serve.service import ArchiveService
+from repro.synth.driver import SimulationConfig
+
+TINY = SimulationConfig(
+    seed=47, scale=1.5e-6, weeks=6, min_project_files=4, stress_depths=False
+)
+
+#: analyses the serving tests need; the full set would slow every session
+ANALYSES = "census,access,growth,ages"
+
+
+@pytest.fixture(scope="session")
+def archive_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("serve-archive")
+    pipeline = ReproPipeline(TINY)
+    pipeline.simulate()
+    pipeline.archive(directory)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def warm_service(archive_dir):
+    service = ArchiveService(archive_dir, config=TINY, analyses=ANALYSES)
+    service.warm()
+    return service

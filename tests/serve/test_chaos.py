@@ -1,0 +1,187 @@
+"""Chaos acceptance: inject archive faults under live serving.
+
+Assertions the robustness contract demands:
+
+* corruption surfaces as a typed 503 (never a 500-with-traceback), trips
+  the breaker, and figure aggregates keep serving *stale*;
+* transient EIO at slice time rides the block-layer retry ladder and the
+  request still succeeds;
+* after the fault clears, the half-open probe recovers the archive;
+* a request storm against a tiny server yields only typed statuses and
+  never a hung connection.
+"""
+
+import shutil
+import threading
+
+import pytest
+
+from repro.scan.columnar import LazySnapshot
+from repro.serve.server import AnalysisServer, ServerConfig
+from repro.serve.service import ArchiveService, CircuitBreaker
+from repro.serve.testing import BackgroundServer
+from repro.testing.faults import bit_flip
+
+from .conftest import ANALYSES, TINY
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def chaos_service(archive_dir, tmp_path):
+    """A warmed service over a private archive copy, breaker on a fake clock."""
+    workdir = tmp_path / "archive"
+    shutil.copytree(archive_dir, workdir)
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=1, cooldown_s=10.0, clock=clock)
+    service = ArchiveService(
+        workdir, config=TINY, analyses=ANALYSES, breaker=breaker
+    )
+    service.warm()
+    return service, workdir, clock
+
+
+def _server(service, **overrides):
+    overrides.setdefault("tenant_limit", None)
+    overrides.setdefault("grace_seconds", 2.0)
+    return AnalysisServer(service, ServerConfig(port=0, **overrides))
+
+
+def test_corruption_trips_breaker_then_recovers(chaos_service):
+    service, workdir, clock = chaos_service
+    domain = service.context.domain_codes[0]
+    victim = sorted(workdir.glob("*.rpq"))[0]
+    pristine = victim.read_bytes()
+
+    with BackgroundServer(_server(service)) as bg:
+        assert bg.request(f"/v1/slice/domain/{domain}").status == 200
+
+        bit_flip(victim, 1)  # smash the magic: the next load is corrupt
+        fault = bg.request(f"/v1/slice/domain/{domain}")
+        assert fault.status == 503
+        assert fault.json()["error"] in ("archive_fault", "archive_io")
+        assert service.breaker.state == "open"
+
+        # breaker open: slices fail fast with Retry-After...
+        fast = bg.request(f"/v1/slice/domain/{domain}")
+        assert fast.status == 503
+        assert fast.json()["error"] == "breaker_open"
+        assert float(fast.headers["retry-after"]) > 0
+        # ...while figures serve stale from the last good cache
+        name = service.figure_names()[0]
+        stale = bg.request(f"/v1/figures/{name}")
+        assert stale.status == 200
+        assert stale.headers["x-degraded"] == "stale"
+        assert stale.json()["figure"] == name
+        # even a matching ETag re-sends the body while degraded
+        revalidated = bg.request(
+            f"/v1/figures/{name}", headers={"If-None-Match": service.etag}
+        )
+        assert revalidated.status == 200
+
+        # cooldown not yet elapsed: still refusing, no probe burned
+        assert bg.request(f"/v1/slice/domain/{domain}").status == 503
+
+        victim.write_bytes(pristine)  # fault clears
+        clock.t = 10.0  # cooldown elapses; next request is the probe
+        recovered = bg.request(f"/v1/slice/domain/{domain}")
+        assert recovered.status == 200
+        assert service.breaker.state == "closed"
+        assert service.breaker.trips >= 1
+
+        healthy = bg.request(f"/v1/figures/{name}")
+        assert healthy.status == 200
+        assert "x-degraded" not in healthy.headers
+
+
+def test_failed_probe_reopens_the_breaker(chaos_service):
+    service, workdir, clock = chaos_service
+    domain = service.context.domain_codes[0]
+    victim = sorted(workdir.glob("*.rpq"))[0]
+    pristine = victim.read_bytes()
+
+    with BackgroundServer(_server(service)) as bg:
+        bit_flip(victim, 1)
+        assert bg.request(f"/v1/slice/domain/{domain}").status == 503
+        assert service.breaker.trips == 1
+        clock.t = 10.0  # probe while STILL corrupt: headers digest fails
+        assert bg.request(f"/v1/slice/domain/{domain}").status == 503
+        assert service.breaker.state == "open"
+        assert service.breaker.trips == 2
+        victim.write_bytes(pristine)
+        clock.t = 20.0
+        assert bg.request(f"/v1/slice/domain/{domain}").status == 200
+        assert service.breaker.state == "closed"
+
+
+def test_transient_eio_is_retried_and_request_succeeds(
+    chaos_service, monkeypatch
+):
+    service, _, _ = chaos_service
+    domain = service.context.domain_codes[0]
+    collection = service.collection
+    assert collection.io_retries >= 1  # pipeline default: retry ladder on
+    baseline_retries = collection.health.io_retries
+
+    real = LazySnapshot._decode_block
+    state = {"calls": 0, "failures": 1}
+
+    def flaky(self, name, meta, offset):
+        state["calls"] += 1
+        if state["calls"] <= state["failures"]:
+            raise OSError(5, "Input/output error (injected)")
+        return real(self, name, meta, offset)
+
+    monkeypatch.setattr(LazySnapshot, "_decode_block", flaky)
+    with BackgroundServer(_server(service)) as bg:
+        reply = bg.request(f"/v1/slice/domain/{domain}")
+        assert reply.status == 200
+        assert "degraded" not in reply.json()
+    assert state["calls"] >= 2  # the injected failure plus the retry
+    assert collection.health.io_retries > baseline_retries
+    assert service.breaker.state == "closed"
+
+
+def test_request_storm_yields_only_typed_statuses(chaos_service):
+    service, _, _ = chaos_service
+    domain = service.context.domain_codes[0]
+    server = _server(
+        service, max_inflight=2, queue_depth=1, request_timeout_s=30.0
+    )
+    n_clients = 16
+    replies = [None] * n_clients
+    with BackgroundServer(server) as bg:
+        barrier = threading.Barrier(n_clients, timeout=30.0)
+
+        def storm(i):
+            barrier.wait()
+            replies[i] = bg.request(
+                f"/v1/slice/domain/{domain}", timeout=60.0
+            )
+
+        threads = [
+            threading.Thread(target=storm, args=(i,)) for i in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=90.0)
+        assert not any(t.is_alive() for t in threads), "hung connection"
+    assert all(r is not None for r in replies)
+    statuses = sorted({r.status for r in replies})
+    assert set(statuses) <= {200, 429}
+    sheds = [r for r in replies if r.status == 429]
+    for shed in sheds:
+        assert shed.json()["error"] in ("shed_queue", "shed_memory")
+        assert "retry-after" in shed.headers
+    # counters reconcile: every request was answered exactly once
+    assert sum(server.stats.responses.values()) == server.stats.requests
+    assert server.stats.requests == n_clients
+    # nothing fell through to an untyped 500
+    assert 500 not in server.stats.responses

@@ -1,0 +1,149 @@
+"""HTTP parsing/rendering: every malformed input becomes a typed error."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    HttpError,
+    Request,
+    json_body,
+    read_request,
+    render_response,
+)
+
+
+def _read(data: bytes, **kwargs):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+# -- parsing ------------------------------------------------------------------
+
+
+def test_parses_request_line_query_and_headers():
+    req = _read(
+        b"GET /v1/slice/user/42?limit=3&x=%20y HTTP/1.1\r\n"
+        b"Host: localhost\r\n"
+        b"X-Tenant: alice\r\n\r\n"
+    )
+    assert req.method == "GET"
+    assert req.path == "/v1/slice/user/42"
+    assert req.query == {"limit": "3", "x": " y"}
+    assert req.header("x-tenant") == "alice"
+    assert req.header("X-Tenant") == "alice"  # case-insensitive
+    assert req.header("missing", "dflt") == "dflt"
+
+
+def test_percent_decoded_path():
+    req = _read(b"GET /v1/slice/domain/b%20io HTTP/1.1\r\n\r\n")
+    assert req.path == "/v1/slice/domain/b io"
+
+
+def test_clean_eof_returns_none():
+    assert _read(b"") is None
+
+
+def test_keep_alive_semantics():
+    assert Request("GET", "/").keep_alive  # 1.1 default on
+    assert not Request("GET", "/", headers={"connection": "close"}).keep_alive
+    assert not Request("GET", "/", http_version="HTTP/1.0").keep_alive
+    assert Request(
+        "GET", "/", headers={"connection": "keep-alive"},
+        http_version="HTTP/1.0",
+    ).keep_alive
+
+
+# -- typed failures -----------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "raw, status, code",
+    [
+        (b"GET/HTTP/1.1\r\n\r\n", 400, "malformed_request"),
+        (b"GET / HTTP/3.0\r\n\r\n", 400, "bad_version"),
+        (b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n", 400, "malformed_header"),
+        (
+            b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+            400,
+            "bad_content_length",
+        ),
+        (
+            b"GET / HTTP/1.1\r\nContent-Length: "
+            + str(MAX_BODY_BYTES + 1).encode()
+            + b"\r\n\r\n",
+            413,
+            "body_too_large",
+        ),
+        (b"GET / HTTP", 400, "truncated_request"),
+    ],
+)
+def test_malformed_requests_are_typed(raw, status, code):
+    with pytest.raises(HttpError) as err:
+        _read(raw)
+    assert err.value.status == status
+    assert err.value.code == code
+
+
+def test_oversized_head_is_431():
+    filler = b"X-Big: " + b"a" * MAX_HEADER_BYTES + b"\r\n"
+    with pytest.raises(HttpError) as err:
+        _read(b"GET / HTTP/1.1\r\n" + filler + b"\r\n")
+    assert err.value.status == 431
+    assert err.value.code == "headers_too_large"
+
+
+def test_stalled_client_times_out():
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(b"GET / HTTP/1.1\r\n")  # never finishes the head
+        with pytest.raises(asyncio.TimeoutError):
+            await read_request(reader, timeout=0.05)
+
+    asyncio.run(go())
+
+
+def test_body_is_drained_so_keepalive_stays_aligned():
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(
+            b"GET /first HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"
+            b"GET /second HTTP/1.1\r\n\r\n"
+        )
+        reader.feed_eof()
+        first = await read_request(reader)
+        second = await read_request(reader)
+        return first, second
+
+    first, second = asyncio.run(go())
+    assert first.path == "/first"
+    assert second.path == "/second"
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def test_render_response_roundtrip():
+    body = json_body({"ok": True})
+    raw = render_response(200, body, headers={"ETag": '"abc"'})
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+    assert b'ETag: "abc"' in head
+    assert f"Content-Length: {len(body)}".encode() in head
+    assert b"Connection: keep-alive" in head
+    assert payload == body
+
+
+def test_render_response_head_only_and_close():
+    body = b'{"x":1}'
+    raw = render_response(200, body, head_only=True, close=True)
+    assert b"Connection: close" in raw
+    assert f"Content-Length: {len(body)}".encode() in raw
+    assert not raw.endswith(body)  # HEAD: headers announce, body omitted

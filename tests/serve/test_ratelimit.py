@@ -1,0 +1,86 @@
+"""Fixed-window tenant rate limits over the project quota machinery."""
+
+import pytest
+
+from repro.serve.errors import ServeError
+from repro.serve.ratelimit import TenantRateLimiter
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+def test_disabled_limiter_admits_everything():
+    limiter = TenantRateLimiter(None)
+    for _ in range(10_000):
+        limiter.admit("anyone")
+    assert limiter.stats() == {}
+
+
+def test_admits_up_to_limit_then_sheds_with_retry_after():
+    clock = FakeClock()
+    limiter = TenantRateLimiter(3, window_s=10.0, clock=clock)
+    for _ in range(3):
+        limiter.admit("alice")
+    clock.t = 4.0
+    with pytest.raises(ServeError) as err:
+        limiter.admit("alice")
+    assert err.value.status == 429
+    assert err.value.code == "rate_limited"
+    # 6 seconds left in the 10s window that opened at t=0
+    assert err.value.retry_after == pytest.approx(6.0)
+
+
+def test_window_roll_resets_usage_but_keeps_denials():
+    clock = FakeClock()
+    limiter = TenantRateLimiter(2, window_s=1.0, clock=clock)
+    limiter.admit("a")
+    limiter.admit("a")
+    with pytest.raises(ServeError):
+        limiter.admit("a")
+    clock.t = 1.5
+    limiter.admit("a")  # new window: admitted again
+    stats = limiter.stats()["a"]
+    assert stats["used"] == 1
+    assert stats["denials"] == 1  # survives the roll
+    assert stats["peak"] == 2
+    assert stats["limit"] == 2
+
+
+def test_idle_gap_does_not_bank_credit():
+    clock = FakeClock()
+    limiter = TenantRateLimiter(1, window_s=1.0, clock=clock)
+    limiter.admit("a")
+    clock.t = 100.0  # long idle: exactly one fresh window, not 100
+    limiter.admit("a")
+    with pytest.raises(ServeError) as err:
+        limiter.admit("a")
+    # the rolled window is aligned to the roll instant, so the full
+    # window remains
+    assert err.value.retry_after == pytest.approx(1.0)
+
+
+def test_tenants_are_independent():
+    limiter = TenantRateLimiter(1, window_s=60.0, clock=FakeClock())
+    limiter.admit("a")
+    limiter.admit("b")  # b has its own budget
+    with pytest.raises(ServeError):
+        limiter.admit("a")
+    stats = limiter.stats()
+    assert stats["a"]["denials"] == 1
+    assert stats["b"]["denials"] == 0
+
+
+@pytest.mark.parametrize("bad", [0, -1])
+def test_rejects_nonpositive_limit(bad):
+    with pytest.raises(ValueError):
+        TenantRateLimiter(bad)
+
+
+def test_rejects_nonpositive_window():
+    with pytest.raises(ValueError):
+        TenantRateLimiter(1, window_s=0.0)

@@ -1,0 +1,246 @@
+"""End-to-end HTTP behaviour over real sockets: routes, shed, degrade, drain.
+
+Each test builds its own :class:`AnalysisServer` over the shared warmed
+service (server state — stats, admission, limiter — is per-test; the
+breaker lives on the service and these tests never trip it).
+"""
+
+import http.client
+import threading
+
+from repro.core.runcontrol import MemoryBudget
+from repro.serve.server import AnalysisServer, ServerConfig
+from repro.serve.testing import BackgroundServer
+
+
+def make_server(service, **overrides):
+    overrides.setdefault("tenant_limit", None)  # opt in per test
+    overrides.setdefault("grace_seconds", 2.0)
+    return AnalysisServer(service, ServerConfig(port=0, **overrides))
+
+
+# -- routes -------------------------------------------------------------------
+
+
+def test_healthz_and_stats_shape(warm_service):
+    with BackgroundServer(make_server(warm_service)) as bg:
+        health = bg.request("/healthz")
+        assert health.status == 200
+        assert health.json() == {"status": "ok"}
+        stats = bg.request("/v1/stats").json()
+        assert set(stats) >= {
+            "server", "breaker", "tenants", "etag", "archive",
+            "inflight", "draining",
+        }
+        assert stats["breaker"]["state"] == "closed"
+        assert stats["archive"]["snapshots"] == len(warm_service.collection)
+        assert stats["draining"] is False
+
+
+def test_figures_list_and_fetch_with_etag(warm_service):
+    with BackgroundServer(make_server(warm_service)) as bg:
+        listing = bg.request("/v1/figures")
+        assert listing.status == 200
+        names = listing.json()["figures"]
+        assert names == warm_service.figure_names()
+        assert listing.headers["etag"] == warm_service.etag
+
+        fig = bg.request(f"/v1/figures/{names[0]}")
+        assert fig.status == 200
+        assert fig.headers["etag"] == warm_service.etag
+        assert fig.json()["figure"] == names[0]
+
+        cached = bg.request(
+            f"/v1/figures/{names[0]}",
+            headers={"If-None-Match": warm_service.etag},
+        )
+        assert cached.status == 304
+        assert cached.body == b""
+
+        missing = bg.request("/v1/figures/fig999")
+        assert missing.status == 404
+        assert missing.json()["error"] == "unknown_figure"
+
+
+def test_report_is_plain_text(warm_service):
+    with BackgroundServer(make_server(warm_service)) as bg:
+        reply = bg.request("/v1/report")
+        assert reply.status == 200
+        assert reply.headers["content-type"].startswith("text/plain")
+        assert reply.body == warm_service.report_text()
+
+
+def test_slice_roundtrip(warm_service):
+    domain = warm_service.context.domain_codes[0]
+    with BackgroundServer(make_server(warm_service)) as bg:
+        reply = bg.request(f"/v1/slice/domain/{domain}")
+        assert reply.status == 200
+        payload = reply.json()
+        assert payload["dimension"] == "domain"
+        assert payload["key"] == domain
+        assert len(payload["rows"]) == len(warm_service.collection)
+        assert "degraded" not in payload
+        assert "x-degraded" not in reply.headers
+
+
+def test_typed_errors_over_the_wire(warm_service):
+    with BackgroundServer(make_server(warm_service)) as bg:
+        cases = [
+            ("/nope", 404, "unknown_route"),
+            ("/v1/slice/user", 400, "bad_slice_path"),
+            ("/v1/slice/user/abc", 400, "bad_slice_key"),
+            ("/v1/slice/flavor/x", 404, "unknown_dimension"),
+            ("/v1/slice/domain/nope", 404, "unknown_domain"),
+        ]
+        for path, status, code in cases:
+            reply = bg.request(path)
+            assert (reply.status, reply.json()["error"]) == (status, code), path
+        post = bg.request("/healthz", method="POST")
+        assert post.status == 405
+        assert post.json()["error"] == "method_not_allowed"
+
+
+def test_head_omits_body_but_keeps_length(warm_service):
+    with BackgroundServer(make_server(warm_service)) as bg:
+        reply = bg.request("/v1/figures", method="HEAD")
+        assert reply.status == 200
+        assert reply.body == b""
+        assert int(reply.headers["content-length"]) > 0
+
+
+def test_keep_alive_serves_sequential_requests_on_one_connection(warm_service):
+    server = make_server(warm_service)
+    with BackgroundServer(server) as bg:
+        conn = http.client.HTTPConnection(
+            server.config.host, bg.port, timeout=10.0
+        )
+        try:
+            for _ in range(3):
+                conn.request("GET", "/healthz")
+                resp = conn.getresponse()
+                assert resp.status == 200
+                resp.read()
+        finally:
+            conn.close()
+        assert server.stats.connections == 1
+
+
+# -- degradation ladder -------------------------------------------------------
+
+
+def test_deadline_degrades_response_with_prefix_marker(warm_service):
+    domain = warm_service.context.domain_codes[0]
+    server = make_server(
+        warm_service,
+        request_timeout_s=0.000001,  # expires before the first snapshot
+        hard_timeout_slack_s=60.0,  # never escalate to 504 here
+    )
+    with BackgroundServer(server) as bg:
+        reply = bg.request(f"/v1/slice/domain/{domain}")
+        assert reply.status == 200
+        payload = reply.json()
+        assert payload["degraded"]["reason"] == "deadline"
+        assert payload["degraded"]["of"] == len(warm_service.collection)
+        assert len(payload["rows"]) == payload["degraded"]["covered"]
+        assert reply.headers["x-degraded"] == "deadline"
+    assert server.stats.degraded == 1
+
+
+def test_queue_full_sheds_with_retry_after(warm_service, monkeypatch):
+    entered = threading.Event()
+    release = threading.Event()
+    real = warm_service.slice
+
+    def slow_slice(dim, key, controller=None):
+        entered.set()
+        release.wait(timeout=30.0)
+        return real(dim, key, controller)
+
+    monkeypatch.setattr(warm_service, "slice", slow_slice)
+    server = make_server(warm_service, max_inflight=1, queue_depth=0)
+    replies = []
+    with BackgroundServer(server) as bg:
+        worker = threading.Thread(
+            target=lambda: replies.append(bg.request("/v1/slice/user/1"))
+        )
+        worker.start()
+        try:
+            assert entered.wait(timeout=10.0), "first request never started"
+            shed = bg.request("/v1/slice/user/2")
+            assert shed.status == 429
+            assert shed.json()["error"] == "shed_queue"
+            assert float(shed.headers["retry-after"]) > 0
+        finally:
+            release.set()
+            worker.join(timeout=30.0)
+    assert not worker.is_alive()
+    assert replies and replies[0].status == 200
+    assert server.stats.shed_queue == 1
+
+
+def test_memory_budget_sheds_before_any_work(warm_service):
+    server = make_server(
+        warm_service, memory_budget=MemoryBudget(1024)  # smaller than any snapshot
+    )
+    with BackgroundServer(server) as bg:
+        reply = bg.request("/v1/slice/user/1")
+        assert reply.status == 429
+        assert reply.json()["error"] == "shed_memory"
+        assert "retry-after" in reply.headers
+        # figures stay cheap: served from the warm cache regardless
+        assert bg.request("/v1/figures").status == 200
+    assert server.stats.shed_memory == 1
+
+
+def test_tenant_rate_limit_sheds_per_tenant(warm_service):
+    server = make_server(
+        warm_service, tenant_limit=2, tenant_window_s=3600.0
+    )
+    with BackgroundServer(server) as bg:
+        for _ in range(2):
+            ok = bg.request(
+                "/v1/slice/user/1", headers={"X-Tenant": "alice"}
+            )
+            assert ok.status == 200
+        shed = bg.request("/v1/slice/user/1", headers={"X-Tenant": "alice"})
+        assert shed.status == 429
+        assert shed.json()["error"] == "rate_limited"
+        # an unrelated tenant is unaffected
+        other = bg.request("/v1/slice/user/1", headers={"X-Tenant": "bob"})
+        assert other.status == 200
+    assert server.stats.shed_tenant == 1
+    assert server.limiter.stats()["alice"]["denials"] == 1
+
+
+def test_draining_refuses_new_work_but_answers_health(warm_service):
+    server = make_server(warm_service)
+    with BackgroundServer(server) as bg:
+        server._draining = True  # white-box: flag only, listener still up
+        health = bg.request("/healthz")
+        assert health.json() == {"status": "draining"}
+        refused = bg.request("/v1/slice/user/1")
+        assert refused.status == 503
+        assert refused.json()["error"] == "draining"
+        assert float(refused.headers["retry-after"]) > 0
+        assert bg.request("/v1/stats").status == 200
+        server._draining = False
+    assert server.stats.draining_refused == 1
+
+
+def test_drain_stops_accepting_connections(warm_service):
+    server = make_server(warm_service)
+    bg = BackgroundServer(server)
+    with bg:
+        assert bg.request("/healthz").status == 200
+        port = bg.port
+        bg.drain()
+        try:
+            conn = http.client.HTTPConnection(
+                server.config.host, port, timeout=2.0
+            )
+            conn.request("GET", "/healthz")
+            conn.getresponse()
+        except (ConnectionRefusedError, http.client.HTTPException, OSError):
+            pass
+        else:  # pragma: no cover - would mean the listener survived drain
+            raise AssertionError("listener still accepting after drain")

@@ -1,0 +1,210 @@
+"""ArchiveService + CircuitBreaker + encoding, below the HTTP layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.runcontrol import RunController
+from repro.serve.encode import dumps, to_jsonable
+from repro.serve.errors import ServeError
+from repro.serve.service import SLICE_DIMENSIONS, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+# -- circuit breaker ----------------------------------------------------------
+
+
+def test_breaker_opens_after_threshold_consecutive_failures():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=3, cooldown_s=5.0, clock=clock)
+    assert breaker.allow()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == "closed"  # under threshold
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert breaker.trips == 1
+    assert not breaker.allow()
+    assert breaker.retry_after() == pytest.approx(5.0)
+
+
+def test_breaker_success_resets_the_consecutive_count():
+    breaker = CircuitBreaker(threshold=2, clock=FakeClock())
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == "closed"  # failures were not consecutive
+
+
+def test_breaker_half_open_admits_exactly_one_probe():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=1, cooldown_s=2.0, clock=clock)
+    breaker.record_failure()
+    assert not breaker.allow()
+    clock.t = 2.0  # cooldown elapsed
+    assert breaker.allow()  # the probe
+    assert breaker.state == "half_open"
+    assert not breaker.allow()  # everyone else still refused
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.allow()
+
+
+def test_breaker_failed_probe_reopens_for_another_cooldown():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=3, cooldown_s=1.0, clock=clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.t = 1.0
+    assert breaker.allow()
+    breaker.record_failure()  # probe failed: reopen immediately
+    assert breaker.state == "open"
+    assert breaker.trips == 2
+    assert breaker.retry_after() == pytest.approx(1.0)
+
+
+def test_breaker_validates_parameters():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown_s=-1.0)
+
+
+# -- encoding -----------------------------------------------------------------
+
+
+def test_to_jsonable_handles_numpy_and_nonfinite():
+    out = to_jsonable(
+        {
+            "arr": np.array([1, 2, 3], dtype=np.int64),
+            "f": np.float64(2.5),
+            "nan": float("nan"),
+            "inf": float("inf"),
+            "ninf": float("-inf"),
+        }
+    )
+    assert out["arr"] == [1, 2, 3]
+    assert out["f"] == 2.5
+    assert out["nan"] == "nan"
+    assert out["inf"] == "inf"
+    assert out["ninf"] == "-inf"
+
+
+def test_dumps_never_emits_bare_nan():
+    raw = dumps({"x": float("nan")})
+    assert b"NaN" not in raw
+    assert b'"nan"' in raw
+
+
+def test_serve_error_body_shape():
+    err = ServeError(429, "shed_queue", "full", retry_after=1.5)
+    body = err.body()
+    assert body["error"] == "shed_queue"
+    assert body["message"] == "full"
+    assert body["retry_after_s"] == 1.5
+
+
+# -- warmed service -----------------------------------------------------------
+
+
+def test_warm_caches_figures_and_etag(warm_service):
+    names = warm_service.figure_names()
+    assert names, "warm service should expose at least one figure"
+    assert warm_service.etag is not None
+    assert warm_service.etag.startswith('"') and warm_service.etag.endswith('"')
+    payload = warm_service.figure(names[0])
+    assert isinstance(payload, bytes)
+    import json
+
+    decoded = json.loads(payload)
+    assert decoded["figure"] == names[0]
+    assert "data" in decoded
+    assert warm_service.report_text()
+
+
+def test_unknown_figure_is_typed_404(warm_service):
+    with pytest.raises(ServeError) as err:
+        warm_service.figure("fig999")
+    assert err.value.status == 404
+    assert err.value.code == "unknown_figure"
+
+
+@pytest.mark.parametrize(
+    "dim, key, status, code",
+    [
+        ("user", "not-a-uid", 400, "bad_slice_key"),
+        ("project", "not-a-gid", 400, "bad_slice_key"),
+        ("domain", "no-such-domain", 404, "unknown_domain"),
+        ("flavor", "x", 404, "unknown_dimension"),
+    ],
+)
+def test_bad_slice_requests_are_typed(warm_service, dim, key, status, code):
+    with pytest.raises(ServeError) as err:
+        warm_service.slice(dim, key)
+    assert err.value.status == status
+    assert err.value.code == code
+
+
+def test_domain_slice_covers_every_snapshot(warm_service):
+    domain = warm_service.context.domain_codes[0]
+    rows, degraded = warm_service.slice("domain", domain)
+    assert degraded is None
+    assert len(rows) == len(warm_service.collection)
+    for row in rows:
+        assert set(row) == {
+            "label", "timestamp", "entries", "directories",
+            "max_mtime", "max_atime",
+        }
+        assert row["entries"] >= row["directories"] >= 0
+    # window order
+    stamps = [row["timestamp"] for row in rows]
+    assert stamps == sorted(stamps)
+
+
+def test_user_slice_accepts_any_uid(warm_service):
+    rows, degraded = warm_service.slice("user", "1000000")  # absent uid
+    assert degraded is None
+    assert all(row["entries"] == 0 for row in rows)
+    assert all(row["max_mtime"] is None for row in rows)
+
+
+def test_expired_deadline_degrades_with_covered_prefix(warm_service):
+    ctl = RunController(max_seconds=0.0)
+    rows, degraded = warm_service.slice(
+        "domain", warm_service.context.domain_codes[0], controller=ctl
+    )
+    assert degraded is not None
+    assert degraded["reason"] == "deadline"
+    assert degraded["of"] == len(warm_service.collection)
+    assert degraded["covered"] == len(rows) <= degraded["of"]
+    # slow is not broken: the breaker stays closed
+    assert warm_service.breaker.state == "closed"
+
+
+def test_drain_cancel_degrades_as_cancelled(warm_service):
+    ctl = RunController()
+    ctl.token.cancel("drain requested")
+    rows, degraded = warm_service.slice(
+        "domain", warm_service.context.domain_codes[0], controller=ctl
+    )
+    assert degraded is not None
+    assert degraded["reason"] == "cancelled"
+    assert warm_service.breaker.state == "closed"
+
+
+def test_slice_dimensions_constant_matches_handlers(warm_service):
+    assert SLICE_DIMENSIONS == ("user", "project", "domain")
+    for dim in SLICE_DIMENSIONS:
+        key = (
+            warm_service.context.domain_codes[0]
+            if dim == "domain"
+            else "12345"
+        )
+        rows, _ = warm_service.slice(dim, key)
+        assert len(rows) == len(warm_service.collection)

@@ -136,3 +136,12 @@ def test_core_flag_tracks_network_pct(pop):
 def test_population_is_population(pop):
     assert isinstance(pop, Population)
     assert pop.domain_of_gid()[min(pop.projects)] in DOMAINS
+
+
+def test_saturated_remainder_distribution_terminates():
+    # seed 93 used to hang forever: the rounding-remainder loop checked
+    # index idx % n but grew index (idx + 1) % n, and with an even core
+    # project count the stride of two meant the checked project's target
+    # never grew, so the shortfall never drained
+    pop = generate_population(seed=93)
+    assert pop.n_users == 1362
