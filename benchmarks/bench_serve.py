@@ -9,9 +9,16 @@ deliberately small (2 workers, short queue) so the top point *must* shed
 rather than queue without bound — load-shedding working as designed, not
 a failure.
 
+A final ``follow`` round measures the live-follower path: a writer
+publishes an appended snapshot while closed-loop clients keep hammering,
+and the round reports the swap latency, the staleness window (publish →
+first response carrying the new ETag), and the shed rate inside that
+window.
+
 Run directly (``python benchmarks/bench_serve.py``) or as a smoke check
 in CI (``--smoke``: fewer requests, asserts the contract — typed statuses
-only, shedding at the top point, no socket timeouts or hung clients).
+only, shedding at the top point, zero 500s and no hung clients during the
+live swap).
 """
 
 import argparse
@@ -26,6 +33,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.pipeline import ReproPipeline  # noqa: E402
+from repro.serve.follower import ArchiveFollower  # noqa: E402
 from repro.serve.server import AnalysisServer, ServerConfig  # noqa: E402
 from repro.serve.service import ArchiveService, CircuitBreaker  # noqa: E402
 from repro.serve.testing import BackgroundServer  # noqa: E402
@@ -132,6 +140,125 @@ def run_point(
     }
 
 
+def run_follow_round(tmp: Path, clients: int) -> dict:
+    """Writer appends a snapshot while clients hammer; measure the swap."""
+    archive = tmp / "follow-archive"
+    pipeline = ReproPipeline(BENCH_CONFIG)
+    pipeline.simulate()
+    n = len(list(pipeline.simulation.collection))
+    pipeline.archive(archive, max_snapshots=n - 1)
+    service = ArchiveService(
+        archive, config=BENCH_CONFIG, analyses=ANALYSES, incremental=True
+    )
+    t0 = time.time()
+    service.warm()
+    print(
+        f"# follow: warmed {n - 1} snapshots in {time.time() - t0:.1f}s",
+        file=sys.stderr,
+    )
+    follower = ArchiveFollower(service, poll_interval_s=0.05)
+    server = AnalysisServer(
+        service,
+        ServerConfig(
+            port=0, max_inflight=2, queue_depth=2, request_timeout_s=10.0,
+            tenant_limit=None, grace_seconds=5.0,
+        ),
+    )
+    etag_before = service.etag
+    fig = service.figure_names()[0]
+    domain = service.context.domain_codes[0]
+    records: list[tuple[float, int, str | None]] = []
+    lock = threading.Lock()
+    stop = threading.Event()
+    new_etag_at = [None]
+
+    with BackgroundServer(server) as bg:
+        follower.start()
+        try:
+            barrier = threading.Barrier(clients + 1, timeout=60.0)
+
+            def client(i: int) -> None:
+                path = (
+                    f"/v1/figures/{fig}" if i % 2
+                    else f"/v1/slice/domain/{domain}"
+                )
+                barrier.wait()
+                while not stop.is_set():
+                    try:
+                        reply = bg.request(path, timeout=30.0)
+                    except OSError:
+                        with lock:
+                            records.append((time.perf_counter(), -1, None))
+                        continue
+                    now = time.perf_counter()
+                    etag = reply.headers.get("etag")
+                    with lock:
+                        records.append((now, reply.status, etag))
+                        if (
+                            new_etag_at[0] is None
+                            and etag
+                            and etag != etag_before
+                        ):
+                            new_etag_at[0] = now
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(clients)
+            ]
+            for t in threads:
+                t.start()
+            barrier.wait()
+            time.sleep(0.3)  # steady state before the publish
+            pipeline.archive(archive, max_snapshots=n, skip_existing=True)
+            t_publish = time.perf_counter()
+            deadline = t_publish + 60.0
+            while new_etag_at[0] is None and time.perf_counter() < deadline:
+                time.sleep(0.02)
+            time.sleep(0.3)  # post-swap tail
+            stop.set()
+            for t in threads:
+                t.join(timeout=60.0)
+            hung = sum(t.is_alive() for t in threads)
+        finally:
+            follower.stop()
+
+    statuses: dict[int, int] = {}
+    for _, status, _ in records:
+        statuses[status] = statuses.get(status, 0) + 1
+    timeouts = statuses.pop(-1, 0)
+    swap_end = new_etag_at[0] if new_etag_at[0] is not None else t_publish
+    window = [r for r in records if t_publish <= r[0] <= swap_end]
+    shed_in_window = sum(1 for r in window if r[1] == 429)
+    info = service.warm_info()
+    return {
+        "clients": clients,
+        "requests": len(records),
+        "generation": service.generation,
+        "swap_s": (
+            round(follower.stats.last_swap_s, 3)
+            if follower.stats.last_swap_s is not None else None
+        ),
+        "staleness_s": (
+            round(new_etag_at[0] - t_publish, 3)
+            if new_etag_at[0] is not None else None
+        ),
+        "manifest_staleness_s": (
+            round(follower.stats.last_staleness_s, 3)
+            if follower.stats.last_staleness_s is not None else None
+        ),
+        "swap_window_requests": len(window),
+        "swap_window_shed": shed_in_window,
+        "swap_window_shed_rate": (
+            round(shed_in_window / len(window), 4) if window else 0.0
+        ),
+        "swap_snapshot_loads": info.get("snapshot_loads"),
+        "swap_delta_kernels": info.get("delta_kernels"),
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "socket_timeouts": timeouts,
+        "hung_clients": hung,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -165,6 +292,14 @@ def main(argv: list[str] | None = None) -> int:
                     file=sys.stderr,
                 )
             stats = server.stats.snapshot()
+        follow = run_follow_round(Path(tmp), clients=8)
+        print(
+            f"# follow swap={follow['swap_s']}s "
+            f"staleness={follow['staleness_s']}s "
+            f"shed_during_swap={follow['swap_window_shed_rate']:.1%} "
+            f"loads={follow['swap_snapshot_loads']}",
+            file=sys.stderr,
+        )
         result = {
             "bench": "serve_closed_loop",
             "config": {
@@ -175,6 +310,7 @@ def main(argv: list[str] | None = None) -> int:
                 "snapshots": len(server.service.collection),
             },
             "points": points,
+            "follow": follow,
             "server_stats": stats,
         }
     args.output.parent.mkdir(parents=True, exist_ok=True)
@@ -189,6 +325,12 @@ def main(argv: list[str] | None = None) -> int:
         if untyped:
             print(f"FAIL: untyped statuses {untyped}", file=sys.stderr)
             return 1
+    if follow["socket_timeouts"] or follow["hung_clients"]:
+        print("FAIL: hung or timed-out clients in follow round", file=sys.stderr)
+        return 1
+    if "500" in follow["statuses"]:
+        print("FAIL: 500 served during a live swap", file=sys.stderr)
+        return 1
     if args.smoke:
         # the top point overcommits a 2-worker/2-queue server 4x: the
         # admission ladder must shed rather than queue without bound
@@ -197,6 +339,13 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         if points[0]["shed"] != 0:
             print("FAIL: unloaded point shed requests", file=sys.stderr)
+            return 1
+        if follow["generation"] != 2 or follow["staleness_s"] is None:
+            print("FAIL: live swap never landed a new ETag", file=sys.stderr)
+            return 1
+        untyped = set(follow["statuses"]) - {"200", "304", "429", "503"}
+        if untyped:
+            print(f"FAIL: untyped follow statuses {untyped}", file=sys.stderr)
             return 1
     return 0
 

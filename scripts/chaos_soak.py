@@ -18,7 +18,13 @@ asserts the hardened data path's contract every time:
   typed statuses (200 / 200-degraded / 429 / 503), figures keep serving
   (stale-marked once the breaker opens), and the archive recovers through
   the half-open probe after the fault clears — never a 500 or a hung
-  connection.
+  connection;
+* a live-follow round: a torn publish (data files landed, manifest never
+  committed) is invisible to a polling follower; the writer's retry
+  commits, the follower swaps under client load with only typed statuses,
+  and the post-swap report is byte-identical to the batch baseline — even
+  when the appended snapshot's delta sidecar was corrupted (repaired,
+  warned, never silent).
 
 Exit status is non-zero on any contract violation.  Runtime is kept short
 (~tens of seconds at the default ``--rounds``) so CI can run it on every
@@ -35,6 +41,7 @@ import shutil
 import signal
 import sys
 import tempfile
+import threading
 import time
 import warnings
 from pathlib import Path
@@ -55,10 +62,16 @@ CONFIG = SimulationConfig(
 ANALYSES = "census,access,growth,ages"
 
 
+#: the simulated pipeline behind the soak archive — the follow round
+#: re-publishes its snapshots incrementally to drive the live follower
+PIPELINE: dict = {}
+
+
 def build_archive(directory: Path) -> str:
     pipeline = ReproPipeline(config=CONFIG, executor=SnapshotExecutor(1))
     pipeline.simulate()
     pipeline.archive(directory)
+    PIPELINE["p"] = pipeline
     _, report = analyze_archive(
         directory, config=CONFIG, executor=SnapshotExecutor(1), analyses=ANALYSES
     )
@@ -435,6 +448,111 @@ def soak_serve(archive: Path, workdir: Path, rng: random.Random,
     return errors
 
 
+def soak_follow(archive: Path, workdir: Path, rng: random.Random,
+                baseline: str) -> list[str]:
+    """Live-follower contract: torn publishes stay invisible, corrupt
+    sidecars repair warned-not-silent, the swap lands byte-identical to
+    the batch baseline, and clients see only typed statuses throughout."""
+    from repro.scan.delta import sidecar_path
+    from repro.serve.follower import ArchiveFollower
+    from repro.serve.server import AnalysisServer, ServerConfig
+    from repro.serve.service import ArchiveService
+    from repro.serve.testing import BackgroundServer
+    from repro.testing.faults import torn_publish
+
+    errors: list[str] = []
+    pipeline = PIPELINE["p"]
+    labels = [s.label for s in pipeline.simulation.collection]
+    n = len(labels)
+    target = workdir / "follow"
+    if target.exists():
+        shutil.rmtree(target)
+    target.mkdir()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        pipeline.archive(target, max_snapshots=n - 1)
+        # a torn publish: the new snapshot's data + sidecar land but the
+        # manifest (the commit point) never moves
+        with torn_publish(target):
+            pipeline.archive(target, max_snapshots=n, skip_existing=True)
+        fault = rng.choice(["torn", "sidecar"])
+        if fault == "sidecar":
+            victim = sidecar_path(target, labels[-1])
+            bit_flip(victim, victim.stat().st_size // 2, bit=rng.randrange(8))
+        service = ArchiveService(
+            target, config=CONFIG, analyses=ANALYSES, incremental=True
+        )
+        service.warm()
+    if len(service.collection) != n - 1:
+        errors.append("warm picked up uncommitted snapshots")
+    follower = ArchiveFollower(service, poll_interval_s=0.05)
+    server = AnalysisServer(
+        service,
+        ServerConfig(port=0, max_inflight=2, queue_depth=2,
+                     tenant_limit=None, grace_seconds=3.0),
+    )
+    fig = service.figure_names()[0]
+    domain = rng.choice(service.context.domain_codes)
+    statuses: dict = {}
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def hammer(i: int, bg) -> None:
+        path = f"/v1/figures/{fig}" if i % 2 else f"/v1/slice/domain/{domain}"
+        while not stop.is_set():
+            try:
+                reply = bg.request(path, timeout=30.0)
+            except OSError:
+                with lock:
+                    statuses["timeout"] = statuses.get("timeout", 0) + 1
+                continue
+            with lock:
+                statuses[reply.status] = statuses.get(reply.status, 0) + 1
+
+    with BackgroundServer(server) as bg:
+        follower.start()
+        try:
+            threads = [
+                threading.Thread(target=hammer, args=(i, bg)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            time.sleep(0.3)  # several poll intervals over the torn state
+            if service.generation != 1:
+                errors.append(f"{fault}: follower advanced past a torn publish")
+            # the writer retries: per-file writes are atomic and already
+            # done, so this is a pure manifest commit
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                pipeline.archive(target, max_snapshots=n, skip_existing=True)
+            deadline = time.time() + 30.0
+            while service.generation < 2 and time.time() < deadline:
+                time.sleep(0.05)
+            stop.set()
+            for t in threads:
+                t.join(timeout=30.0)
+            if any(t.is_alive() for t in threads):
+                errors.append(f"{fault}: hung client during the live swap")
+        finally:
+            follower.stop()
+    if service.generation != 2:
+        errors.append(f"{fault}: follower never swapped to the new generation")
+    elif service.report.text != baseline:
+        errors.append(
+            f"{fault}: post-swap report differs from the batch baseline"
+        )
+    elif fault == "torn" and service.warm_info().get("snapshot_loads"):
+        errors.append(
+            "clean swap re-loaded snapshots instead of replaying deltas"
+        )
+    untyped = set(statuses) - {200, 304, 429, 503, "timeout"}
+    if untyped:
+        errors.append(f"{fault}: untyped statuses under follow load {untyped}")
+    if 500 in server.stats.responses:
+        errors.append(f"{fault}: server emitted an untyped 500 during a swap")
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=3)
@@ -477,6 +595,7 @@ def main(argv: list[str] | None = None) -> int:
                 ("deadline", soak_deadline),
                 ("ingest", soak_ingest),
                 ("serve", soak_serve),
+                ("follow", soak_follow),
             ]
             for round_no in range(1, args.rounds + 1):
                 if interrupted["hit"]:

@@ -426,6 +426,26 @@ def build_serve_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="downgrade a manifest config mismatch to a warning",
     )
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="track a growing archive: a background follower polls the "
+        "manifest generation, replays new .rpd deltas through journaled "
+        "kernel state (O(delta) re-warm, zero snapshot loads for "
+        "converted kernels), and atomically swaps aggregates + ETag "
+        "while requests keep serving last-good",
+    )
+    parser.add_argument(
+        "--poll-interval", type=float, default=2.0, metavar="S",
+        help="seconds between the follower's manifest-generation polls "
+        "(with --follow)",
+    )
+    parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="warm via journaled kernel state + .rpd delta replay even "
+        "without --follow (implied by --follow)",
+    )
     return parser
 
 
@@ -544,6 +564,7 @@ def serve_main(argv: list[str]) -> int:
             cooldown_s=args.breaker_cooldown,
         ),
         allow_config_mismatch=args.allow_config_mismatch,
+        incremental=args.follow or args.incremental,
     )
     t0 = time.time()
     service.warm()
@@ -552,8 +573,25 @@ def serve_main(argv: list[str]) -> int:
         f"{len(service.figure_names())} figures ({time.time() - t0:.1f}s)",
         file=sys.stderr,
     )
+    follower = None
+    if args.follow:
+        from repro.serve import ArchiveFollower
+
+        follower = ArchiveFollower(
+            service, poll_interval_s=args.poll_interval
+        )
+        follower.start()
+        print(
+            f"# following generation {service.generation} "
+            f"(poll every {args.poll_interval:g}s)",
+            file=sys.stderr,
+        )
     server = AnalysisServer(service, server_config, controller=controller)
-    return asyncio.run(_serve_forever(server, signal_mod))
+    try:
+        return asyncio.run(_serve_forever(server, signal_mod))
+    finally:
+        if follower is not None:
+            follower.stop()
 
 
 async def _serve_forever(server, signal_mod) -> int:
@@ -564,15 +602,19 @@ async def _serve_forever(server, signal_mod) -> int:
     finished = loop.create_future()
     signal_count = 0
 
+    def note(message: str) -> None:
+        # shutdown progress is best-effort: when the operator's terminal
+        # pipeline died with the signal (^C to a `| tee` group), stderr is
+        # a broken pipe and print raises — that must never stop the drain
+        try:
+            print(message, file=sys.stderr)
+        except OSError:
+            pass
+
     def on_signal(name: str) -> None:
         nonlocal signal_count
         signal_count += 1
         if signal_count == 1:
-            print(
-                f"# received {name}: draining (grace "
-                f"{server.config.grace_seconds:g}s)",
-                file=sys.stderr,
-            )
 
             async def _drain() -> None:
                 await server.drain(f"received {name}")
@@ -580,9 +622,13 @@ async def _serve_forever(server, signal_mod) -> int:
                     finished.set_result(0)
 
             loop.create_task(_drain())
+            note(
+                f"# received {name}: draining (grace "
+                f"{server.config.grace_seconds:g}s)"
+            )
         elif not finished.done():
-            print(f"# second {name}: hard abort", file=sys.stderr)
             finished.set_result(EXIT_SIGNAL)
+            note(f"# second {name}: hard abort")
 
     for signum in (signal_mod.SIGTERM, signal_mod.SIGINT):
         loop.add_signal_handler(
@@ -597,7 +643,7 @@ async def _serve_forever(server, signal_mod) -> int:
         flush=True,
     )
     code = await finished
-    print("# drained; bye", file=sys.stderr)
+    note("# drained; bye")
     return int(code)
 
 

@@ -36,11 +36,31 @@ def config_fingerprint(config) -> dict:
     return {name: getattr(config, name) for name in FINGERPRINT_FIELDS}
 
 
+def manifest_generation(directory: str | Path) -> int:
+    """The archive's publish generation: 0 when absent or unreadable.
+
+    Readers poll this to learn that a writer committed a new snapshot set;
+    because the manifest is the *last* thing a publish writes (via
+    ``atomic_write``), a generation bump guarantees every file it lists is
+    complete on disk.  Pre-generation manifests and torn/missing manifests
+    both read as 0 — "nothing published yet" — so followers never act on a
+    half-published archive.
+    """
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        with open(path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        return int(manifest.get("generation", 0))
+    except (OSError, ValueError, TypeError, AttributeError):
+        return 0
+
+
 def write_manifest(
     directory: str | Path,
     config,
     snapshots: list[dict] | None = None,
     extra: dict | None = None,
+    generation: int | None = None,
 ) -> Path:
     """Write (atomically) the archive manifest; returns its path.
 
@@ -49,13 +69,22 @@ def write_manifest(
     validation consumes.  ``extra`` merges additional provenance sections
     into the manifest (e.g. the ``ingest`` summary for archives built from
     foreign traces); it may not shadow the reserved keys.
+
+    Every manifest carries a monotonically increasing ``generation``.  By
+    default it is the prior manifest's generation + 1, so each publish —
+    data and sidecars fsynced first, manifest committed last — is fenced:
+    a reader that observes generation N can trust every file the manifest
+    lists.  Pass ``generation`` explicitly to pin it (tests, replication).
     """
     directory = Path(directory)
+    if generation is None:
+        generation = manifest_generation(directory) + 1
     manifest = {
         "format": FORMAT,
         "config": config_fingerprint(config),
         "scale": config.scale,
         "weeks": config.weeks,
+        "generation": int(generation),
         "snapshots": snapshots or [],
         "created_unix": int(time.time()),
     }

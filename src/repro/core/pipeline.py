@@ -139,6 +139,7 @@ class ReproPipeline:
         max_snapshots: int | None = None,
         deltas: bool = True,
         format_version: int | None = None,
+        skip_existing: bool = False,
     ) -> ArchiveStats:
         """Write PSV + columnar snapshot files; returns footprint stats.
 
@@ -146,6 +147,17 @@ class ReproPipeline:
         is written atomically — tmp + fsync + rename — so a crash mid-
         archive leaves only complete files plus, at worst, one stray temp
         file, never a torn ``.rpq`` that poisons the next analysis run.
+
+        The manifest is committed *last* and carries a monotonically
+        increasing ``generation``, which makes every archive() call an
+        atomic publish: a reader (``repro serve --follow``) that observes
+        the new generation can trust every listed file to be complete,
+        and a crash before the manifest rename leaves the previous
+        generation fully intact.  ``skip_existing=True`` turns a re-run
+        into an append publish — snapshots whose files already exist are
+        not rewritten (atomic writes guarantee an existing file is whole),
+        so publishing week N+1 costs O(one snapshot), then the manifest
+        commit flips readers to the new window.
 
         With ``deltas=True`` (the default) each snapshot after the first
         also gets a ``{label}.rpd`` sidecar — the exact change set since
@@ -194,18 +206,27 @@ class ReproPipeline:
                         ),
                     )
             psv_path = directory / f"{snap.label}.psv"
-            psv_total += write_psv(snap, psv_path, ost_count=self.config.ost_count)
             col_path = directory / f"{snap.label}.rpq"
-            if format_version is None:
-                write_columnar(snap, col_path)
+            dpath = sidecar_path(directory, snap.label) if deltas and i > 0 else None
+            published = (
+                skip_existing
+                and psv_path.exists()
+                and col_path.exists()
+                and (dpath is None or dpath.exists())
+            )
+            if published:
+                psv_total += psv_path.stat().st_size
             else:
-                write_columnar(snap, col_path, format_version=format_version)
-            col_total += col_path.stat().st_size
-            if deltas and i > 0:
-                write_delta(
-                    compute_delta(snaps[i - 1], snap),
-                    sidecar_path(directory, snap.label),
+                psv_total += write_psv(
+                    snap, psv_path, ost_count=self.config.ost_count
                 )
+                if format_version is None:
+                    write_columnar(snap, col_path)
+                else:
+                    write_columnar(snap, col_path, format_version=format_version)
+                if dpath is not None:
+                    write_delta(compute_delta(snaps[i - 1], snap), dpath)
+            col_total += col_path.stat().st_size
             records.append(
                 {"label": snap.label, "file": col_path.name, "rows": len(snap)}
             )
@@ -249,16 +270,32 @@ class ReproPipeline:
 KERNEL_STATE_FILENAME = "kernel_state.bin"
 
 
-def _load_delta_plan(directory, store, collection, labels):
+def _load_delta_plan(directory, store, collection, labels, repair=False):
     """Build the run's DeltaPlan from journaled state + the sidecar chain.
 
     Returns a plan whose ``states``/``deltas`` drive replay when the chain
     is intact, or an empty-but-capturing plan (with a RuntimeWarning naming
     the reason) when it is not — degraded incremental runs are loud, never
     silent, mirroring the serial-downgrade convention.
+
+    ``repair=True`` (the serving follower's mode) bounds the blast radius
+    of a broken link: instead of abandoning replay for a full window
+    re-scan, each missing/corrupt/mislinked sidecar is replaced by a delta
+    recomputed from its two adjacent snapshots — O(suffix) snapshot loads,
+    still byte-identical, still loudly warned.  The recompute is id-safe
+    because the journaled table already covers every prefix path and a
+    full snapshot load interns new paths in row order, exactly the order
+    the sidecar's added-first contract would have used.
     """
     from repro.query.engine import DeltaPlan
-    from repro.scan.delta import find_delta_chain, read_delta
+    from repro.scan.delta import (
+        compute_delta,
+        find_delta_chain,
+        read_delta,
+        sidecar_path,
+    )
+    from repro.scan.errors import CorruptSnapshotError
+    from repro.scan.paths import PathTable
 
     plan = DeltaPlan()
 
@@ -282,33 +319,82 @@ def _load_delta_plan(directory, store, collection, labels):
         collection.paths = table
         plan.states = states
         return plan
-    files, reason = find_delta_chain(directory, labels, len(stored_labels))
-    if files is None:
-        return _fallback(reason)
-    # validation pass against scratch tables: the shared table must stay
-    # pristine unless the whole chain checks out (a bogus sidecar must not
-    # poison id assignment for the full-map fallback)
-    from repro.scan.errors import CorruptSnapshotError
-    from repro.scan.paths import PathTable
-
+    start = len(stored_labels)
+    if not repair:
+        files, reason = find_delta_chain(directory, labels, start)
+        if files is None:
+            return _fallback(reason)
+        # validation pass against scratch tables: the shared table must stay
+        # pristine unless the whole chain checks out (a bogus sidecar must
+        # not poison id assignment for the full-map fallback)
+        expected_prev = stored_labels[-1]
+        for path, label in zip(files, labels[start:]):
+            try:
+                probe = read_delta(path, PathTable())
+            except CorruptSnapshotError as exc:
+                return _fallback(f"sidecar {path.name} is corrupt ({exc})")
+            if probe.prev_label != expected_prev or probe.cur_label != label:
+                return _fallback(
+                    f"sidecar {path.name} links {probe.prev_label!r}->"
+                    f"{probe.cur_label!r}, expected {expected_prev!r}->{label!r}"
+                )
+            expected_prev = probe.cur_label
+        # commit: intern the chain into the journaled table, in order, and
+        # make it the collection's table — replay and full loads then
+        # allocate path ids against one object
+        collection.paths = table
+        plan.states = states
+        plan.deltas = [read_delta(path, table) for path in files]
+        return plan
+    # repair mode: probe each link on a scratch table; a bad link becomes a
+    # recompute from its two snapshots rather than sinking the whole chain
+    links: list[tuple[str, object]] = []
     expected_prev = stored_labels[-1]
-    for path, label in zip(files, labels[len(stored_labels):]):
-        try:
-            probe = read_delta(path, PathTable())
-        except CorruptSnapshotError as exc:
-            return _fallback(f"sidecar {path.name} is corrupt ({exc})")
-        if probe.prev_label != expected_prev or probe.cur_label != label:
-            return _fallback(
-                f"sidecar {path.name} links {probe.prev_label!r}->"
-                f"{probe.cur_label!r}, expected {expected_prev!r}->{label!r}"
+    for idx in range(start, len(labels)):
+        label = labels[idx]
+        path = sidecar_path(directory, label)
+        entry = None
+        if not path.exists():
+            why = f"missing delta sidecar {path.name}"
+        else:
+            try:
+                probe = read_delta(path, PathTable())
+            except CorruptSnapshotError as exc:
+                why = f"sidecar {path.name} is corrupt ({exc})"
+            else:
+                if probe.prev_label != expected_prev or probe.cur_label != label:
+                    why = (
+                        f"sidecar {path.name} links {probe.prev_label!r}->"
+                        f"{probe.cur_label!r}, expected "
+                        f"{expected_prev!r}->{label!r}"
+                    )
+                else:
+                    entry = ("sidecar", path)
+        if entry is None:
+            warnings.warn(
+                f"delta replay degraded ({why}) — recomputing that "
+                "interval's delta from its two snapshots instead of "
+                "re-scanning the window",
+                RuntimeWarning,
+                stacklevel=3,
             )
-        expected_prev = probe.cur_label
-    # commit: intern the chain into the journaled table, in order, and make
-    # it the collection's table — replay and full loads then allocate path
-    # ids against one object
+            entry = ("recompute", idx)
+        links.append(entry)
+        expected_prev = label
     collection.paths = table
+    deltas = []
+    try:
+        for kind, ref in links:
+            if kind == "sidecar":
+                deltas.append(read_delta(ref, table))
+            else:
+                deltas.append(compute_delta(collection[ref - 1], collection[ref]))
+    except CorruptSnapshotError as exc:
+        # a snapshot itself is bad: the table only ever saw real paths in
+        # chain order, so full maps against it remain id-consistent
+        return _fallback(f"recomputing a delta failed ({exc})")
     plan.states = states
-    plan.deltas = [read_delta(path, table) for path in files]
+    plan.deltas = deltas
     return plan
 
 
@@ -327,6 +413,8 @@ def analyze_archive(
     max_task_failures: int | None = None,
     ingest_report=None,
     incremental: bool = False,
+    repair_deltas: bool = False,
+    snapshot_files: list | None = None,
 ) -> tuple[ReproPipeline, PaperReport]:
     """Out-of-core analysis: run every §4 analysis from archived snapshots.
 
@@ -386,6 +474,18 @@ def analyze_archive(
       chain falls back to full maps with a RuntimeWarning, never a wrong
       answer.  Requires ``fused=True``; state is never persisted from a
       degraded or quarantine-marred run.
+    * ``repair_deltas=True`` (the serving follower's mode) narrows that
+      fallback: a missing/corrupt/mislinked sidecar is replaced by a
+      delta recomputed from its two adjacent snapshots — a bounded
+      re-analysis of just the broken suffix link, warned, byte-identical.
+
+    Serving/publish fencing:
+
+    * ``snapshot_files`` pins the window to an explicit list of ``.rpq``
+      paths (normally the manifest's ``snapshots`` inventory) instead of
+      globbing the directory.  A live reader passes the file list of the
+      generation it observed, so stray files from a torn publish — data
+      written, manifest commit never happened — are invisible to it.
     """
     from repro.analysis.context import AnalysisContext
     from repro.core.manifest import config_fingerprint, validate_manifest
@@ -409,7 +509,8 @@ def analyze_archive(
     if controller is not None and controller.memory_budget is not None:
         cache_bytes = controller.memory_budget.cache_bytes
     collection = DiskSnapshotCollection(
-        directory, on_error=on_error, verify=verify, cache_bytes=cache_bytes
+        directory, on_error=on_error, verify=verify, cache_bytes=cache_bytes,
+        files=snapshot_files,
     )
     if ingest_report is not None:
         # archive built from foreign traces: one health report spans the
@@ -440,7 +541,8 @@ def analyze_archive(
             },
         )
         delta_plan = _load_delta_plan(
-            directory, state_store, collection, collection.labels
+            directory, state_store, collection, collection.labels,
+            repair=repair_deltas,
         )
     pipeline.context = AnalysisContext(
         collection=collection,  # type: ignore[arg-type]

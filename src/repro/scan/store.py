@@ -181,6 +181,7 @@ class DiskSnapshotCollection:
         io_retries: int = 2,
         io_backoff: float = 0.05,
         cache_bytes: int | None = None,
+        files: list[str | Path] | None = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
@@ -199,7 +200,14 @@ class DiskSnapshotCollection:
         self.health = ArchiveHealthReport(
             quarantine_dir=str(self.directory / QUARANTINE_DIRNAME)
         )
-        files = sorted(self.directory.glob("*.rpq"))
+        if files is None:
+            files = sorted(self.directory.glob("*.rpq"))
+        else:
+            # an explicit (manifest-pinned) window: a reader following a
+            # live archive sees exactly the published generation's files —
+            # stray .rpq from a torn publish never enter the window, and a
+            # listed-but-missing file is a typed fault, not a silent gap
+            files = [Path(f) for f in files]
         if not files:
             raise FileNotFoundError(f"no .rpq snapshots under {self.directory}")
         survivors: list[Path] = []
@@ -207,6 +215,10 @@ class DiskSnapshotCollection:
         self.health.scanned = len(files)
         for f in files:
             try:
+                if not f.exists():
+                    raise CorruptSnapshotError(
+                        f, "listed in the manifest but missing on disk"
+                    )
                 header = read_columnar_header(f)
                 if verify == "deep":
                     # throwaway table: paths of a file that may later be
@@ -439,6 +451,11 @@ class DiskSnapshotCollection:
     @property
     def labels(self) -> list[str]:
         return [h["label"] for h in self._headers]
+
+    @property
+    def files(self) -> list[Path]:
+        """The window's .rpq paths in timestamp order (a copy)."""
+        return list(self._files)
 
     @property
     def timestamps(self) -> np.ndarray:

@@ -16,6 +16,9 @@ Layout:
   :class:`~repro.fs.quota.QuotaManager`;
 * :mod:`repro.serve.service` — :class:`ArchiveService` (warm aggregates,
   engine-backed slices, ETag, circuit breaker, stale-while-revalidate);
+* :mod:`repro.serve.follower` — :class:`ArchiveFollower` (a daemon
+  thread tracking a growing archive: poll the manifest generation,
+  replay ``.rpd`` deltas, atomically swap aggregates — DESIGN.md §14);
 * :mod:`repro.serve.http` — minimal stdlib-only HTTP/1.1 parsing;
 * :mod:`repro.serve.server` — :class:`AnalysisServer` (asyncio accept
   loop, admission control, per-request deadlines, graceful drain);
@@ -24,14 +27,17 @@ Layout:
 """
 
 from repro.serve.errors import ServeError
+from repro.serve.follower import ArchiveFollower, FollowerStats
 from repro.serve.ratelimit import TenantRateLimiter
 from repro.serve.server import AnalysisServer, ServerConfig, ServerStats
 from repro.serve.service import ArchiveService, CircuitBreaker
 
 __all__ = [
     "AnalysisServer",
+    "ArchiveFollower",
     "ArchiveService",
     "CircuitBreaker",
+    "FollowerStats",
     "ServeError",
     "ServerConfig",
     "ServerStats",

@@ -21,6 +21,13 @@ degradation ladder (DESIGN.md §13) is readable top to bottom:
    while in-flight requests finish (or are cancelled) within the grace
    period.
 
+Live archives (DESIGN.md §14): with ``--follow`` an
+:class:`~repro.serve.follower.ArchiveFollower` swaps new generations in
+off the request path — its re-warm's reserved bytes join the admission
+projection so swaps shed rather than OOM.  Without a follower, responses
+from a superseded generation carry ``X-Archive-Stale`` naming the newer
+published generation.
+
 The server never installs signal handlers — the CLI does, per the
 ``runcontrol`` contract.
 """
@@ -338,19 +345,27 @@ class AnalysisServer:
         raise ServeError(404, "unknown_route", f"no route {request.path!r}")
 
     def _stats_payload(self) -> dict:
-        collection = self.service.collection
+        service = self.service
+        collection = service.collection
+        follower = getattr(service, "_follower", None)
         return {
             "server": self.stats.snapshot(),
-            "breaker": self.service.breaker.snapshot(),
+            "breaker": service.breaker.snapshot(),
             "tenants": self.limiter.stats(),
-            "etag": self.service.etag,
+            "etag": service.etag,
             "archive": {
-                "directory": str(self.service.directory),
+                "directory": str(service.directory),
                 "snapshots": len(collection),
                 "cache": collection.cache_info()._asdict(),
                 "health_degraded": collection.health.degraded,
                 "io_retries": collection.health.io_retries,
+                "generation": service.generation,
+                "published_generation": service.published_generation(),
             },
+            "last_warm": service.warm_info(),
+            "follower": (
+                follower.stats.snapshot() if follower is not None else None
+            ),
             "inflight": self._admitted,
             "draining": self._draining,
         }
@@ -362,7 +377,26 @@ class AnalysisServer:
                 "etag": self.service.etag,
             }
         )
-        return 200, body, {"ETag": self.service.etag or ""}, "application/json"
+        headers = {"ETag": self.service.etag or ""}
+        self._staleness_headers(headers)
+        return 200, body, headers, "application/json"
+
+    def _staleness_headers(self, headers: dict[str, str]) -> None:
+        """Mark responses built from an outdated generation.
+
+        Without a follower, a healthy (breaker-closed) server would
+        otherwise never notice the archive changed on disk — the ETag
+        stays frozen at warm time.  ``X-Archive-Stale`` names the newer
+        published generation so clients (and operators) can tell cached-
+        and-current from cached-and-superseded.  With a follower attached
+        the gap closes within one poll interval, so no header is needed.
+        """
+        service = self.service
+        if service.following:
+            return
+        published = service.published_generation()
+        if published is not None and published > service.generation:
+            headers["X-Archive-Stale"] = str(published)
 
     def _figure(
         self, request: Request, name: str
@@ -371,6 +405,7 @@ class AnalysisServer:
         etag = self.service.etag
         if etag:
             headers["ETag"] = etag
+        self._staleness_headers(headers)
         if self.service.breaker.state != "closed":
             headers["X-Degraded"] = "stale"
             headers["Retry-After"] = (
@@ -427,9 +462,13 @@ class AnalysisServer:
             collection = self.service.collection
             resident = int(collection.cache_info().bytes)
             # headers-only worst case: each admitted request may inflate
-            # one more full snapshot beyond what is already resident
-            projected = resident + collection.max_snapshot_nbytes() * (
-                self._admitted + 1
+            # one more full snapshot beyond what is already resident —
+            # plus whatever a follower re-warm has reserved, so a swap in
+            # flight sheds requests instead of OOMing live traffic
+            projected = (
+                resident
+                + int(self.service.replay_reserved_bytes)
+                + collection.max_snapshot_nbytes() * (self._admitted + 1)
             )
             if projected > budget.limit_bytes:
                 self.stats.shed_memory += 1

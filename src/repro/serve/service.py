@@ -16,9 +16,19 @@ circuit breaker:
 * once the breaker trips, slices fail fast (503 + Retry-After) and the
   figure aggregates serve *stale* from the last good cache, marked
   ``X-Degraded: stale`` — stale-while-revalidate;
-* after the cooldown one request probes the archive (headers-only digest,
-  full re-warm only when the content changed); success closes the
-  breaker, failure re-opens it.
+* after the cooldown one request probes the archive (headers-only digest
+  only — never a rebuild on the request path); a matching digest closes
+  the breaker, a changed one hands the rebuild to the follower thread
+  (or a one-shot background thread) while the breaker stays half-open
+  and figures keep serving stale.
+
+Live archives (DESIGN.md §14): every ``warm()`` reads the manifest once
+and pins the window to exactly the files that *generation* lists, so a
+torn publish (data files landed, manifest commit never happened) is
+invisible.  With ``incremental=True`` the re-warm replays ``.rpd`` deltas
+through the journaled kernel state — O(delta), zero snapshot loads for
+converted kernels — and the new aggregates + ETag swap in atomically
+under the lock while in-flight requests keep reading last-good.
 
 Everything here is synchronous and thread-safe; the asyncio server runs
 these methods in worker threads.
@@ -30,8 +40,9 @@ import json
 import stat
 import threading
 import time
+import warnings
 import zlib
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from pathlib import Path
 from typing import Any
 
@@ -143,19 +154,21 @@ class CircuitBreaker:
             }
 
 
-def _headers_digest(directory: Path) -> str:
-    """Headers-only content digest of every ``.rpq`` under ``directory``.
+def _headers_digest(files: Sequence[Path]) -> str:
+    """Headers-only content digest of an explicit ``.rpq`` window.
 
     Same identity the collection's ``content_ids()`` builds per snapshot
     (label, timestamp, rows, per-block name/rows/crc32 — the block CRCs
     make it a digest of the full file bytes at headers-only cost), folded
-    across the whole archive.  Raises
+    across the listed files *in the given order*.  Callers pass the
+    manifest-pinned window so stray files from a torn publish never
+    perturb the digest.  Raises
     :class:`~repro.scan.errors.CorruptSnapshotError` on a damaged header
     and ``OSError`` on unreadable files — both are probe failures.
     """
-    files = sorted(directory.glob("*.rpq"))
+    files = [Path(f) for f in files]
     if not files:
-        raise CorruptSnapshotError(directory, "no .rpq snapshots")
+        raise CorruptSnapshotError(Path("."), "no .rpq snapshots")
     parts: list[list] = []
     for f in files:
         h = read_columnar_header(f)
@@ -196,6 +209,15 @@ class ArchiveService:
     on_error:
         Degradation policy for the warm-time collection (``"raise"`` by
         default: serving must not silently mutate the archive).
+    incremental:
+        ``True`` makes every warm journal/replay kernel state through the
+        archive's ``kernel_state.bin`` (with sidecar repair), so re-warms
+        after an append cost O(delta) with zero snapshot loads for
+        converted kernels — the ``--follow`` mode.
+    processes:
+        Worker processes for the warm's fused pass (1 = serial).  A fresh
+        executor is built per warm so ``warm_info()`` reports per-swap
+        :class:`~repro.query.engine.ExecutionStats`.
     """
 
     def __init__(
@@ -207,6 +229,8 @@ class ArchiveService:
         breaker: CircuitBreaker | None = None,
         on_error: str = "raise",
         allow_config_mismatch: bool = False,
+        incremental: bool = False,
+        processes: int = 1,
     ) -> None:
         self.directory = Path(directory)
         self.config = config
@@ -215,12 +239,30 @@ class ArchiveService:
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.on_error = on_error
         self.allow_config_mismatch = allow_config_mismatch
+        self.incremental = incremental
+        self.processes = max(1, int(processes))
         self._lock = threading.RLock()
         self.pipeline: Any = None
         self.report: Any = None
         self.etag: str | None = None
         self._figures: dict[str, bytes] = {}
         self._report_text: bytes = b""
+        self._generation = 0
+        self._warm_info: dict[str, Any] = {}
+        #: bytes a re-warm may inflate beyond the served working set; the
+        #: server adds this to its admission projection so a swap can
+        #: never OOM live traffic (requests shed 429 instead)
+        self.replay_reserved_bytes = 0
+        #: serializes warms (request-path never holds this: re-warms run
+        #: on the follower thread or a one-shot background thread)
+        self._warm_mutex = threading.Lock()
+        self._rewarm_thread: threading.Thread | None = None
+        #: set by rewarm_async (a half-open probe saw changed content) and
+        #: cleared when the next refresh completes — tells the follower a
+        #: rebuild is owed even when the generation number did not move
+        self._rewarm_requested = False
+        self._follower: Any = None
+        self._pub_cache: tuple[Any, int] = (None, 0)
         #: serial, no engine-level retries: transient I/O retries at the
         #: block layer; corruption must surface on the first attempt
         self._engine = ExecutionEngine(
@@ -229,35 +271,113 @@ class ArchiveService:
 
     # -- warm-up / revalidation ---------------------------------------------
 
+    def _published_window(self) -> tuple[int, list[Path] | None]:
+        """(generation, pinned file list) of the manifest on disk now.
+
+        The manifest is read once so generation and file list are one
+        consistent publish; ``None`` files means "no inventory" (pre-
+        generation archives) and the collection falls back to globbing.
+        """
+        from repro.core.manifest import load_manifest
+
+        manifest = load_manifest(self.directory)
+        if manifest is None:
+            return 0, None
+        files = [
+            self.directory / rec["file"]
+            for rec in manifest.get("snapshots", [])
+            if isinstance(rec, dict) and rec.get("file")
+        ]
+        return int(manifest.get("generation", 0)), files or None
+
+    def _reserve_estimate(self, files: list[Path] | None) -> int:
+        """Worst-case decoded bytes a re-warm may hold resident (2 snaps)."""
+        try:
+            if files:
+                rows = max(
+                    int(read_columnar_header(f).get("rows", 0)) for f in files
+                )
+                from repro.scan.snapshot import NUMERIC_COLUMNS
+
+                return 2 * rows * (len(NUMERIC_COLUMNS) + 1) * 8
+            if self.pipeline is not None:
+                return 2 * self.collection.max_snapshot_nbytes()
+        except (CorruptSnapshotError, OSError, ValueError):
+            pass
+        return 0
+
     def warm(self) -> None:
-        """Run the batch analysis once and cache the encoded aggregates."""
+        """Analyze the published window and atomically swap the aggregates.
+
+        Reads the manifest once (generation fencing: the window is exactly
+        the files that generation lists), runs the analysis — incremental
+        delta replay with sidecar repair when ``incremental=True``, full
+        batch otherwise — then swaps pipeline/figures/ETag under the lock.
+        In-flight requests keep reading the previous (last-good) cache
+        until the swap lands.  Thread-safe: concurrent warms serialize.
+        """
+        with self._warm_mutex:
+            self._warm_locked()
+
+    def _warm_locked(self) -> None:
         from repro.core.pipeline import analyze_archive
+        from repro.query.parallel import SnapshotExecutor
 
-        pipeline, report = analyze_archive(
-            self.directory,
-            config=self.config,
-            analyses=self.analyses,
-            on_error=self.on_error,
-            controller=self.controller,
-            allow_config_mismatch=self.allow_config_mismatch,
-        )
-        figures: dict[str, bytes] = {}
-        import dataclasses
+        started = time.monotonic()
+        generation, files = self._published_window()
+        serving = self.pipeline is not None
+        if serving:
+            # charge the rebuild against admission before any load happens
+            self.replay_reserved_bytes = self._reserve_estimate(files)
+        try:
+            executor = (
+                SnapshotExecutor(self.processes) if self.processes > 1 else None
+            )
+            pipeline, report = analyze_archive(
+                self.directory,
+                config=self.config,
+                analyses=self.analyses,
+                executor=executor,
+                on_error=self.on_error,
+                controller=self.controller,
+                allow_config_mismatch=self.allow_config_mismatch,
+                incremental=self.incremental,
+                repair_deltas=self.incremental,
+                snapshot_files=files,
+            )
+            figures: dict[str, bytes] = {}
+            import dataclasses
 
-        for f in dataclasses.fields(type(report)):
-            if f.name == "text":
-                continue
-            value = getattr(report, f.name)
-            if value is None:
-                continue
-            figures[f.name] = dumps({"figure": f.name, "data": to_jsonable(value)})
-        digest = _headers_digest(self.directory)
-        with self._lock:
-            self.pipeline = pipeline
-            self.report = report
-            self._figures = figures
-            self._report_text = report.text.encode("utf-8")
-            self.etag = f'"{digest}"'
+            for f in dataclasses.fields(type(report)):
+                if f.name == "text":
+                    continue
+                value = getattr(report, f.name)
+                if value is None:
+                    continue
+                figures[f.name] = dumps(
+                    {"figure": f.name, "data": to_jsonable(value)}
+                )
+            digest = _headers_digest(pipeline.context.collection.files)
+            stats = pipeline.executor.stats
+            info = {
+                "incremental": self.incremental,
+                "generation": generation,
+                "snapshot_loads": int(stats.snapshot_loads),
+                "delta_kernels": int(stats.delta_kernels),
+                "delta_updates": int(stats.delta_updates),
+                "warm_seconds": round(time.monotonic() - started, 6),
+                "warmed_unix": int(time.time()),
+            }
+            with self._lock:
+                self.pipeline = pipeline
+                self.report = report
+                self._figures = figures
+                self._report_text = report.text.encode("utf-8")
+                self.etag = f'"{digest}"'
+                self._generation = generation
+                self._warm_info = info
+        finally:
+            self.replay_reserved_bytes = 0
         self.breaker.record_success()
 
     @property
@@ -268,31 +388,140 @@ class ArchiveService:
     def context(self) -> Any:
         return self.pipeline.context
 
+    @property
+    def generation(self) -> int:
+        """Generation of the manifest the served aggregates were built from."""
+        with self._lock:
+            return self._generation
+
+    def warm_info(self) -> dict[str, Any]:
+        """Per-swap ExecutionStats extract for the last completed warm."""
+        with self._lock:
+            return dict(self._warm_info)
+
+    # -- follower integration ------------------------------------------------
+
+    def attach_follower(self, follower: Any) -> None:
+        self._follower = follower
+
+    @property
+    def following(self) -> bool:
+        return self._follower is not None
+
+    def published_generation(self) -> int | None:
+        """The manifest generation on disk right now (cheap, mtime-cached).
+
+        ``None`` when the manifest is missing/unstattable — "unknown", so
+        callers never mistake an unreadable archive for a fresh one.
+        """
+        from repro.core.manifest import MANIFEST_NAME, manifest_generation
+
+        try:
+            st = (self.directory / MANIFEST_NAME).stat()
+        except OSError:
+            return None
+        key = (st.st_mtime_ns, st.st_size)
+        with self._lock:
+            if self._pub_cache[0] == key:
+                return self._pub_cache[1]
+        gen = manifest_generation(self.directory)
+        with self._lock:
+            self._pub_cache = (key, gen)
+        return gen
+
+    @property
+    def rewarm_requested(self) -> bool:
+        return self._rewarm_requested
+
+    def refresh(self) -> bool:
+        """One guarded warm: True on swap, False (warned + breaker) on fail.
+
+        The follower's workhorse — also the async re-warm's.  Never
+        raises: a failing archive keeps serving last-good aggregates
+        behind the breaker rather than taking the server down.
+        """
+        try:
+            self.warm()
+            return True
+        except Exception as exc:
+            warnings.warn(
+                f"archive re-warm failed ({type(exc).__name__}: {exc}) — "
+                "serving last-good aggregates stale until it recovers",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.breaker.record_failure()
+            return False
+        finally:
+            self._rewarm_requested = False
+
+    def rewarm_async(self) -> None:
+        """Rebuild the aggregate cache off the request path.
+
+        With a follower attached the rebuild is its next poll (poked
+        awake); otherwise a single-flight daemon thread runs one
+        :meth:`refresh`.  Either way the caller returns immediately.
+        """
+        self._rewarm_requested = True
+        follower = self._follower
+        if follower is not None:
+            follower.poke()
+            return
+        with self._lock:
+            thread = self._rewarm_thread
+            if thread is not None and thread.is_alive():
+                return
+            thread = threading.Thread(
+                target=self.refresh, name="repro-rewarm", daemon=True
+            )
+            self._rewarm_thread = thread
+        thread.start()
+
+    def _current_digest(self) -> str:
+        """Headers digest of the *published* window (manifest-pinned)."""
+        from repro.scan.errors import ArchiveConfigError
+
+        try:
+            _, files = self._published_window()
+        except ArchiveConfigError as exc:
+            raise CorruptSnapshotError(
+                self.directory / "manifest.json", f"unreadable manifest ({exc})"
+            ) from exc
+        if files is None:
+            files = sorted(self.directory.glob("*.rpq"))
+            if not files:
+                raise CorruptSnapshotError(self.directory, "no .rpq snapshots")
+        return _headers_digest(files)
+
     def maybe_revalidate(self) -> None:
-        """Half-open probe: cheap headers digest, full re-warm on change.
+        """Half-open probe: cheap headers digest; re-warms run off-path.
 
         Called by the server before archive-backed work.  When the breaker
-        is closed this is free; when open it refuses instantly; the one
-        admitted half-open probe re-reads every header — if the digest
-        matches the last good aggregate the archive is healthy again and
-        the breaker closes; if it *differs*, the content changed and a
-        full re-warm rebuilds the aggregate cache before closing.
+        is closed this is free; when open it refuses instantly.  The one
+        admitted half-open probe re-reads headers only: a matching digest
+        means the archive healed with unchanged content — the breaker
+        closes immediately.  A *different* digest means content changed;
+        the rebuild is handed to the follower (or a one-shot background
+        thread) via :meth:`rewarm_async`, the breaker stays half-open —
+        slices keep failing fast, figures keep serving stale — and the
+        rebuild's outcome closes or re-opens it.  No request ever stalls
+        behind a re-warm.
         """
-        state = self.breaker.state
-        if state == "closed":
+        if self.breaker.state == "closed":
             return
         if not self.breaker.allow():
             return
         try:
-            digest = _headers_digest(self.directory)
-            with self._lock:
-                current = self.etag
-            if current != f'"{digest}"':
-                self.warm()
-            else:
-                self.breaker.record_success()
+            digest = self._current_digest()
         except (CorruptSnapshotError, OSError):
             self.breaker.record_failure()
+            return
+        with self._lock:
+            current = self.etag
+        if current == f'"{digest}"':
+            self.breaker.record_success()
+        else:
+            self.rewarm_async()
 
     # -- aggregates ----------------------------------------------------------
 
@@ -317,8 +546,10 @@ class ArchiveService:
 
     # -- slices --------------------------------------------------------------
 
-    def _slice_mask_fn(self, dim: str, key: str):
+    def _slice_mask_fn(self, dim: str, key: str, context: Any = None):
         """``snapshot -> bool mask`` selecting the requested slice."""
+        if context is None:
+            context = self.context
         if dim == "user":
             try:
                 uid = int(key)
@@ -336,7 +567,6 @@ class ArchiveService:
                 ) from None
             return lambda snap: snap.gid == gid
         if dim == "domain":
-            context = self.context
             domain_id = context.domain_index.get(key)
             if domain_id is None:
                 raise ServeError(
@@ -368,7 +598,10 @@ class ArchiveService:
                 "aggregates stale until it recovers",
                 retry_after=self.breaker.retry_after(),
             )
-        mask_fn = self._slice_mask_fn(dim, key)
+        # one pipeline reference for the whole request: a follower swap
+        # mid-slice must not mix two windows' context and collection
+        pipeline = self.pipeline
+        mask_fn = self._slice_mask_fn(dim, key, pipeline.context)
 
         def map_fn(snap):
             mask = mask_fn(snap)
@@ -392,10 +625,11 @@ class ArchiveService:
             return row
 
         kernel = Kernel(name="slice", map_fn=map_fn, reduce_fn=list)
-        n = len(self.collection)
+        collection = pipeline.context.collection
+        n = len(collection)
         try:
             results, _stats = self._engine.run_kernels(
-                self.collection, [kernel], controller=controller
+                collection, [kernel], controller=controller
             )
         except RunInterrupted as err:
             rows = []

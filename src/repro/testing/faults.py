@@ -14,7 +14,11 @@ the data path's tolerance can be tested instead of hoped for.  It provides:
   the store's retry-with-backoff;
 * **process kills** — :func:`sigkill_after` wraps a loader so the process
   SIGKILLs itself after N successful loads, exercising checkpoint/resume
-  with a *real* kill (no cooperative exception).
+  with a *real* kill (no cooperative exception);
+* **torn publishes** — :func:`torn_publish` runs a writer's data phase but
+  rolls the manifest back to its pre-publish bytes, reproducing a crash
+  between the data fsyncs and the manifest commit; a follower must keep
+  serving the old generation and never read the stray files.
 
 Both the pytest corruption suites and ``scripts/chaos_soak.py`` are built
 on these primitives.
@@ -22,6 +26,7 @@ on these primitives.
 
 from __future__ import annotations
 
+import contextlib
 import errno
 import os
 import signal
@@ -100,6 +105,39 @@ def padding_spans(path: str | Path) -> list[tuple[int, int]]:
     if size > offset:
         spans.append((offset, size - offset))
     return spans
+
+
+@contextlib.contextmanager
+def torn_publish(directory: str | Path):
+    """Simulate a publish that crashed before its manifest commit.
+
+    The publish protocol writes data + sidecars first and commits
+    ``manifest.json`` (with a bumped ``generation``) last.  This context
+    manager snapshots the manifest's bytes, lets the body run a real
+    publish (data files land on disk, manifest gets rewritten), then
+    *restores the pre-publish manifest* — exactly the on-disk state left
+    by a writer killed between its last data fsync and the manifest
+    rename.  The stray data files remain, as they would after the crash.
+
+    A generation-fenced reader must shrug: the generation never moved, so
+    the new files are invisible and the old window keeps serving.
+
+    Example::
+
+        with torn_publish(archive_dir):
+            pipeline.archive(archive_dir, max_snapshots=k + 1,
+                             skip_existing=True)
+        # archive_dir now has snapshot k's files but the old manifest
+    """
+    manifest = Path(directory) / "manifest.json"
+    before = manifest.read_bytes() if manifest.exists() else None
+    try:
+        yield
+    finally:
+        if before is None:
+            manifest.unlink(missing_ok=True)
+        else:
+            manifest.write_bytes(before)
 
 
 def mutate_bytes(data: bytes, rng, mutations: int = 1) -> bytes:

@@ -336,6 +336,146 @@ def test_write_magic_per_format_version(tmp_path):
         write_columnar(snap, tmp_path / "bad.rpq", format_version=4)
 
 
+# -- sweep: .rpd delta sidecars ----------------------------------------------
+#
+# The sidecar reuses the .rpq v2 block machinery (per-block CRCs, header
+# CRC, total-length trailer), so the same harness enumerates its sections.
+# Contract: any truncation or bit flip surfaces as a typed
+# CorruptSnapshotError from read_delta — never garbage rows handed to the
+# replay path — and find_delta_chain(validate=True) refuses the chain with
+# a reason instead of returning a poisoned file list.
+
+
+def _make_delta_sidecar(tmp_path):
+    from repro.scan.delta import compute_delta, write_delta
+
+    paths = PathTable()
+    rows0 = [
+        _row(
+            paths.intern(f"/lustre/atlas1/phy/p1/run.{i}"),
+            ino=100 + i,
+            atime=1_420_000_000 + i * 3600,
+        )
+        for i in range(5)
+    ]
+    prev = Snapshot(
+        label="w0",
+        timestamp=1000,
+        paths=paths,
+        **{
+            name: np.array([r[name] for r in rows0], dtype=COLUMN_DTYPES[name])
+            for name in NUMERIC_COLUMNS
+        },
+    )
+    rows1 = [dict(r) for r in rows0[:-1]]  # run.4 removed
+    rows1[0] = dict(rows1[0], mtime=rows1[0]["mtime"] + 50)  # run.0 changed
+    rows1.append(  # one added path
+        _row(paths.intern("/lustre/atlas1/phy/p1/new.0"), ino=900)
+    )
+    cur = Snapshot(
+        label="w1",
+        timestamp=2000,
+        paths=paths,
+        **{
+            name: np.array([r[name] for r in rows1], dtype=COLUMN_DTYPES[name])
+            for name in NUMERIC_COLUMNS
+        },
+    )
+    dest = tmp_path / "w1.rpd"
+    write_delta(compute_delta(prev, cur), dest)
+    return dest
+
+
+def test_rpd_truncation_sweep_every_boundary(tmp_path):
+    from repro.scan.delta import read_delta
+
+    dest = _make_delta_sidecar(tmp_path)
+    points = {0}
+    for _, offset, length in corruption_points(dest):
+        points.add(offset)
+        points.add(offset + max(1, length) // 2)
+    size = dest.stat().st_size
+    for offset in sorted(p for p in points if p < size):
+        victim = tmp_path / "trunc.rpd"
+        shutil.copy(dest, victim)
+        truncate_at(victim, offset)
+        with pytest.raises(CorruptSnapshotError) as err:
+            read_delta(victim, PathTable())
+        assert err.value.reason
+
+
+def test_rpd_bitflip_sweep_every_section(tmp_path):
+    from repro.scan.delta import read_delta
+
+    dest = _make_delta_sidecar(tmp_path)
+    for name, offset, length in corruption_points(dest):
+        for point in {offset, offset + max(1, length) // 2,
+                      offset + max(1, length) - 1}:
+            victim = tmp_path / "flip.rpd"
+            shutil.copy(dest, victim)
+            bit_flip(victim, point, bit=3)
+            with pytest.raises(CorruptSnapshotError) as err:
+                read_delta(victim, PathTable())
+            assert err.value.reason, f"section {name} @{point}"
+
+
+def test_rpd_corruption_never_pollutes_the_table(tmp_path):
+    """A failed read_delta must leave the caller's path table untouched —
+    replay falls back to full maps against the same table, so a half-
+    interned garbage path would poison id assignment silently."""
+    from repro.scan.delta import read_delta
+
+    dest = _make_delta_sidecar(tmp_path)
+    sections = corruption_points(dest)
+    # flip inside the last section so earlier blocks decode first
+    name, offset, length = sections[-1]
+    bit_flip(dest, offset + max(1, length) // 2, bit=1)
+    table = PathTable()
+    baseline = len(table)
+    with pytest.raises(CorruptSnapshotError):
+        read_delta(dest, table)
+    assert len(table) == baseline, "corrupt sidecar interned paths"
+
+
+def test_find_delta_chain_validate_refuses_corrupt(tmp_path):
+    from repro.scan.delta import find_delta_chain
+
+    dest = _make_delta_sidecar(tmp_path)
+    labels = ["w0", "w1"]
+    files, reason = find_delta_chain(tmp_path, labels, 1, validate=True)
+    assert files == [dest] and reason == ""
+    _, offset, length = corruption_points(dest)[1]
+    bit_flip(dest, offset + max(1, length) // 2, bit=2)
+    files, reason = find_delta_chain(tmp_path, labels, 1, validate=True)
+    assert files is None
+    assert "corrupt" in reason
+    # without validation the existence check still passes — the contract
+    # is that *some* probe (here or the caller's) runs before replay
+    files, _ = find_delta_chain(tmp_path, labels, 1)
+    assert files == [dest]
+
+
+def test_find_delta_chain_validate_refuses_mislink(tmp_path):
+    from repro.scan.delta import find_delta_chain
+
+    _make_delta_sidecar(tmp_path)
+    # the sidecar links w0->w1; claim the prefix ended at 'wX' instead
+    files, reason = find_delta_chain(tmp_path, ["wX", "w1"], 1, validate=True)
+    assert files is None
+    assert "links" in reason and "wX" in reason
+
+
+def test_find_delta_chain_missing_sidecar_reason(tmp_path):
+    from repro.scan.delta import find_delta_chain
+
+    _make_delta_sidecar(tmp_path)
+    files, reason = find_delta_chain(
+        tmp_path, ["w0", "w1", "w2"], 1, validate=True
+    )
+    assert files is None
+    assert "missing delta sidecar" in reason
+
+
 # -- harness self-tests ------------------------------------------------------
 
 
