@@ -24,7 +24,12 @@ asserts the hardened data path's contract every time:
   commits, the follower swaps under client load with only typed statuses,
   and the post-swap report is byte-identical to the batch baseline — even
   when the appended snapshot's delta sidecar was corrupted (repaired,
-  warned, never silent).
+  warned, never silent);
+* a sharded-simulation round: workers are SIGKILLed at random (plus one
+  deterministic self-kill and one forced straggler that the per-shard
+  deadline reaps), and the supervised run must still converge to a merged
+  archive byte-identical to the unsharded-worker inline baseline, with an
+  analysis report to match.
 
 Exit status is non-zero on any contract violation.  Runtime is kept short
 (~tens of seconds at the default ``--rounds``) so CI can run it on every
@@ -553,6 +558,128 @@ def soak_follow(archive: Path, workdir: Path, rng: random.Random,
     return errors
 
 
+#: Sharded-round window: small enough to re-simulate a shard in well under
+#: a second, so random SIGKILL restarts stay cheap.
+SHARD_CONFIG = SimulationConfig(
+    seed=2015, scale=1.5e-6, weeks=4, min_project_files=4, stress_depths=False
+)
+SHARD_COUNT = 3
+SHARD_ANALYSES = "census,growth"
+
+#: Inline-reference digests + report, built once and reused every round.
+_SHARD_BASELINE: dict = {}
+
+
+def _digest_tree(directory: Path) -> dict:
+    import hashlib
+
+    return {
+        p.name: hashlib.sha256(p.read_bytes()).hexdigest()
+        for p in sorted(directory.glob("*.rpq")) + sorted(directory.glob("*.rpd"))
+    }
+
+
+def soak_shard(archive: Path, workdir: Path, rng: random.Random,
+               baseline: str) -> list[str]:
+    """Supervised sharded run under fire — random worker SIGKILLs, one
+    deterministic self-kill, one forced straggler — must converge to the
+    exact bytes (and report) of the fault-free inline reference."""
+    from repro.query.supervisor import SupervisorConfig
+    from repro.synth.sharding import run_sharded
+    from repro.testing.faults import kill_shard_worker, shard_kill, shard_stall
+
+    errors: list[str] = []
+    if not _SHARD_BASELINE:
+        ref = workdir / "shard-ref"
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            run_sharded(SHARD_CONFIG, SHARD_COUNT, ref, workers=0)
+            _, report = analyze_archive(
+                ref, config=SHARD_CONFIG, executor=SnapshotExecutor(1),
+                analyses=SHARD_ANALYSES,
+            )
+        _SHARD_BASELINE["digest"] = _digest_tree(ref)
+        _SHARD_BASELINE["report"] = report.text
+    target = workdir / "shard-round"
+    if target.exists():
+        shutil.rmtree(target)
+    # one worker kills itself mid-window, a different one stalls until the
+    # per-attempt deadline reaps it
+    victim = rng.randrange(SHARD_COUNT)
+    straggler = (victim + 1 + rng.randrange(SHARD_COUNT - 1)) % SHARD_COUNT
+    faults = [
+        shard_kill(victim, after_weeks=1 + rng.randrange(2)),
+        shard_stall(straggler, week=1, seconds=30.0),
+    ]
+    fault = f"self-kill shard {victim}, straggler shard {straggler}"
+    # ...plus a best-effort sniper thread sending real SIGKILLs at whatever
+    # workers happen to be alive (capped well under the attempt budget)
+    kill_rng = random.Random(rng.randrange(2**32))
+    stop = threading.Event()
+    sniper = {"kills": 0}
+
+    def arm(supervisor) -> None:
+        def snipe() -> None:
+            while not stop.is_set() and sniper["kills"] < 2:
+                time.sleep(0.15 + kill_rng.random() * 0.2)
+                if kill_shard_worker(supervisor, rng=kill_rng) is not None:
+                    sniper["kills"] += 1
+
+        threading.Thread(target=snipe, daemon=True).start()
+
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = run_sharded(
+                SHARD_CONFIG,
+                SHARD_COUNT,
+                target,
+                supervisor=SupervisorConfig(
+                    workers=2,
+                    max_attempts=8,
+                    backoff_seconds=0.05,
+                    stall_timeout_seconds=0.3,
+                    shard_max_seconds=3.0,
+                    poll_seconds=0.02,
+                ),
+                faults=faults,
+                on_supervisor=arm,
+            )
+    except Exception as exc:  # noqa: BLE001 - contract check
+        stop.set()
+        errors.append(f"{fault}: supervised run failed outright: {exc!r}")
+        return errors
+    finally:
+        stop.set()
+    if result.stats.completed != SHARD_COUNT:
+        errors.append(
+            f"{fault}: only {result.stats.completed}/{SHARD_COUNT} shards "
+            "completed"
+        )
+    if result.stats.restarts < 1:
+        errors.append(f"{fault}: no restart recorded despite injected kills")
+    if result.degraded:
+        errors.append(
+            f"{fault}: run degraded despite an adequate attempt budget: "
+            f"{[f.reason for f in result.health.faults]}"
+        )
+    if _digest_tree(target) != _SHARD_BASELINE["digest"]:
+        errors.append(
+            f"{fault}: merged archive differs from the inline baseline "
+            f"(after {result.stats.restarts} restarts, "
+            f"{sniper['kills']} sniper kills)"
+        )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        _, report = analyze_archive(
+            target, config=SHARD_CONFIG, executor=SnapshotExecutor(1),
+            analyses=SHARD_ANALYSES,
+        )
+    if report.text != _SHARD_BASELINE["report"]:
+        errors.append(f"{fault}: analysis over the merged archive differs")
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=3)
@@ -596,6 +723,7 @@ def main(argv: list[str] | None = None) -> int:
                 ("ingest", soak_ingest),
                 ("serve", soak_serve),
                 ("follow", soak_follow),
+                ("shard", soak_shard),
             ]
             for round_no in range(1, args.rounds + 1):
                 if interrupted["hit"]:

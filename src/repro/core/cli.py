@@ -449,6 +449,96 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_synth_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro synth",
+        description=(
+            "Sharded synthesis: partition the simulated center into N "
+            "project shards, run them on supervised workers (crash "
+            "restarts, straggler deadlines, quarantine), and merge the "
+            "per-shard weekly scans into one analyzable .rpq archive. "
+            "The merged archive is byte-identical for a fixed --shards "
+            "regardless of --workers, scheduling order, or worker crashes."
+        ),
+    )
+    parser.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="merged archive directory (per-shard parts land in DIR/parts)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, metavar="N",
+        help="shard count — part of the archive's identity: the same "
+        "--shards always reproduces the same bytes (default: 4)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="W",
+        help="concurrent worker processes (0 = run shards inline, the "
+        "reference execution every worker count reproduces exactly)",
+    )
+    parser.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver", "serial"),
+        default=None,
+        help="worker start method (default: platform default; "
+        "REPRO_START_METHOD overrides; serial forces inline)",
+    )
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument(
+        "--scale", type=float, default=2.5e-5,
+        help="fraction of the paper's per-domain entry counts to simulate",
+    )
+    parser.add_argument("--weeks", type=int, default=72)
+    parser.add_argument("--users", type=int, default=1362, metavar="N",
+                        help="population size (the hot loop is vectorized; "
+                        "millions are fine)")
+    parser.add_argument(
+        "--purge-window", type=int, default=90, help="purge window in days"
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="per-shard attempt ceiling before quarantine (default: 3)",
+    )
+    parser.add_argument(
+        "--stall-timeout", type=float, default=30.0, metavar="S",
+        help="straggler watchdog: warn when a shard's checkpoint journal "
+        "stops growing for S seconds (default: 30)",
+    )
+    parser.add_argument(
+        "--shard-max-seconds", type=float, default=None, metavar="S",
+        help="per-attempt deadline (a RunController.child of the run "
+        "budget); expiry kills the worker and costs one attempt",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=("raise", "skip", "quarantine"),
+        default="raise",
+        help="shard failure policy: raise fails fast on the first "
+        "quarantined shard or corrupt part (default); skip/quarantine "
+        "fold them into the archive health report and merge the rest",
+    )
+    parser.add_argument(
+        "--no-deltas", action="store_true",
+        help="skip writing the per-interval .rpd delta sidecars",
+    )
+    parser.add_argument(
+        "--format-version", type=int, choices=(2, 3), default=None,
+        help="on-disk .rpq container for parts and the merged archive",
+    )
+    parser.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="wall-clock budget for the whole run; on expiry outstanding "
+        "workers are cancelled, the resume hint printed, and the exit "
+        f"code is {EXIT_DEADLINE} (re-running resumes from the per-shard "
+        "journals)",
+    )
+    parser.add_argument(
+        "--grace-seconds", type=float, default=5.0, metavar="S",
+        help="drain budget after a stop is requested (default: 5)",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    return parser
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: the only place signal handlers are installed.
 
@@ -459,14 +549,17 @@ def main(argv: list[str] | None = None) -> int:
     (130 signal, 124 deadline — like ``timeout(1)``).
 
     ``repro ingest ...`` dispatches to the trace-ingestion verb,
-    ``repro serve ...`` to the archive HTTP server; anything else is the
-    classic simulate/analyze pipeline.
+    ``repro serve ...`` to the archive HTTP server, ``repro synth ...`` to
+    the sharded-simulation supervisor; anything else is the classic
+    simulate/analyze pipeline.
     """
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv[:1] == ["ingest"]:
         return ingest_main(argv[1:])
     if argv[:1] == ["serve"]:
         return serve_main(argv[1:])
+    if argv[:1] == ["synth"]:
+        return synth_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -502,6 +595,88 @@ def ingest_main(argv: list[str]) -> int:
         except RunInterrupted as err:
             print(f"# interrupted: {err}", file=sys.stderr)
             return EXIT_SIGNAL if "SIG" in err.reason else EXIT_DEADLINE
+
+
+def synth_main(argv: list[str]) -> int:
+    """The ``repro synth`` verb (same signal/exit-code conventions)."""
+    parser = build_synth_parser()
+    args = parser.parse_args(argv)
+    try:
+        controller = RunController(
+            max_seconds=args.max_seconds, grace_seconds=args.grace_seconds
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    with controller.install_signal_handlers():
+        try:
+            return _run_synth(args, controller)
+        except RunInterrupted as err:
+            print(f"# interrupted: {err}", file=sys.stderr)
+            if err.resume_hint:
+                print(f"# resume: {err.resume_hint}", file=sys.stderr)
+            return EXIT_SIGNAL if "SIG" in err.reason else EXIT_DEADLINE
+
+
+def _run_synth(args: argparse.Namespace, controller: RunController) -> int:
+    from repro.query.supervisor import ShardFailedError, SupervisorConfig
+    from repro.synth.sharding import run_sharded
+
+    config = SimulationConfig(
+        seed=args.seed,
+        scale=args.scale,
+        weeks=args.weeks,
+        n_users=args.users,
+        purge_window_days=args.purge_window,
+    )
+    supervisor = SupervisorConfig(
+        workers=args.workers,
+        start_method=args.start_method,
+        max_attempts=args.max_attempts,
+        stall_timeout_seconds=args.stall_timeout,
+        shard_max_seconds=args.shard_max_seconds,
+    )
+    t0 = time.time()
+    try:
+        result = run_sharded(
+            config,
+            args.shards,
+            args.out,
+            supervisor=supervisor,
+            controller=controller,
+            on_error=args.on_error,
+            deltas=not args.no_deltas,
+            format_version=args.format_version,
+        )
+    except ShardFailedError as err:
+        print(f"# shard failure: {err}", file=sys.stderr)
+        print(
+            "# re-run to retry (journaled weeks are kept), or use "
+            "--on-error skip to merge the surviving shards",
+            file=sys.stderr,
+        )
+        return 1
+    rows = sum(rec["rows"] for rec in result.records)
+    print(
+        f"# {result.stats.summary()}",
+        file=sys.stderr,
+    )
+    print(
+        f"# merged {len(result.records)} weekly snapshots "
+        f"({rows:,} rows) into {result.directory} ({time.time() - t0:.1f}s)",
+        file=sys.stderr,
+    )
+    if result.health.degraded:
+        print("# ARCHIVE DEGRADED:", file=sys.stderr)
+        for line in result.health.summary().splitlines():
+            print(f"#   {line}", file=sys.stderr)
+    if args.verbose:
+        for rec in result.records:
+            print(
+                f"#   {rec['label']}: {rec['rows']:>9,d} rows "
+                f"({rec['stored_bytes']:,} B)",
+                file=sys.stderr,
+            )
+    return 0
 
 
 def serve_main(argv: list[str]) -> int:

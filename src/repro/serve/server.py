@@ -227,6 +227,7 @@ class AnalysisServer:
                             close=True,
                         )
                     )
+                    self.stats.requests += 1
                     self.stats.note(exc.status)
                     break
                 except asyncio.TimeoutError:
@@ -234,7 +235,6 @@ class AnalysisServer:
                 if request is None:
                     break
                 status, payload = await self._respond(request, writer)
-                self.stats.note(status)
                 if not request.keep_alive or self._draining:
                     break
             await writer.drain()
@@ -278,6 +278,9 @@ class AnalysisServer:
                 "application/json",
             )
         except asyncio.CancelledError:
+            # cancelled (drain/teardown) before a status existed: book the
+            # request under 499 so requests and responses always balance
+            self.stats.note(499)
             raise
         except Exception as exc:  # never a traceback on the wire
             status, body, headers, content_type = (
@@ -291,6 +294,9 @@ class AnalysisServer:
                 {},
                 "application/json",
             )
+        # note once the response is rendered — a client that vanishes during
+        # the final drain still got a produced (and counted) response
+        self.stats.note(status)
         writer.write(
             render_response(
                 status,

@@ -88,6 +88,196 @@ class WeekStats:
 
 
 @dataclass
+class SimState:
+    """Live simulation state shared by the driver and the shard workers."""
+
+    config: SimulationConfig
+    population: Population
+    fs: FileSystem = field(repr=False)
+    clock: SimClock = field(repr=False)
+    behaviors: list = field(repr=False)
+    scanner: LustreDuScanner = field(repr=False)
+    purge: PurgePolicy = field(repr=False)
+    job_log: JobLog | None = field(repr=False, default=None)
+    hpss: HpssArchive | None = field(repr=False, default=None)
+
+
+@dataclass
+class WeekOutcome:
+    """One stepped week: the scan (if any) plus bookkeeping."""
+
+    week: int
+    label: str
+    snapshot: object | None
+    purge_report: PurgeReport
+    stats: WeekStats
+
+
+def build_sim_state(
+    config: SimulationConfig,
+    *,
+    population: Population | None = None,
+    project_gids: set[int] | None = None,
+    rng: np.random.Generator | None = None,
+) -> SimState:
+    """Build population, file system, behaviors, and backlog for one run.
+
+    ``project_gids`` restricts the behaviors (and therefore the namespace)
+    to a subset of projects — the shard worker path.  The population is
+    always generated in full so uids/gids and memberships are globally
+    consistent across shards; only the *simulated* projects differ.
+    ``rng`` overrides the behavior-seeding stream (shards use
+    ``SeedSequence``-derived substreams so draws never depend on which
+    worker runs which shard).
+    """
+    cfg = config
+    if rng is None:
+        rng = np.random.default_rng(cfg.seed)
+    if population is None:
+        population = generate_population(seed=cfg.seed, n_users=cfg.n_users)
+    sim_population = population
+    if project_gids is not None:
+        sim_population = Population(
+            users=population.users,
+            projects={
+                g: p for g, p in population.projects.items() if g in project_gids
+            },
+            seed=population.seed,
+        )
+
+    clock = SimClock()
+    fs = FileSystem(
+        clock=clock,
+        ost_count=cfg.ost_count,
+        default_stripe=cfg.default_stripe,
+        max_stripe=cfg.max_stripe,
+    )
+    behaviors = build_behaviors(
+        sim_population,
+        n_weeks=cfg.weeks,
+        scale=cfg.scale,
+        rng=rng,
+        growth=cfg.growth,
+        keepalive_fraction=cfg.keepalive_fraction,
+        min_project_files=cfg.min_project_files,
+        stress_depths=cfg.stress_depths,
+    )
+    job_log = JobLog() if cfg.collect_job_log else None
+    hpss = HpssArchive() if cfg.enable_hpss else None
+    for behavior in behaviors:
+        behavior.job_log = job_log
+        behavior.archive = hpss
+        behavior.setup(fs)
+
+    # -- backlog: the file system was not empty in January 2015 ------------
+    if cfg.backlog_fraction > 0:
+        for behavior in behaviors:
+            backlog = int(
+                behavior.total_files
+                * cfg.backlog_fraction
+                / (1.0 - cfg.backlog_fraction)
+            )
+            behavior.seed_backlog(fs, clock.now, backlog, cfg.backlog_age_days)
+
+    return SimState(
+        config=cfg,
+        population=population,
+        fs=fs,
+        clock=clock,
+        behaviors=behaviors,
+        scanner=LustreDuScanner(),
+        purge=PurgePolicy(window_days=cfg.purge_window_days),
+        job_log=job_log,
+        hpss=hpss,
+    )
+
+
+def step_weeks(
+    state: SimState,
+    controller: RunController | None = None,
+    verbose: bool = False,
+):
+    """Yield one :class:`WeekOutcome` per simulated week.
+
+    The cancellation point is the week boundary: a deadline expiry or
+    signal raises :class:`RunInterrupted` before the next week starts,
+    with the completed weeks' :class:`WeekStats` as ``partial``.
+    """
+    cfg = state.config
+    fs, clock = state.fs, state.clock
+    completed: list[WeekStats] = []
+    for week in range(cfg.weeks):
+        if controller is not None:
+            reason = controller.should_stop()
+            if reason is not None:
+                raise RunInterrupted(
+                    f"simulation interrupted ({reason}) after "
+                    f"{week}/{cfg.weeks} weeks",
+                    reason=reason,
+                    partial=completed,
+                    resume_hint=(
+                        "the simulation is deterministic from the seed; "
+                        "re-run the same command (raise --max-seconds to "
+                        "let it finish)"
+                    ),
+                )
+        week_start = clock.now
+        totals = {"created": 0, "updated": 0, "read": 0, "deleted": 0,
+                  "kept_alive": 0}
+        for behavior in state.behaviors:
+            stats = behavior.step_week(fs, week, week_start)
+            for key in totals:
+                totals[key] += stats[key]
+        clock.advance_days(7)
+
+        label = clock.datestamp()
+        snapshot = None
+        if week not in cfg.missing_weeks:
+            snapshot = state.scanner.scan(fs, label=label)
+
+        report = state.purge.sweep(fs)
+        if report.purged:
+            for behavior in state.behaviors:
+                behavior.reconcile(fs)
+
+        stats = WeekStats(
+            week=week,
+            label=label,
+            purged=report.purged,
+            live_entries=fs.entry_count,
+            **totals,
+        )
+        completed.append(stats)
+        if verbose:  # pragma: no cover - progress printing
+            print(
+                f"week {week:3d} {label}: live={fs.entry_count:>9,d} "
+                f"new={totals['created']:>7,d} purged={report.purged:>7,d}"
+            )
+        yield WeekOutcome(
+            week=week,
+            label=label,
+            snapshot=snapshot,
+            purge_report=report,
+            stats=stats,
+        )
+
+
+def scan_labels(config: SimulationConfig) -> list[str]:
+    """The datestamp labels a run of ``config`` will scan, in order.
+
+    Pure clock arithmetic — lets the shard supervisor and merge know the
+    expected part set without simulating anything.
+    """
+    clock = SimClock()
+    labels: list[str] = []
+    for week in range(config.weeks):
+        clock.advance_days(7)
+        if week not in config.missing_weeks:
+            labels.append(clock.datestamp())
+    return labels
+
+
+@dataclass
 class SimulationResult:
     """Everything the analyses and benches need from one run."""
 
@@ -126,111 +316,26 @@ class SimulationDriver:
         simply re-running (there is nothing durable to checkpoint here —
         the expensive, resumable stages are archive/analyze).
         """
-        cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        population = generate_population(seed=cfg.seed, n_users=cfg.n_users)
-
-        clock = SimClock()
-        fs = FileSystem(
-            clock=clock,
-            ost_count=cfg.ost_count,
-            default_stripe=cfg.default_stripe,
-            max_stripe=cfg.max_stripe,
-        )
-        behaviors = build_behaviors(
-            population,
-            n_weeks=cfg.weeks,
-            scale=cfg.scale,
-            rng=rng,
-            growth=cfg.growth,
-            keepalive_fraction=cfg.keepalive_fraction,
-            min_project_files=cfg.min_project_files,
-            stress_depths=cfg.stress_depths,
-        )
-        job_log = JobLog() if cfg.collect_job_log else None
-        hpss = HpssArchive() if cfg.enable_hpss else None
-        for behavior in behaviors:
-            behavior.job_log = job_log
-            behavior.archive = hpss
-            behavior.setup(fs)
-
-        # -- backlog: the file system was not empty in January 2015 --------
-        if cfg.backlog_fraction > 0:
-            for behavior in behaviors:
-                backlog = int(
-                    behavior.total_files
-                    * cfg.backlog_fraction
-                    / (1.0 - cfg.backlog_fraction)
-                )
-                behavior.seed_backlog(
-                    fs, clock.now, backlog, cfg.backlog_age_days
-                )
-
-        scanner = LustreDuScanner()
-        collection = SnapshotCollection(scanner.paths)
-        purge = PurgePolicy(window_days=cfg.purge_window_days)
+        state = build_sim_state(self.config)
+        collection = SnapshotCollection(state.scanner.paths)
         purge_reports: list[PurgeReport] = []
         week_stats: list[WeekStats] = []
-
-        for week in range(cfg.weeks):
-            if controller is not None:
-                reason = controller.should_stop()
-                if reason is not None:
-                    raise RunInterrupted(
-                        f"simulation interrupted ({reason}) after "
-                        f"{week}/{cfg.weeks} weeks",
-                        reason=reason,
-                        partial=week_stats,
-                        resume_hint=(
-                            "the simulation is deterministic from the seed; "
-                            "re-run the same command (raise --max-seconds to "
-                            "let it finish)"
-                        ),
-                    )
-            week_start = clock.now
-            totals = {"created": 0, "updated": 0, "read": 0, "deleted": 0,
-                      "kept_alive": 0}
-            for behavior in behaviors:
-                stats = behavior.step_week(fs, week, week_start)
-                for key in totals:
-                    totals[key] += stats[key]
-            clock.advance_days(7)
-
-            label = clock.datestamp()
-            if week not in cfg.missing_weeks:
-                collection.append(scanner.scan(fs, label=label))
-
-            report = purge.sweep(fs)
-            purge_reports.append(report)
-            if report.purged:
-                for behavior in behaviors:
-                    behavior.reconcile(fs)
-
-            week_stats.append(
-                WeekStats(
-                    week=week,
-                    label=label,
-                    purged=report.purged,
-                    live_entries=fs.entry_count,
-                    **totals,
-                )
-            )
-            if verbose:  # pragma: no cover - progress printing
-                print(
-                    f"week {week:3d} {label}: live={fs.entry_count:>9,d} "
-                    f"new={totals['created']:>7,d} purged={report.purged:>7,d}"
-                )
+        for outcome in step_weeks(state, controller=controller, verbose=verbose):
+            if outcome.snapshot is not None:
+                collection.append(outcome.snapshot)
+            purge_reports.append(outcome.purge_report)
+            week_stats.append(outcome.stats)
 
         return SimulationResult(
-            config=cfg,
-            population=population,
-            fs=fs,
-            scanner=scanner,
+            config=state.config,
+            population=state.population,
+            fs=state.fs,
+            scanner=state.scanner,
             collection=collection,
             purge_reports=purge_reports,
             week_stats=week_stats,
-            job_log=job_log,
-            hpss=hpss,
+            job_log=state.job_log,
+            hpss=state.hpss,
         )
 
 

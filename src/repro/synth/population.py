@@ -69,6 +69,39 @@ _ATTACH_EXPONENT = 0.6
 #: Users reserved for the planted anecdotes (extreme pair + six liaisons).
 _PLANTED_USERS = 8
 
+#: Alphabetical domain order — the int coding used by the vectorized hot
+#: paths.  Must stay sorted: modal-domain tie-breaking relies on it.
+_DOMAIN_CODES = tuple(sorted(DOMAINS))
+_CODE_OF_DOMAIN = {code: i for i, code in enumerate(_DOMAIN_CODES)}
+
+
+def _normalized_cdf(p: np.ndarray) -> np.ndarray:
+    """The CDF ``Generator.choice`` builds internally from ``p``."""
+    cdf = np.cumsum(np.asarray(p, dtype=np.float64))
+    cdf /= cdf[-1]
+    return cdf
+
+
+def _weighted_index_cdf(rng: np.random.Generator, cdf: np.ndarray) -> int:
+    """Scalar weighted draw from a precomputed CDF.
+
+    Replicates ``Generator.choice(n, p=...)`` exactly — one uniform draw,
+    ``searchsorted`` against the normalized CDF — while skipping choice's
+    per-call validation and CDF rebuild.  The drawn index *and* the
+    post-draw stream position are identical (pinned by
+    ``tests/synth/test_population_equivalence.py``), which is what lets the
+    vectorized generator stay bit-compatible with the original.
+    """
+    return int(np.searchsorted(cdf, rng.random(), side="right"))
+
+
+def _weighted_index(rng: np.random.Generator, p: np.ndarray) -> int:
+    """Stream-exact stand-in for ``int(rng.choice(len(p), p=p))``."""
+    return _weighted_index_cdf(rng, _normalized_cdf(p))
+
+
+_ORG_CDF = _normalized_cdf(np.asarray(ORG_WEIGHTS))
+
 
 @dataclass
 class UserRecord:
@@ -155,7 +188,7 @@ class _UserFactory:
     def new_user(self, domain: str) -> UserRecord:
         uid = self._next_uid
         self._next_uid += 1
-        org = ORG_TYPES[self.rng.choice(len(ORG_TYPES), p=ORG_WEIGHTS)]
+        org = ORG_TYPES[_weighted_index_cdf(self.rng, _ORG_CDF)]
         user = UserRecord(uid=uid, org_type=org, primary_domain=domain)
         self.users[uid] = user
         return user
@@ -237,27 +270,34 @@ def generate_population(seed: int = 2015, n_users: int = 1362) -> Population:
             continue
         idx += 1
 
+    # The attachment pool is kept as parallel numpy arrays (degree and
+    # int-coded primary domain) grown amortized-doubling, so each
+    # ``pick_existing`` is a handful of vector ops instead of a Python
+    # comprehension over every pooled user.
     core_uids: list[int] = []
     core_index: dict[int, int] = {}
-    degrees: list[int] = []  # parallel to core_uids
+    pool_deg = np.zeros(1024, dtype=np.float64)
+    pool_dom = np.zeros(1024, dtype=np.int64)
 
     def add_to_pool(user: UserRecord) -> None:
-        core_index[user.uid] = len(core_uids)
+        nonlocal pool_deg, pool_dom
+        n = len(core_uids)
+        if n == len(pool_deg):
+            pool_deg = np.concatenate([pool_deg, np.zeros_like(pool_deg)])
+            pool_dom = np.concatenate([pool_dom, np.zeros_like(pool_dom)])
+        pool_deg[n] = 0.0
+        pool_dom[n] = _CODE_OF_DOMAIN[user.primary_domain]
+        core_index[user.uid] = n
         core_uids.append(user.uid)
-        degrees.append(0)
 
     def pick_existing(domain: str) -> UserRecord:
         boost = _affinity_boost(DOMAINS[domain].users_median)
-        weights = (
-            np.asarray(degrees, dtype=np.float64) + 1.0
-        ) ** _ATTACH_EXPONENT * np.array(
-            [
-                boost if factory.users[u].primary_domain == domain else 1.0
-                for u in core_uids
-            ]
+        n = len(core_uids)
+        weights = (pool_deg[:n] + 1.0) ** _ATTACH_EXPONENT * np.where(
+            pool_dom[:n] == _CODE_OF_DOMAIN[domain], boost, 1.0
         )
         weights /= weights.sum()
-        idx = int(rng.choice(len(core_uids), p=weights))
+        idx = _weighted_index(rng, weights)
         return factory.users[core_uids[idx]]
 
     for project, target, newcomers in zip(order, member_targets, newcomer_counts):
@@ -276,7 +316,7 @@ def generate_population(seed: int = 2015, n_users: int = 1362) -> Population:
             before = user.n_projects
             _link(user, project)
             if user.n_projects > before:
-                degrees[core_index[user.uid]] += 1
+                pool_deg[core_index[user.uid]] += 1.0
         if int(newcomers) == target and target > 0 and len(project.members) == target:
             # all-newcomer project: bridge it into the core explicitly
             if len(core_uids) > target:
@@ -290,14 +330,41 @@ def generate_population(seed: int = 2015, n_users: int = 1362) -> Population:
     _plant_liaisons(factory, projects, rng)
 
     # -- 6. primary domain = modal project domain --------------------------
-    domain_of = {g: p.domain for g, p in projects.items()}
-    for user in factory.users.values():
-        if user.projects:
-            codes = [domain_of[g] for g in user.projects]
-            values, counts = np.unique(codes, return_counts=True)
-            user.primary_domain = str(values[np.argmax(counts)])
+    _assign_modal_domains(factory, projects)
 
     return Population(users=factory.users, projects=projects, seed=seed)
+
+
+def _assign_modal_domains(
+    factory: _UserFactory, projects: dict[int, ProjectRecord]
+) -> None:
+    """Set each user's primary domain to their modal project domain.
+
+    Vectorized over all users at once: membership (user, domain-code) pairs
+    go through one ``bincount`` per chunk instead of a per-user
+    ``np.unique``.  Ties break toward the alphabetically-first domain —
+    argmax over the sorted code axis, the same tie-break the original
+    per-user ``np.unique`` + ``argmax`` produced.
+    """
+    code_of_gid = {g: _CODE_OF_DOMAIN[p.domain] for g, p in projects.items()}
+    members = [u for u in factory.users.values() if u.projects]
+    n_codes = len(_DOMAIN_CODES)
+    chunk = 131_072  # bounds the bincount scratch at ~16 MB
+    for start in range(0, len(members), chunk):
+        batch = members[start : start + chunk]
+        lens = np.fromiter((len(u.projects) for u in batch), np.int64, len(batch))
+        flat = np.fromiter(
+            (code_of_gid[g] for u in batch for g in u.projects),
+            np.int64,
+            int(lens.sum()),
+        )
+        rows = np.repeat(np.arange(len(batch), dtype=np.int64), lens)
+        counts = np.bincount(
+            rows * n_codes + flat, minlength=len(batch) * n_codes
+        ).reshape(len(batch), n_codes)
+        best = counts.argmax(axis=1)
+        for user, code in zip(batch, best):
+            user.primary_domain = _DOMAIN_CODES[int(code)]
 
 
 def _calibrate_projects_per_user(
@@ -317,14 +384,18 @@ def _calibrate_projects_per_user(
     if not core_projects:
         return
     sizes = np.array([p.n_users for p in core_projects], dtype=np.float64)
-    domains = [p.domain for p in core_projects]
+    member_counts = sizes.astype(np.int64)
+    dom_codes = np.array(
+        [_CODE_OF_DOMAIN[p.domain] for p in core_projects], dtype=np.int64
+    )
+    index_of_gid = {p.gid: i for i, p in enumerate(core_projects)}
     core_user_uids = {
         uid for p in core_projects for uid in p.members
     }
-    bucket_p = np.array([w for _, w in _PPU_BUCKETS])
+    bucket_cdf = _normalized_cdf(np.array([w for _, w in _PPU_BUCKETS]))
     for uid in sorted(core_user_uids):
         user = factory.users[uid]
-        bucket = int(rng.choice(len(_PPU_BUCKETS), p=bucket_p))
+        bucket = _weighted_index_cdf(rng, bucket_cdf)
         floor_n = _PPU_BUCKETS[bucket][0]
         if floor_n == 3:
             target = int(rng.integers(3, 8))
@@ -335,17 +406,16 @@ def _calibrate_projects_per_user(
         missing = target - user.n_projects
         if missing <= 0:
             continue
-        joined = set(user.projects)
-        affinity = np.array(
-            [30.0 if d == user.primary_domain else 1.0 for d in domains]
+        joined = np.zeros(len(core_projects), dtype=bool)
+        for g in user.projects:
+            i = index_of_gid.get(g)
+            if i is not None:
+                joined[i] = True
+        affinity = np.where(
+            dom_codes == _CODE_OF_DOMAIN[user.primary_domain], 30.0, 1.0
         )
         for _ in range(missing):
-            mask = np.array(
-                [
-                    p.gid not in joined and p.n_users < _MAX_PROJECT_USERS
-                    for p in core_projects
-                ]
-            )
+            mask = ~joined & (member_counts < _MAX_PROJECT_USERS)
             if not mask.any():
                 break
             # quadratic size preference: the additions pile into the big
@@ -353,11 +423,12 @@ def _calibrate_projects_per_user(
             # dragging the median project size up
             w = (sizes + 1.0) ** 2 * affinity * mask
             w = w / w.sum()
-            idx = int(rng.choice(len(core_projects), p=w))
+            idx = _weighted_index(rng, w)
             project = core_projects[idx]
             _link(user, project)
-            joined.add(project.gid)
+            joined[idx] = True
             sizes[idx] += 1.0
+            member_counts[idx] += 1
 
 
 def _plant_extreme_pair(

@@ -223,3 +223,59 @@ def sigkill_after(
         return result
 
     return wrapper
+
+
+def kill_shard_worker(
+    supervisor, shard: int | None = None, rng=None
+) -> int | None:
+    """SIGKILL one live shard worker under a running :class:`ShardSupervisor`.
+
+    ``shard`` picks a specific worker; ``None`` picks one at random (pass
+    ``rng``, a ``random.Random``, for reproducible chaos).  Returns the
+    shard whose worker was killed, or ``None`` when no worker was running
+    (the injector raced the run's natural completion — callers treat that
+    as a no-op, not a failure).
+    """
+    pids = supervisor.worker_pids()
+    if shard is None:
+        if not pids:
+            return None
+        targets = sorted(pids)
+        shard = targets[rng.randrange(len(targets))] if rng is not None else targets[0]
+    pid = pids.get(shard)
+    if pid is None:
+        return None
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except ProcessLookupError:  # pragma: no cover - exit race
+        return None
+    return shard
+
+
+def shard_kill(shard: int, after_weeks: int = 1, attempts: int = 1):
+    """A :class:`ShardFault` making the worker SIGKILL itself mid-shard.
+
+    Deterministic crash injection: the worker dies after journaling
+    ``after_weeks`` new weekly parts, on its first ``attempts`` attempts.
+    """
+    from repro.synth.sharding import ShardFault
+
+    return ShardFault(
+        shard=shard, kill_after_weeks=after_weeks, max_attempt=attempts
+    )
+
+
+def shard_stall(
+    shard: int, week: int, seconds: float, attempts: int = 1
+):
+    """A :class:`ShardFault` injecting a progress stall (straggler).
+
+    The worker sleeps ``seconds`` before processing ``week``, starving the
+    supervisor's journal heartbeat — long enough stalls trip the watchdog
+    warning and, past the shard deadline, a kill-and-restart.
+    """
+    from repro.synth.sharding import ShardFault
+
+    return ShardFault(
+        shard=shard, stall_week=week, stall_seconds=seconds, max_attempt=attempts
+    )

@@ -1,0 +1,334 @@
+"""Seed-parity pin for the vectorized population generator.
+
+``generate_population`` was vectorized (the per-user calibration loop, the
+preferential-attachment weight build, and the modal-domain pass used to be
+pure-Python loops over every user).  The vectorization is required to keep
+the *exact* RNG call sequence, so the frozen copy of the original
+implementation below must produce bit-identical populations.
+
+The reference is a verbatim copy of the pre-vectorization code (only the
+module-private constants are inlined).  If numpy ever changes the stream
+semantics of ``Generator.choice`` the ``test_weighted_index_matches_choice``
+property test fails first and points at the right knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth.domains import DOMAINS, DomainSpec
+from repro.synth.population import (
+    ORG_TYPES,
+    ORG_WEIGHTS,
+    FIRST_GID,
+    FIRST_UID,
+    Population,
+    ProjectRecord,
+    UserRecord,
+    _weighted_index,
+    generate_population,
+)
+
+_ISOLATED_MERGE_PROB = 0.12
+_ISOLATED_SIZES = (1, 2, 3, 4)
+_ISOLATED_SIZE_P = (0.62, 0.22, 0.11, 0.05)
+_PPU_BUCKETS = ((1, 0.40), (2, 0.40), (3, 0.18), (8, 0.02))
+_MAX_PROJECT_USERS = 24
+_ATTACH_EXPONENT = 0.6
+_PLANTED_USERS = 8
+
+
+def _affinity_boost(users_median: int) -> float:
+    return 5.0 + 4.0 * users_median
+
+
+def _draw_member_count(spec: DomainSpec, rng: np.random.Generator) -> int:
+    size = rng.lognormal(mean=np.log(spec.users_median), sigma=0.95)
+    return int(np.clip(round(size), 1, _MAX_PROJECT_USERS))
+
+
+def _link(user: UserRecord, project: ProjectRecord) -> None:
+    if project.gid not in user.projects:
+        user.projects.append(project.gid)
+        project.members.append(user.uid)
+
+
+class _UserFactory:
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self._next_uid = FIRST_UID
+        self.users: dict[int, UserRecord] = {}
+
+    def new_user(self, domain: str) -> UserRecord:
+        uid = self._next_uid
+        self._next_uid += 1
+        org = ORG_TYPES[self.rng.choice(len(ORG_TYPES), p=ORG_WEIGHTS)]
+        user = UserRecord(uid=uid, org_type=org, primary_domain=domain)
+        self.users[uid] = user
+        return user
+
+
+def _reference_generate(seed: int = 2015, n_users: int = 1362) -> Population:
+    """Verbatim pre-vectorization ``generate_population``."""
+    rng = np.random.default_rng(seed)
+    factory = _UserFactory(rng)
+    projects: dict[int, ProjectRecord] = {}
+
+    gid = FIRST_GID
+    for code in sorted(DOMAINS):
+        spec = DOMAINS[code]
+        for i in range(spec.n_projects):
+            core = bool(rng.random() < spec.network_pct / 100.0)
+            projects[gid] = ProjectRecord(
+                gid=gid, name=f"{code}{i + 1:03d}", domain=code, core=core
+            )
+            gid += 1
+
+    core_projects = [p for p in projects.values() if p.core]
+    isolated_projects = [p for p in projects.values() if not p.core]
+
+    prev_by_domain: dict[str, ProjectRecord] = {}
+    for project in isolated_projects:
+        size = int(rng.choice(_ISOLATED_SIZES, p=_ISOLATED_SIZE_P))
+        prev = prev_by_domain.get(project.domain)
+        if prev is not None and rng.random() < _ISOLATED_MERGE_PROB:
+            bridge_uid = prev.members[int(rng.integers(len(prev.members)))]
+            _link(factory.users[bridge_uid], project)
+            size -= 1
+        for _ in range(size):
+            _link(factory.new_user(project.domain), project)
+        if not project.members:
+            _link(factory.new_user(project.domain), project)
+        prev_by_domain[project.domain] = project
+
+    isolated_users = len(factory.users)
+
+    order = list(core_projects)
+    rng.shuffle(order)
+    member_targets = [_draw_member_count(DOMAINS[p.domain], rng) for p in order]
+    core_user_budget = max(n_users - isolated_users - _PLANTED_USERS, 1)
+    raw_newcomers = np.array(
+        [
+            max(m / (1.0 + DOMAINS[p.domain].users_median / 2.5), 0.3)
+            for p, m in zip(order, member_targets)
+        ]
+    )
+    scale = core_user_budget / max(raw_newcomers.sum(), 1.0)
+    newcomer_counts = np.floor(raw_newcomers * scale).astype(np.int64)
+    np.minimum(newcomer_counts, member_targets, out=newcomer_counts)
+    shortfall = core_user_budget - int(newcomer_counts.sum())
+    idx = 0
+    while shortfall > 0 and len(order) > 0:
+        j = idx % len(order)
+        if newcomer_counts[j] < member_targets[j]:
+            newcomer_counts[j] += 1
+            shortfall -= 1
+        elif idx > 10 * len(order):
+            member_targets[j] += 1
+            continue
+        idx += 1
+
+    core_uids: list[int] = []
+    core_index: dict[int, int] = {}
+    degrees: list[int] = []
+
+    def add_to_pool(user: UserRecord) -> None:
+        core_index[user.uid] = len(core_uids)
+        core_uids.append(user.uid)
+        degrees.append(0)
+
+    def pick_existing(domain: str) -> UserRecord:
+        boost = _affinity_boost(DOMAINS[domain].users_median)
+        weights = (
+            np.asarray(degrees, dtype=np.float64) + 1.0
+        ) ** _ATTACH_EXPONENT * np.array(
+            [
+                boost if factory.users[u].primary_domain == domain else 1.0
+                for u in core_uids
+            ]
+        )
+        weights /= weights.sum()
+        idx = int(rng.choice(len(core_uids), p=weights))
+        return factory.users[core_uids[idx]]
+
+    for project, target, newcomers in zip(order, member_targets, newcomer_counts):
+        for k in range(target):
+            veteran_slots = target - int(newcomers)
+            if not core_uids:
+                user = factory.new_user(project.domain)
+                add_to_pool(user)
+            elif k < veteran_slots:
+                user = pick_existing(project.domain)
+            else:
+                user = factory.new_user(project.domain)
+                add_to_pool(user)
+            before = user.n_projects
+            _link(user, project)
+            if user.n_projects > before:
+                degrees[core_index[user.uid]] += 1
+        if int(newcomers) == target and target > 0 and len(project.members) == target:
+            if len(core_uids) > target:
+                _link(pick_existing(project.domain), project)
+
+    _reference_calibrate(factory, core_projects, rng)
+    _reference_plant_extreme_pair(factory, projects, rng)
+    _reference_plant_liaisons(factory, projects, rng)
+
+    domain_of = {g: p.domain for g, p in projects.items()}
+    for user in factory.users.values():
+        if user.projects:
+            codes = [domain_of[g] for g in user.projects]
+            values, counts = np.unique(codes, return_counts=True)
+            user.primary_domain = str(values[np.argmax(counts)])
+
+    return Population(users=factory.users, projects=projects, seed=seed)
+
+
+def _reference_calibrate(
+    factory: _UserFactory,
+    core_projects: list[ProjectRecord],
+    rng: np.random.Generator,
+) -> None:
+    if not core_projects:
+        return
+    sizes = np.array([p.n_users for p in core_projects], dtype=np.float64)
+    domains = [p.domain for p in core_projects]
+    core_user_uids = {uid for p in core_projects for uid in p.members}
+    bucket_p = np.array([w for _, w in _PPU_BUCKETS])
+    for uid in sorted(core_user_uids):
+        user = factory.users[uid]
+        bucket = int(rng.choice(len(_PPU_BUCKETS), p=bucket_p))
+        floor_n = _PPU_BUCKETS[bucket][0]
+        if floor_n == 3:
+            target = int(rng.integers(3, 8))
+        elif floor_n == 8:
+            target = int(rng.integers(8, 13))
+        else:
+            target = floor_n
+        missing = target - user.n_projects
+        if missing <= 0:
+            continue
+        joined = set(user.projects)
+        affinity = np.array(
+            [30.0 if d == user.primary_domain else 1.0 for d in domains]
+        )
+        for _ in range(missing):
+            mask = np.array(
+                [
+                    p.gid not in joined and p.n_users < _MAX_PROJECT_USERS
+                    for p in core_projects
+                ]
+            )
+            if not mask.any():
+                break
+            w = (sizes + 1.0) ** 2 * affinity * mask
+            w = w / w.sum()
+            idx = int(rng.choice(len(core_projects), p=w))
+            project = core_projects[idx]
+            _link(user, project)
+            joined.add(project.gid)
+            sizes[idx] += 1.0
+
+
+def _reference_plant_extreme_pair(
+    factory: _UserFactory,
+    projects: dict[int, ProjectRecord],
+    rng: np.random.Generator,
+) -> None:
+    cli_core = [p for p in projects.values() if p.domain == "cli" and p.core]
+    csc_core = [p for p in projects.values() if p.domain == "csc" and p.core]
+    if len(cli_core) < 5 or not csc_core:
+        return
+    shared = list(rng.choice(len(cli_core), size=5, replace=False))
+    targets = [cli_core[i] for i in shared] + [
+        csc_core[int(rng.integers(len(csc_core)))]
+    ]
+    a = factory.new_user("cli")
+    b = factory.new_user("cli")
+    a.role = b.role = "extreme_pair"
+    for project in targets:
+        _link(a, project)
+        _link(b, project)
+
+
+def _reference_plant_liaisons(
+    factory: _UserFactory,
+    projects: dict[int, ProjectRecord],
+    rng: np.random.Generator,
+) -> None:
+    core = [p for p in projects.values() if p.core]
+    if len(core) < 12:
+        return
+    liaison_domains = ["stf", "stf", "stf", "csc", "csc", "csc"]
+    roles = ["staff", "staff", "staff", "postdoc", "liaison", "liaison"]
+    for domain, role in zip(liaison_domains, roles):
+        user = factory.new_user(domain)
+        user.role = role
+        n_joined = int(rng.integers(14, 21))
+        picks = rng.choice(len(core), size=min(n_joined, len(core)), replace=False)
+        for idx in picks:
+            _link(user, core[int(idx)])
+        home = [p for p in core if p.domain == domain]
+        if home:
+            _link(user, home[int(rng.integers(len(home)))])
+
+
+# ---------------------------------------------------------------------------
+
+
+def _assert_populations_equal(got: Population, want: Population) -> None:
+    assert got.seed == want.seed
+    assert sorted(got.users) == sorted(want.users)
+    assert sorted(got.projects) == sorted(want.projects)
+    for uid, ref in want.users.items():
+        user = got.users[uid]
+        assert user.org_type == ref.org_type, uid
+        assert user.primary_domain == ref.primary_domain, uid
+        assert user.projects == ref.projects, uid
+        assert user.role == ref.role, uid
+    for gid, ref in want.projects.items():
+        project = got.projects[gid]
+        assert project.name == ref.name
+        assert project.domain == ref.domain
+        assert project.core == ref.core
+        assert project.members == ref.members, gid
+
+
+@pytest.mark.parametrize("seed,n_users", [(2015, 1362), (7, 1362), (2015, 400)])
+def test_vectorized_population_matches_reference(seed: int, n_users: int) -> None:
+    _assert_populations_equal(
+        generate_population(seed=seed, n_users=n_users),
+        _reference_generate(seed=seed, n_users=n_users),
+    )
+
+
+def test_weighted_index_matches_choice() -> None:
+    """``_weighted_index`` must replicate ``Generator.choice(n, p=...)``.
+
+    Both the drawn index and the post-draw generator state must match —
+    the vectorized generator interleaves these draws with other RNG calls,
+    so a stream mismatch would silently shift everything downstream.
+    """
+    base = np.random.default_rng(123)
+    for trial in range(200):
+        n = int(base.integers(1, 50))
+        p = base.random(n) + 1e-9
+        p /= p.sum()
+        a = np.random.default_rng(trial)
+        b = np.random.default_rng(trial)
+        want = int(a.choice(n, p=p))
+        got = _weighted_index(b, p)
+        assert got == want, trial
+        # identical stream position afterwards
+        assert a.integers(2**63) == b.integers(2**63), trial
+
+
+def test_large_population_scales() -> None:
+    pop = generate_population(seed=3, n_users=20_000)
+    assert pop.n_users >= 19_000
+    # every project keeps at least one member and memberships stay symmetric
+    for gid, project in pop.projects.items():
+        assert project.members
+        for uid in project.members:
+            assert gid in pop.users[uid].projects
